@@ -1,0 +1,356 @@
+// Benchmarks regenerating every artifact of the paper's evaluation
+// section (Tables I-III; Figures 1-2 are the architecture and UI,
+// exercised by the platform benches) plus the ablation studies indexed
+// in DESIGN.md §4. Run with:
+//
+//	go test -bench=. -benchmem
+package cyclerank_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	cyclerank "github.com/cyclerank/cyclerank-go"
+	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/core"
+	"github.com/cyclerank/cyclerank-go/internal/datasets"
+	"github.com/cyclerank/cyclerank-go/internal/datastore"
+	"github.com/cyclerank/cyclerank-go/internal/experiments"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/pagerank"
+	"github.com/cyclerank/cyclerank-go/internal/task"
+)
+
+// graphCache loads each catalog dataset at most once per benchmark
+// binary run.
+var (
+	graphCacheMu sync.Mutex
+	graphCache   = map[string]*graph.Graph{}
+)
+
+func loadGraph(b *testing.B, name string) *graph.Graph {
+	b.Helper()
+	graphCacheMu.Lock()
+	defer graphCacheMu.Unlock()
+	if g, ok := graphCache[name]; ok {
+		return g
+	}
+	cat, err := datasets.BuiltinCatalogSubset(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := cat.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := d.Load()
+	if err != nil {
+		b.Fatal(err)
+	}
+	graphCache[name] = g
+	return g
+}
+
+func mustNode(b *testing.B, g *graph.Graph, label string) graph.NodeID {
+	b.Helper()
+	id, ok := g.NodeByLabel(label)
+	if !ok {
+		b.Fatalf("node %q missing", label)
+	}
+	return id
+}
+
+// --- Paper tables (experiments T1-T3) ---
+
+func BenchmarkTableI(b *testing.B) {
+	reg := algo.NewBuiltinRegistry()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableI(context.Background(), reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	reg := algo.NewBuiltinRegistry()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableII(context.Background(), reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	reg := algo.NewBuiltinRegistry()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIII(context.Background(), reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- The platform itself (Figures 1-2: architecture + task flow) ---
+
+// BenchmarkPlatformQuerySet measures the full demo pipeline: submit a
+// three-task query set through the scheduler, execute on the worker
+// pool, persist, and read results back — the end-to-end latency a demo
+// user experiences per comparison.
+func BenchmarkPlatformQuerySet(b *testing.B) {
+	store, err := datastore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := loadGraph(b, "enwiki-2013")
+	sched, err := task.NewScheduler(task.SchedulerConfig{
+		Registry: algo.NewBuiltinRegistry(),
+		Store:    store,
+		Workers:  2,
+		Load:     func(string) (*graph.Graph, error) { return g, nil },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sched.Shutdown(context.Background())
+	specs := []task.Spec{
+		{Dataset: "enwiki-2013", Algorithm: algo.NameCycleRank, Params: algo.Params{Source: "Freddie Mercury", K: 3}},
+		{Dataset: "enwiki-2013", Algorithm: algo.NamePPR, Params: algo.Params{Source: "Freddie Mercury", Alpha: 0.3}},
+		{Dataset: "enwiki-2013", Algorithm: algo.NamePageRank},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qs, _, err := sched.Submit(specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sched.WaitQuerySet(context.Background(), qs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation A1: CycleRank vs K ---
+
+func BenchmarkCycleRankK(b *testing.B) {
+	g := loadGraph(b, "enwiki-2018")
+	src := mustNode(b, g, "Freddie Mercury")
+	for k := 2; k <= 6; k++ {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compute(context.Background(), g, src, core.Params{K: k}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCycleRankParallel contrasts the sequential enumerator with
+// the branch-partitioned parallel one on the densest catalog graph,
+// where the reference has enough first-hop branches to feed a pool.
+func BenchmarkCycleRankParallel(b *testing.B) {
+	g := loadGraph(b, "cliques-ring")
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ComputeParallel(context.Background(), g, 0, core.Params{K: 6}, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compute(context.Background(), g, 0, core.Params{K: 6}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablation A2: pruned vs naive enumeration ---
+
+func BenchmarkCycleRankPrunedVsNaive(b *testing.B) {
+	full := loadGraph(b, "er-dense")
+	// Induce a 200-node prefix so the naive oracle stays feasible.
+	nb := graph.NewBuilder(200)
+	full.Edges(func(u, v graph.NodeID) bool {
+		if u < 200 && v < 200 {
+			nb.AddEdge(u, v)
+		}
+		return true
+	})
+	g, err := nb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compute(context.Background(), g, 0, core.Params{K: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.NaiveScores(g, 0, core.Params{K: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablation A3: PPR engines ---
+
+func BenchmarkPPREngines(b *testing.B) {
+	g := loadGraph(b, "enwiki-2018")
+	seeds := []graph.NodeID{mustNode(b, g, "Freddie Mercury")}
+	b.Run("power", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pagerank.Personalized(context.Background(), g, pagerank.Params{Alpha: 0.85, Seeds: seeds}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("push", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pagerank.PushPPR(context.Background(), g, pagerank.PushParams{Alpha: 0.15, Epsilon: 1e-7, Seeds: seeds}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("montecarlo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pagerank.MonteCarloPPR(context.Background(), g, pagerank.MCParams{Alpha: 0.85, Walks: 10000, Seeds: seeds, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablation A4: scoring functions ---
+
+func BenchmarkCycleRankScoring(b *testing.B) {
+	g := loadGraph(b, "enwiki-2018")
+	src := mustNode(b, g, "Freddie Mercury")
+	for _, name := range core.ScoringNames() {
+		fn, err := core.ScoringByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compute(context.Background(), g, src, core.Params{K: 3, Scoring: fn}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation A5: all seven algorithms vs snapshot size ---
+
+func BenchmarkAlgorithmsScale(b *testing.B) {
+	reg := algo.NewBuiltinRegistry()
+	algos := []struct {
+		name string
+		p    algo.Params
+	}{
+		{algo.NameCycleRank, algo.Params{Source: "Freddie Mercury", K: 3}},
+		{algo.NamePageRank, algo.Params{Alpha: 0.85}},
+		{algo.NamePPR, algo.Params{Source: "Freddie Mercury", Alpha: 0.85}},
+		{algo.NameCheiRank, algo.Params{Alpha: 0.85}},
+		{algo.NamePCheiRank, algo.Params{Source: "Freddie Mercury", Alpha: 0.85}},
+		{algo.Name2DRank, algo.Params{Alpha: 0.85}},
+		{algo.NameP2DRank, algo.Params{Source: "Freddie Mercury", Alpha: 0.85}},
+	}
+	for _, year := range []int{2003, 2018} {
+		g := loadGraph(b, fmt.Sprintf("enwiki-%d", year))
+		for _, a := range algos {
+			b.Run(fmt.Sprintf("%s/enwiki-%d", a.name, year), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := algo.Run(context.Background(), reg, a.name, g, a.p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Ablation A6: rank agreement ---
+
+func BenchmarkAgreementMetrics(b *testing.B) {
+	g := loadGraph(b, "enwiki-2018")
+	src := mustNode(b, g, "Freddie Mercury")
+	cr, err := core.Compute(context.Background(), g, src, core.Params{K: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ppr, err := pagerank.Personalized(context.Background(), g, pagerank.Params{Alpha: 0.85, Seeds: []graph.NodeID{src}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cyclerank.CompareAt(cr, ppr, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate microbenches ---
+
+func BenchmarkGraphBuild(b *testing.B) {
+	src := loadGraph(b, "enwiki-2018")
+	var edges []graph.Edge
+	src.Edges(func(u, v graph.NodeID) bool {
+		edges = append(edges, graph.Edge{From: u, To: v})
+		return true
+	})
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.FromEdges(src.NumNodes(), edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBFSBounded(b *testing.B) {
+	g := loadGraph(b, "enwiki-2018")
+	src := mustNode(b, g, "Freddie Mercury")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		graph.BFSFrom(g, src, 3)
+	}
+}
+
+func BenchmarkSCC(b *testing.B) {
+	g := loadGraph(b, "enwiki-2018")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		graph.StronglyConnectedComponents(g)
+	}
+}
+
+func BenchmarkDatasetGeneration(b *testing.B) {
+	for _, name := range []string{"enwiki-2018", "amazon", "twitter-cop27"} {
+		b.Run(name, func(b *testing.B) {
+			cat, err := datasets.BuiltinCatalogSubset(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := cat.Get(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Load(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

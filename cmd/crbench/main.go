@@ -1,0 +1,133 @@
+// Command crbench regenerates every table of the paper's evaluation
+// section, plus the ablation studies indexed in DESIGN.md §4.
+//
+// Usage:
+//
+//	crbench                         # all paper tables
+//	crbench -table 1                # just Table I
+//	crbench -ablation k-sweep       # one ablation
+//	crbench -ablation all           # every ablation
+//	crbench -format markdown        # markdown output (also: text, csv)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("crbench", flag.ContinueOnError)
+	var (
+		table    = fs.Int("table", 0, "paper table to regenerate (1, 2 or 3); 0 = all")
+		ablation = fs.String("ablation", "", "ablation to run: k-sweep, pruned-vs-naive, ppr-engines, scoring, scale, agreement, all")
+		format   = fs.String("format", "text", "output format: text, markdown, csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	reg := algo.NewBuiltinRegistry()
+
+	render := func(t *experiments.Table) error {
+		var s string
+		switch *format {
+		case "text":
+			s = t.Text()
+		case "markdown":
+			s = t.Markdown()
+		case "csv":
+			s = t.CSV()
+		default:
+			return fmt.Errorf("unknown format %q (want text, markdown or csv)", *format)
+		}
+		_, err := fmt.Fprintln(out, s)
+		return err
+	}
+
+	type job struct {
+		name string
+		gen  func() (*experiments.Table, error)
+	}
+	var jobs []job
+
+	addTable := func(n int) {
+		switch n {
+		case 1:
+			jobs = append(jobs, job{"table-1", func() (*experiments.Table, error) { return experiments.TableI(ctx, reg) }})
+		case 2:
+			jobs = append(jobs, job{"table-2", func() (*experiments.Table, error) { return experiments.TableII(ctx, reg) }})
+		case 3:
+			jobs = append(jobs, job{"table-3", func() (*experiments.Table, error) { return experiments.TableIII(ctx, reg) }})
+		}
+	}
+	ablations := map[string]func() (*experiments.Table, error){
+		"k-sweep": func() (*experiments.Table, error) {
+			return experiments.KSweep(ctx, "enwiki-2018", "Freddie Mercury", 6)
+		},
+		"pruned-vs-naive": func() (*experiments.Table, error) { return experiments.PrunedVsNaive(ctx) },
+		"ppr-engines": func() (*experiments.Table, error) {
+			return experiments.PPREngines(ctx, "enwiki-2018", "Freddie Mercury")
+		},
+		"scoring":   func() (*experiments.Table, error) { return experiments.ScoringAblation(ctx, reg) },
+		"scale":     func() (*experiments.Table, error) { return experiments.ScaleSweep(ctx, reg) },
+		"agreement": func() (*experiments.Table, error) { return experiments.Agreement(ctx, reg) },
+		"weighted":  func() (*experiments.Table, error) { return experiments.WeightedAblation(ctx) },
+		"alpha-sweep": func() (*experiments.Table, error) {
+			return experiments.AlphaSweep(ctx, "enwiki-2018", "Freddie Mercury",
+				[]string{"United States", "HIV/AIDS"})
+		},
+	}
+	ablationOrder := []string{"k-sweep", "pruned-vs-naive", "ppr-engines", "scoring", "scale", "agreement", "weighted", "alpha-sweep"}
+
+	switch {
+	case *ablation != "":
+		if *ablation == "all" {
+			for _, name := range ablationOrder {
+				jobs = append(jobs, job{name, ablations[name]})
+			}
+		} else {
+			gen, ok := ablations[*ablation]
+			if !ok {
+				return fmt.Errorf("unknown ablation %q (want one of %v or all)", *ablation, ablationOrder)
+			}
+			jobs = append(jobs, job{*ablation, gen})
+		}
+	case *table != 0:
+		if *table < 1 || *table > 3 {
+			return fmt.Errorf("the paper has tables 1-3, not %d", *table)
+		}
+		addTable(*table)
+	default:
+		addTable(1)
+		addTable(2)
+		addTable(3)
+	}
+
+	for _, j := range jobs {
+		t, err := j.gen()
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/cyclerank/cyclerank-go/internal/formats"
+)
+
+func TestGenerateSingleDataset(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ring.asd")
+	if err := run([]string{"-dataset", "ring-1k", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := formats.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1000 || g.NumEdges() != 1000 {
+		t.Errorf("ring N=%d M=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestGeneratePajek(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "amazon.net")
+	if err := run([]string{"-dataset", "amazon", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := formats.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.NodeByLabel("1984"); !ok {
+		t.Error("labels lost in export")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-dataset", "ghost", "-out", "x.csv"},
+		{"-dataset", "ring-1k"}, // no -out
+		{"-dataset", "ring-1k", "-out", "x.badformat"}, // unknown ext
+		{"-all", "-format", "bogus"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestGenerateAllSubsetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-all generates all 50 datasets")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-all", "-dir", dir, "-format", "asd"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 50 {
+		t.Errorf("exported %d files, want 50", len(entries))
+	}
+}

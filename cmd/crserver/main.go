@@ -1,0 +1,87 @@
+// Command crserver runs the demo platform: the API gateway, the Web
+// UI, and the embedded executor pool (the paper's computational
+// nodes).
+//
+// Usage:
+//
+//	crserver -addr :8080 -data ./crdata -workers 4
+//
+// Then open http://localhost:8080/ for the task builder,
+// /instructions for the upload formats, and POST query sets to
+// /api/tasks. The returned comparison id is a permalink:
+// /compare/{id}.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/datasets"
+	"github.com/cyclerank/cyclerank-go/internal/datastore"
+	"github.com/cyclerank/cyclerank-go/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		data        = flag.String("data", "crdata", "datastore directory")
+		workers     = flag.Int("workers", 4, "executor pool size")
+		taskTimeout = flag.Duration("task-timeout", 5*time.Minute, "per-task execution limit (0 = unlimited)")
+	)
+	flag.Parse()
+
+	store, err := datastore.Open(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	catalog, err := datasets.BuiltinCatalog()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Registry:    algo.NewBuiltinRegistry(),
+		Catalog:     catalog,
+		Store:       store,
+		Workers:     *workers,
+		TaskTimeout: *taskTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, c := context.WithTimeout(context.Background(), 10*time.Second)
+		defer c()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Println("shutdown:", err)
+		}
+		if err := srv.Scheduler().Shutdown(shutdownCtx); err != nil {
+			log.Println("scheduler shutdown:", err)
+		}
+	}()
+
+	fmt.Printf("cyclerank demo listening on %s (datastore %s, %d workers, %d datasets)\n",
+		*addr, *data, *workers, catalog.Len())
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

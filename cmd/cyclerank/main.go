@@ -1,0 +1,209 @@
+// Command cyclerank runs relevance algorithms on a graph and prints
+// the top-ranked nodes.
+//
+// Usage:
+//
+//	cyclerank -algo cyclerank -dataset enwiki-2018 -source "Fake news" -k 3
+//	cyclerank -algo ppr -file mygraph.csv -source Alice -alpha 0.3 -top 10
+//	cyclerank -algos cyclerank,ppr,pagerank -dataset amazon -source 1984
+//	cyclerank -list-datasets
+//	cyclerank -list-algorithms
+//
+// The graph comes either from the built-in catalog (-dataset) or from
+// a file in any supported format (-file). Passing a comma-separated
+// -algos list prints a side-by-side comparison (the demo's algorithm
+// comparison view).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"text/tabwriter"
+
+	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/datasets"
+	"github.com/cyclerank/cyclerank-go/internal/formats"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/ranking"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cyclerank:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cyclerank", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		algoName  = fs.String("algo", "cyclerank", "algorithm to run (see -list-algorithms)")
+		algoList  = fs.String("algos", "", "comma-separated algorithms for a side-by-side comparison")
+		dataset   = fs.String("dataset", "", "catalog dataset name (see -list-datasets)")
+		file      = fs.String("file", "", "graph file (edgelist .csv, pajek .net, or .asd)")
+		source    = fs.String("source", "", "reference node label (personalized algorithms)")
+		k         = fs.Int("k", 0, "CycleRank max cycle length (default 3)")
+		scoring   = fs.String("scoring", "", "CycleRank scoring: exp, lin, quad, const (default exp)")
+		alpha     = fs.Float64("alpha", 0, "damping factor (default 0.85)")
+		top       = fs.Int("top", 10, "how many results to print")
+		stats     = fs.Bool("stats", false, "print graph statistics before results")
+		listDS    = fs.Bool("list-datasets", false, "list catalog datasets and exit")
+		listAlgos = fs.Bool("list-algorithms", false, "list algorithms and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	registry := algo.NewBuiltinRegistry()
+
+	if *listAlgos {
+		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		for _, a := range registry.All() {
+			needs := ""
+			if a.NeedsSource() {
+				needs = "(needs -source)"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\n", a.Name(), needs, a.Description())
+		}
+		return w.Flush()
+	}
+	if *listDS {
+		catalog, err := datasets.BuiltinCatalog()
+		if err != nil {
+			return err
+		}
+		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		for _, d := range catalog.All() {
+			fmt.Fprintf(w, "%s\t%s\t%s\n", d.Name, d.Kind, d.Description)
+		}
+		return w.Flush()
+	}
+
+	g, err := loadInput(*dataset, *file)
+	if err != nil {
+		return err
+	}
+
+	if *stats {
+		fmt.Fprintln(out, graph.ComputeStats(g))
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	params := algo.Params{Source: *source, K: *k, Scoring: *scoring, Alpha: *alpha}
+
+	if *algoList != "" {
+		names := splitList(*algoList)
+		if len(names) < 2 {
+			return fmt.Errorf("-algos needs at least two algorithms, got %v", names)
+		}
+		return runComparison(ctx, out, registry, g, names, params, *top)
+	}
+
+	res, err := algo.Run(ctx, registry, *algoName, g, params)
+	if err != nil {
+		return err
+	}
+	if res.CyclesFound > 0 {
+		fmt.Fprintf(out, "cycles found: %d\n", res.CyclesFound)
+	}
+	if res.Iterations > 0 {
+		fmt.Fprintf(out, "iterations: %d (residual %.3g)\n", res.Iterations, res.Residual)
+	}
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "#\tnode\tscore")
+	for i, e := range res.Top(*top) {
+		fmt.Fprintf(w, "%d\t%s\t%.6g\n", i+1, e.Label, e.Score)
+	}
+	return w.Flush()
+}
+
+// loadInput resolves the graph source flags.
+func loadInput(dataset, file string) (*graph.Graph, error) {
+	switch {
+	case dataset != "" && file != "":
+		return nil, fmt.Errorf("use either -dataset or -file, not both")
+	case dataset != "":
+		catalog, err := datasets.BuiltinCatalog()
+		if err != nil {
+			return nil, err
+		}
+		d, err := catalog.Get(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return d.Load()
+	case file != "":
+		return formats.ReadFile(file)
+	}
+	return nil, fmt.Errorf("a graph is required: pass -dataset or -file (or -list-datasets)")
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runComparison prints the demo's side-by-side view: one column per
+// algorithm, plus pairwise agreement metrics underneath.
+func runComparison(ctx context.Context, out io.Writer, registry *algo.Registry, g *graph.Graph, names []string, params algo.Params, top int) error {
+	results := make([]*ranking.Result, len(names))
+	for i, name := range names {
+		res, err := algo.Run(ctx, registry, name, g, params)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		results[i] = res
+	}
+
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "#\t%s\n", strings.Join(names, "\t"))
+	tops := make([][]string, len(names))
+	for i, res := range results {
+		tops[i] = res.TopLabels(top)
+	}
+	for row := 0; row < top; row++ {
+		cells := make([]string, len(names))
+		for i := range names {
+			if row < len(tops[i]) {
+				cells[i] = tops[i][row]
+			} else {
+				cells[i] = "-"
+			}
+		}
+		fmt.Fprintf(w, "%d\t%s\n", row+1, strings.Join(cells, "\t"))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "\npairwise agreement:")
+	aw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(aw, "pair\tjaccard\trbo")
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			jac := ranking.ListJaccard(tops[i], tops[j])
+			rbo, err := ranking.ListRBO(tops[i], tops[j], 0.9)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(aw, "%s vs %s\t%.3f\t%.3f\n", names[i], names[j], jac, rbo)
+		}
+	}
+	return aw.Flush()
+}

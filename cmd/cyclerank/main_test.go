@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestListAlgorithms(t *testing.T) {
+	out, err := runCLI(t, "-list-algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cyclerank", "pagerank", "ppr", "2drank"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in listing", want)
+		}
+	}
+}
+
+func TestListDatasets(t *testing.T) {
+	out, err := runCLI(t, "-list-datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"enwiki-2018", "amazon", "twitter-cop27", "ba-small"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in listing", want)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 50 {
+		t.Errorf("listed %d datasets, want 50", got)
+	}
+}
+
+func TestRunOnCatalogDataset(t *testing.T) {
+	out, err := runCLI(t,
+		"-dataset", "enwiki-2013",
+		"-algo", "cyclerank",
+		"-source", "Freddie Mercury",
+		"-k", "3", "-top", "3", "-stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cycles found:") {
+		t.Error("missing cycle count")
+	}
+	if !strings.Contains(out, "Freddie Mercury") {
+		t.Error("missing reference in output")
+	}
+	if !strings.Contains(out, "N=") {
+		t.Error("missing -stats output")
+	}
+}
+
+func TestRunOnFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.csv")
+	if err := os.WriteFile(path, []byte("a,b\nb,a\nb,c\nc,b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-file", path, "-algo", "ppr", "-source", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "iterations:") {
+		t.Error("missing iteration count")
+	}
+	if !strings.Contains(out, "a") {
+		t.Error("missing results")
+	}
+}
+
+func TestComparisonMode(t *testing.T) {
+	out, err := runCLI(t,
+		"-dataset", "enwiki-2013",
+		"-algos", "cyclerank,ppr,pagerank",
+		"-source", "Freddie Mercury",
+		"-top", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "pairwise agreement:") {
+		t.Error("missing agreement block")
+	}
+	if !strings.Contains(out, "cyclerank vs ppr") {
+		t.Error("missing pair row")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-dataset", "ghost"},
+		{"-file", "/does/not/exist.csv"},
+		{"-dataset", "enwiki-2013", "-file", "also.csv"},
+		{"-dataset", "enwiki-2013", "-algo", "nope"},
+		{"-dataset", "enwiki-2013", "-algo", "cyclerank"},                                // no source
+		{"-dataset", "enwiki-2013", "-algos", "cyclerank", "-source", "Freddie Mercury"}, // single algo
+		{"-dataset", "enwiki-2013", "-algos", "cyclerank,nope", "-source", "Freddie Mercury"},
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Dataset comparison: the demo's second use case. Applies the same
+// CycleRank query ("Fake news", K=3) across Wikipedia language
+// editions — the paper's Table III — and across yearly snapshots of
+// the same edition, showing how a topic's neighborhood differs across
+// communities and grows over time.
+//
+// Run with:
+//
+//	go run ./examples/datasetcompare
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	cyclerank "github.com/cyclerank/cyclerank-go"
+)
+
+func main() {
+	catalog, err := cyclerank.LoadCatalog()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Cross-language comparison (Table III): same concept, different
+	// communities.
+	editions := []struct{ dataset, ref string }{
+		{"dewiki-2018", "Fake News"},
+		{"enwiki-2018", "Fake news"},
+		{"frwiki-2018", "Fake news"},
+		{"itwiki-2018", "Fake news"},
+		{"nlwiki-2018", "Nepnieuws"},
+		{"plwiki-2018", "Fake news"},
+	}
+	fmt.Println("== Fake news across language editions (CycleRank, K=3) ==")
+	for _, ed := range editions {
+		top, err := cycleRankTop(ctx, catalog, ed.dataset, ed.ref, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %v\n", ed.dataset+":", top)
+	}
+
+	// Longitudinal comparison: the same edition over snapshot years.
+	// The fake-news neighborhood only exists from 2013 on and widens
+	// by 2018.
+	fmt.Println("\n== enwiki over time ==")
+	var snapshots = map[int]*cyclerank.Result{}
+	for _, year := range []int{2003, 2008, 2013, 2018} {
+		name := fmt.Sprintf("enwiki-%d", year)
+		ds, err := catalog.Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := ds.Load()
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats := cyclerank.ComputeStats(g)
+		if _, ok := g.NodeByLabel("Fake news"); !ok {
+			fmt.Printf("%s: %6d nodes, %7d edges — article does not exist yet\n",
+				name, stats.Nodes, stats.Edges)
+			continue
+		}
+		src, _ := g.NodeByLabel("Fake news")
+		res, err := cyclerank.Compute(ctx, g, src, cyclerank.Params{K: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		snapshots[year] = res
+		var top []string
+		for _, e := range res.Top(4) {
+			if e.Label != "Fake news" {
+				top = append(top, e.Label)
+			}
+		}
+		fmt.Printf("%s: %6d nodes, %7d edges — top: %v\n", name, stats.Nodes, stats.Edges, top)
+	}
+
+	// Quantify the 2013 -> 2018 movement: who entered, who rose.
+	if old, new := snapshots[2013], snapshots[2018]; old != nil && new != nil {
+		diff, err := cyclerank.DiffTopK(old, new, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n2013 -> 2018: %s\n", diff)
+		for _, e := range diff.Entered {
+			fmt.Printf("  entered at #%d: %s\n", e.NewRank, e.Label)
+		}
+		for _, e := range diff.Moved {
+			fmt.Printf("  moved %+d: %s (#%d -> #%d)\n", e.Delta(), e.Label, e.OldRank, e.NewRank)
+		}
+	}
+}
+
+// cycleRankTop loads a dataset and returns the top-3 CycleRank labels
+// around ref (the reference itself excluded).
+func cycleRankTop(ctx context.Context, catalog *cyclerank.DatasetCatalog, dataset, ref string, n int) ([]string, error) {
+	ds, err := catalog.Get(dataset)
+	if err != nil {
+		return nil, err
+	}
+	g, err := ds.Load()
+	if err != nil {
+		return nil, err
+	}
+	src, ok := g.NodeByLabel(ref)
+	if !ok {
+		return nil, fmt.Errorf("%s: reference %q not found", dataset, ref)
+	}
+	res, err := cyclerank.Compute(ctx, g, src, cyclerank.Params{K: 3})
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range res.Top(n + 1) {
+		if e.Label != ref {
+			out = append(out, e.Label)
+		}
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}

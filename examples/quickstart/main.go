@@ -1,0 +1,75 @@
+// Quickstart: build a small directed graph, run CycleRank against a
+// reference node, and contrast it with Personalized PageRank.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	cyclerank "github.com/cyclerank/cyclerank-go"
+)
+
+func main() {
+	// A toy "wikilink" graph: a band community with mutual links, and
+	// a globally famous page everyone links to but that links back to
+	// nobody.
+	b := cyclerank.NewLabeledBuilder()
+	mutual := func(a, c string) {
+		b.AddLabeledEdge(a, c)
+		b.AddLabeledEdge(c, a)
+	}
+	mutual("Freddie Mercury", "Queen (band)")
+	mutual("Freddie Mercury", "Brian May")
+	mutual("Queen (band)", "Brian May")
+	mutual("Queen (band)", "Roger Taylor")
+	mutual("Freddie Mercury", "Roger Taylor")
+	for _, page := range []string{"Freddie Mercury", "Queen (band)", "Brian May", "Roger Taylor"} {
+		b.AddLabeledEdge(page, "United States") // one-way: no backlink
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges\n\n", g.NumNodes(), g.NumEdges())
+
+	ref, ok := g.NodeByLabel("Freddie Mercury")
+	if !ok {
+		log.Fatal("reference node missing")
+	}
+
+	ctx := context.Background()
+
+	// CycleRank: relevance from mutual (cyclic) relationships.
+	cr, err := cyclerank.Compute(ctx, g, ref, cyclerank.Params{K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CycleRank (K=3, %d cycles found):\n", cr.CyclesFound)
+	for i, e := range cr.Top(5) {
+		fmt.Printf("  %d. %-16s %.4f\n", i+1, e.Label, e.Score)
+	}
+
+	// Personalized PageRank for contrast: note how the one-way famous
+	// page still captures probability mass.
+	ppr, err := cyclerank.PersonalizedPageRank(ctx, g, cyclerank.PageRankParams{
+		Alpha: 0.85,
+		Seeds: []cyclerank.NodeID{ref},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nPersonalized PageRank (alpha=0.85):")
+	for i, e := range ppr.Top(5) {
+		fmt.Printf("  %d. %-16s %.4f\n", i+1, e.Label, e.Score)
+	}
+
+	us, _ := g.NodeByLabel("United States")
+	fmt.Printf("\n\"United States\" — CycleRank: %.4f, PPR: %.4f\n", cr.Score(us), ppr.Score(us))
+	fmt.Println("CycleRank ignores the no-backlink hub; PPR promotes it.")
+}

@@ -1,0 +1,182 @@
+// Package algo defines the common Algorithm interface all relevance
+// algorithms implement, a parameter schema shared by the platform's
+// API, and a registry through which new algorithms can be plugged in —
+// the extension point the demo paper advertises ("new algorithms can
+// be easily added").
+package algo
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/ranking"
+)
+
+// Params is the union of all parameters accepted by the built-in
+// algorithms; each algorithm validates and uses the subset it
+// understands, ignoring the rest. A zero value selects every default.
+type Params struct {
+	// Source is the label of the reference node; required by
+	// personalized algorithms, ignored by global ones.
+	Source string `json:"source,omitempty"`
+	// K is CycleRank's maximum cycle length (default 3).
+	K int `json:"k,omitempty"`
+	// Scoring is CycleRank's scoring function name: exp, lin, quad or
+	// const (default exp).
+	Scoring string `json:"scoring,omitempty"`
+	// Alpha is the damping / transition probability of the PageRank
+	// family (default 0.85).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Tol is the power-iteration convergence tolerance (default 1e-10).
+	Tol float64 `json:"tol,omitempty"`
+	// MaxIter caps power iterations (default 200).
+	MaxIter int `json:"max_iter,omitempty"`
+	// Epsilon is the forward-push residual threshold (default 1e-8).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Walks is the Monte-Carlo walk count per seed (default 10000).
+	Walks int `json:"walks,omitempty"`
+	// Seed is the Monte-Carlo RNG seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// String renders the parameters compactly for logs and task listings.
+func (p Params) String() string {
+	s := ""
+	if p.Source != "" {
+		s += fmt.Sprintf("source=%q ", p.Source)
+	}
+	if p.K != 0 {
+		s += fmt.Sprintf("k=%d ", p.K)
+	}
+	if p.Scoring != "" {
+		s += fmt.Sprintf("sigma=%s ", p.Scoring)
+	}
+	if p.Alpha != 0 {
+		s += fmt.Sprintf("alpha=%g ", p.Alpha)
+	}
+	if s == "" {
+		return "defaults"
+	}
+	return s[:len(s)-1]
+}
+
+// ResolveSource maps p.Source to a node of g, reporting a descriptive
+// error when the label is missing or unknown.
+func (p Params) ResolveSource(g *graph.Graph) (graph.NodeID, error) {
+	if p.Source == "" {
+		return 0, fmt.Errorf("algo: parameter %q is required", "source")
+	}
+	id, ok := g.NodeByLabel(p.Source)
+	if !ok {
+		return 0, fmt.Errorf("algo: source node %q not found in graph", p.Source)
+	}
+	return id, nil
+}
+
+// Algorithm is a personalized or global relevance algorithm runnable
+// by the platform.
+type Algorithm interface {
+	// Name is the unique registry key, e.g. "cyclerank".
+	Name() string
+	// Description is a one-line human-readable summary shown by the
+	// UI and CLI.
+	Description() string
+	// NeedsSource reports whether the algorithm requires a reference
+	// node (Params.Source).
+	NeedsSource() bool
+	// Run executes the algorithm on g.
+	Run(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error)
+}
+
+// Registry is a concurrency-safe collection of algorithms.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]Algorithm
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Algorithm)}
+}
+
+// Register adds a to the registry, rejecting empty and duplicate
+// names.
+func (r *Registry) Register(a Algorithm) error {
+	if a == nil || a.Name() == "" {
+		return fmt.Errorf("algo: cannot register algorithm with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[a.Name()]; dup {
+		return fmt.Errorf("algo: algorithm %q already registered", a.Name())
+	}
+	r.byName[a.Name()] = a
+	return nil
+}
+
+// Get resolves a registered algorithm by name.
+func (r *Registry) Get(name string) (Algorithm, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("algo: unknown algorithm %q (available: %v)", name, r.namesLocked())
+	}
+	return a, nil
+}
+
+// Names returns the registered algorithm names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.namesLocked()
+}
+
+func (r *Registry) namesLocked() []string {
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the registered algorithms sorted by name.
+func (r *Registry) All() []Algorithm {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	algos := make([]Algorithm, 0, len(r.byName))
+	for _, name := range r.namesLocked() {
+		algos = append(algos, r.byName[name])
+	}
+	return algos
+}
+
+// Func adapts a function (plus metadata) into an Algorithm, the
+// easiest path for plugging in custom algorithms.
+type Func struct {
+	AlgoName string
+	AlgoDesc string
+	Source   bool
+	RunFunc  func(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error)
+}
+
+// Name implements Algorithm.
+func (f Func) Name() string { return f.AlgoName }
+
+// Description implements Algorithm.
+func (f Func) Description() string { return f.AlgoDesc }
+
+// NeedsSource implements Algorithm.
+func (f Func) NeedsSource() bool { return f.Source }
+
+// Run implements Algorithm.
+func (f Func) Run(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+	if f.RunFunc == nil {
+		return nil, fmt.Errorf("algo: %s has no run function", f.AlgoName)
+	}
+	return f.RunFunc(ctx, g, p)
+}

@@ -1,0 +1,227 @@
+package algo
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/ranking"
+)
+
+// demoGraph is a small labeled community + hub graph usable by every
+// algorithm: ref <-> friend1 <-> friend2 <-> ref plus a hub that is
+// pointed at by everyone but points back at no one.
+func demoGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewLabeledBuilder()
+	b.AddLabeledEdge("ref", "friend1")
+	b.AddLabeledEdge("friend1", "ref")
+	b.AddLabeledEdge("friend1", "friend2")
+	b.AddLabeledEdge("friend2", "friend1")
+	b.AddLabeledEdge("friend2", "ref")
+	b.AddLabeledEdge("ref", "friend2")
+	b.AddLabeledEdge("ref", "hub")
+	b.AddLabeledEdge("friend1", "hub")
+	b.AddLabeledEdge("friend2", "hub")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuiltinRegistryHasAllAlgorithms(t *testing.T) {
+	r := NewBuiltinRegistry()
+	want := []string{
+		Name2DRank, NameCheiRank, NameCycleRank, NamePageRank,
+		NamePCheiRank, NameP2DRank, NamePPR, NamePPRMC, NamePPRPush,
+	}
+	names := r.Names()
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d algorithms (%v), want %d", len(names), names, len(want))
+	}
+	for _, n := range want {
+		if _, err := r.Get(n); err != nil {
+			t.Errorf("Get(%q): %v", n, err)
+		}
+	}
+	if len(r.All()) != len(want) {
+		t.Errorf("All() returned %d algorithms", len(r.All()))
+	}
+}
+
+func TestEveryBuiltinRunsOnDemoGraph(t *testing.T) {
+	r := NewBuiltinRegistry()
+	g := demoGraph(t)
+	for _, a := range r.All() {
+		t.Run(a.Name(), func(t *testing.T) {
+			p := Params{}
+			if a.NeedsSource() {
+				p.Source = "ref"
+			}
+			res, err := a.Run(context.Background(), g, p)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Algorithm == "" {
+				t.Error("result has no algorithm name")
+			}
+			if len(res.Scores) != g.NumNodes() {
+				t.Errorf("got %d scores for %d nodes", len(res.Scores), g.NumNodes())
+			}
+			if a.Description() == "" {
+				t.Error("empty description")
+			}
+		})
+	}
+}
+
+func TestCycleRankExcludesHubPPRIncludesIt(t *testing.T) {
+	// The platform's raison d'être, via the registry API.
+	r := NewBuiltinRegistry()
+	g := demoGraph(t)
+	hub, _ := g.NodeByLabel("hub")
+
+	cr, err := Run(context.Background(), r, NameCycleRank, g, Params{Source: "ref"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppr, err := Run(context.Background(), r, NamePPR, g, Params{Source: "ref"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Score(hub) != 0 {
+		t.Errorf("cyclerank scored the no-backlink hub: %v", cr.Score(hub))
+	}
+	if ppr.Score(hub) == 0 {
+		t.Error("ppr did not leak to the hub (expected PPR bias)")
+	}
+}
+
+func TestRunValidatesSourceRequirement(t *testing.T) {
+	r := NewBuiltinRegistry()
+	g := demoGraph(t)
+	if _, err := Run(context.Background(), r, NameCycleRank, g, Params{}); err == nil {
+		t.Error("cyclerank ran without a source")
+	}
+	if _, err := Run(context.Background(), r, NamePageRank, g, Params{}); err != nil {
+		t.Errorf("pagerank without source failed: %v", err)
+	}
+	if _, err := Run(context.Background(), r, "no-such-algo", g, Params{}); err == nil {
+		t.Error("unknown algorithm did not error")
+	}
+}
+
+func TestResolveSourceErrors(t *testing.T) {
+	g := demoGraph(t)
+	if _, err := (Params{}).ResolveSource(g); err == nil {
+		t.Error("empty source resolved")
+	}
+	if _, err := (Params{Source: "nobody"}).ResolveSource(g); err == nil {
+		t.Error("unknown source resolved")
+	}
+	id, err := (Params{Source: "ref"}).ResolveSource(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Label(id); got != "ref" {
+		t.Errorf("resolved label = %q", got)
+	}
+}
+
+func TestCycleRankParamPassing(t *testing.T) {
+	g := demoGraph(t)
+	r := NewBuiltinRegistry()
+	// Bad scoring name must surface as an error.
+	if _, err := Run(context.Background(), r, NameCycleRank, g, Params{Source: "ref", Scoring: "bogus"}); err == nil {
+		t.Error("bogus scoring accepted")
+	}
+	// Explicit K=2 counts only 2-cycles.
+	res, err := Run(context.Background(), r, NameCycleRank, g, Params{Source: "ref", K: 2, Scoring: "const"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := g.NodeByLabel("friend2")
+	if res.Score(f2) != 1 { // exactly one 2-cycle ref<->friend2
+		t.Errorf("friend2 score = %v, want 1 (one 2-cycle, const scoring)", res.Score(f2))
+	}
+}
+
+func TestRegistryRegisterErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(nil); err == nil {
+		t.Error("registered nil algorithm")
+	}
+	if err := r.Register(Func{}); err == nil {
+		t.Error("registered empty-name algorithm")
+	}
+	a := Func{AlgoName: "x", AlgoDesc: "d"}
+	if err := r.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(a); err == nil {
+		t.Error("registered duplicate name")
+	}
+}
+
+func TestCustomAlgorithmPluggable(t *testing.T) {
+	// Register an "in-degree" algorithm and run it through the same
+	// path as the builtins — the paper's extensibility claim.
+	r := NewBuiltinRegistry()
+	custom := Func{
+		AlgoName: "indegree",
+		AlgoDesc: "rank nodes by raw in-degree",
+		RunFunc: func(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+			scores := make([]float64, g.NumNodes())
+			for v := range scores {
+				scores[v] = float64(g.InDegree(graph.NodeID(v)))
+			}
+			return ranking.NewResult("indegree", g, scores)
+		},
+	}
+	if err := r.Register(custom); err != nil {
+		t.Fatal(err)
+	}
+	g := demoGraph(t)
+	res, err := Run(context.Background(), r, "indegree", g, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Top(1)[0].Label != "hub" {
+		t.Errorf("indegree top = %v, want hub", res.Top(1))
+	}
+}
+
+func TestFuncWithoutRunFunc(t *testing.T) {
+	f := Func{AlgoName: "broken"}
+	if _, err := f.Run(context.Background(), demoGraph(t), Params{}); err == nil {
+		t.Error("nil RunFunc did not error")
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	if got := (Params{}).String(); got != "defaults" {
+		t.Errorf("zero Params.String = %q", got)
+	}
+	s := Params{Source: "Pasta", K: 3, Scoring: "exp", Alpha: 0.3}.String()
+	for _, want := range []string{"Pasta", "k=3", "sigma=exp", "alpha=0.3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Params.String %q missing %q", s, want)
+		}
+	}
+}
+
+func TestPPRPushAndMCDefaults(t *testing.T) {
+	r := NewBuiltinRegistry()
+	g := demoGraph(t)
+	for _, name := range []string{NamePPRPush, NamePPRMC} {
+		res, err := Run(context.Background(), r, name, g, Params{Source: "ref"})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Score(0) == 0 && res.Sum() == 0 {
+			t.Errorf("%s produced an all-zero result", name)
+		}
+	}
+}

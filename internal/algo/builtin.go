@@ -1,0 +1,216 @@
+package algo
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/cyclerank/cyclerank-go/internal/core"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/pagerank"
+	"github.com/cyclerank/cyclerank-go/internal/ranking"
+)
+
+// Names of the seven algorithms showcased in the demo, plus the two
+// experimental approximate PPR engines.
+const (
+	NameCycleRank = "cyclerank"
+	NamePageRank  = "pagerank"
+	NamePPR       = "ppr"
+	NameCheiRank  = "cheirank"
+	NamePCheiRank = "pcheirank"
+	Name2DRank    = "2drank"
+	NameP2DRank   = "p2drank"
+	NamePPRPush   = "ppr-push"
+	NamePPRMC     = "ppr-mc"
+)
+
+// Default parameter values applied when Params fields are zero.
+const (
+	DefaultEpsilon = 1e-8
+	DefaultWalks   = 10000
+	DefaultMCSeed  = 1
+)
+
+// NewBuiltinRegistry returns a registry pre-populated with all
+// built-in algorithms.
+func NewBuiltinRegistry() *Registry {
+	r := NewRegistry()
+	for _, a := range Builtins() {
+		if err := r.Register(a); err != nil {
+			// Builtins have unique hard-coded names; a failure here is
+			// a programming error, not a runtime condition.
+			panic(err)
+		}
+	}
+	return r
+}
+
+// Builtins returns fresh instances of every built-in algorithm.
+func Builtins() []Algorithm {
+	return []Algorithm{
+		Func{
+			AlgoName: NameCycleRank,
+			AlgoDesc: "CycleRank: personalized relevance from elementary cycles through the reference node (Consonni et al. 2020)",
+			Source:   true,
+			RunFunc:  runCycleRank,
+		},
+		Func{
+			AlgoName: NamePageRank,
+			AlgoDesc: "PageRank: global relevance as the stationary visit probability of a damped random surfer (Page et al. 1999)",
+			RunFunc: func(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+				return pagerank.PageRank(ctx, g, prParams(p, nil))
+			},
+		},
+		Func{
+			AlgoName: NamePPR,
+			AlgoDesc: "Personalized PageRank: random walks restarting at the reference node",
+			Source:   true,
+			RunFunc: func(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+				src, err := p.ResolveSource(g)
+				if err != nil {
+					return nil, err
+				}
+				return pagerank.Personalized(ctx, g, prParams(p, []graph.NodeID{src}))
+			},
+		},
+		Func{
+			AlgoName: NameCheiRank,
+			AlgoDesc: "CheiRank: PageRank on the transposed graph, ranking by outgoing connectivity (Chepelianskii 2010)",
+			RunFunc: func(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+				return pagerank.CheiRank(ctx, g, prParams(p, nil))
+			},
+		},
+		Func{
+			AlgoName: NamePCheiRank,
+			AlgoDesc: "Personalized CheiRank: Personalized PageRank on the transposed graph",
+			Source:   true,
+			RunFunc: func(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+				src, err := p.ResolveSource(g)
+				if err != nil {
+					return nil, err
+				}
+				return pagerank.PersonalizedCheiRank(ctx, g, prParams(p, []graph.NodeID{src}))
+			},
+		},
+		Func{
+			AlgoName: Name2DRank,
+			AlgoDesc: "2DRank: combined PageRank/CheiRank square-sweep ranking (Zhirov et al. 2010)",
+			RunFunc: func(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+				return pagerank.TwoDRank(ctx, g, prParams(p, nil))
+			},
+		},
+		Func{
+			AlgoName: NameP2DRank,
+			AlgoDesc: "Personalized 2DRank: 2DRank over personalized PageRank and CheiRank orderings",
+			Source:   true,
+			RunFunc: func(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+				src, err := p.ResolveSource(g)
+				if err != nil {
+					return nil, err
+				}
+				return pagerank.PersonalizedTwoDRank(ctx, g, prParams(p, []graph.NodeID{src}))
+			},
+		},
+		Func{
+			AlgoName: NamePPRPush,
+			AlgoDesc: "Approximate Personalized PageRank by local forward push (Andersen-Chung-Lang 2006); experimental",
+			Source:   true,
+			RunFunc: func(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+				src, err := p.ResolveSource(g)
+				if err != nil {
+					return nil, err
+				}
+				alpha := p.Alpha
+				if alpha == 0 {
+					alpha = pagerank.DefaultAlpha
+				}
+				eps := p.Epsilon
+				if eps == 0 {
+					eps = DefaultEpsilon
+				}
+				return pagerank.PushPPR(ctx, g, pagerank.PushParams{
+					Alpha:   1 - alpha, // push uses stop probability
+					Epsilon: eps,
+					Seeds:   []graph.NodeID{src},
+				})
+			},
+		},
+		Func{
+			AlgoName: NamePPRMC,
+			AlgoDesc: "Approximate Personalized PageRank by Monte-Carlo random walks; experimental",
+			Source:   true,
+			RunFunc: func(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+				src, err := p.ResolveSource(g)
+				if err != nil {
+					return nil, err
+				}
+				alpha := p.Alpha
+				if alpha == 0 {
+					alpha = pagerank.DefaultAlpha
+				}
+				walks := p.Walks
+				if walks == 0 {
+					walks = DefaultWalks
+				}
+				seed := p.Seed
+				if seed == 0 {
+					seed = DefaultMCSeed
+				}
+				return pagerank.MonteCarloPPR(ctx, g, pagerank.MCParams{
+					Alpha: alpha,
+					Walks: walks,
+					Seeds: []graph.NodeID{src},
+					Seed:  seed,
+				})
+			},
+		},
+	}
+}
+
+func runCycleRank(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+	src, err := p.ResolveSource(g)
+	if err != nil {
+		return nil, err
+	}
+	k := p.K
+	if k == 0 {
+		k = core.DefaultK
+	}
+	name := p.Scoring
+	if name == "" {
+		name = core.ScoringExponential
+	}
+	fn, err := core.ScoringByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.Compute(ctx, g, src, core.Params{K: k, Scoring: fn, ScoringName: name})
+}
+
+// prParams translates the shared Params into pagerank.Params with
+// defaults applied.
+func prParams(p Params, seeds []graph.NodeID) pagerank.Params {
+	alpha := p.Alpha
+	if alpha == 0 {
+		alpha = pagerank.DefaultAlpha
+	}
+	return pagerank.Params{
+		Alpha:   alpha,
+		Tol:     p.Tol,
+		MaxIter: p.MaxIter,
+		Seeds:   seeds,
+	}
+}
+
+// Run is a convenience: resolve name in r and execute it, validating
+// the source requirement up front for a clearer error.
+func Run(ctx context.Context, r *Registry, name string, g *graph.Graph, p Params) (*ranking.Result, error) {
+	a, err := r.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if a.NeedsSource() && p.Source == "" {
+		return nil, fmt.Errorf("algo: %s requires a source node", name)
+	}
+	return a.Run(ctx, g, p)
+}

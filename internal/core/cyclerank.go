@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/ranking"
+)
+
+// DefaultK is the maximum cycle length used by the demo when the user
+// does not override it (the paper uses K=3 on Wikipedia and K=5 on the
+// sparser Amazon co-purchase graph).
+const DefaultK = 3
+
+// Params configures a CycleRank computation.
+type Params struct {
+	// K is the maximum cycle length considered; it must be at least 2
+	// (a cycle needs two edges).
+	K int
+	// Scoring weights each cycle by its length; nil means the paper
+	// default σ(n)=e^(−n).
+	Scoring ScoringFunc
+	// ScoringName records which named function Scoring is, for result
+	// metadata; it is informational only.
+	ScoringName string
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.K < 2 {
+		return fmt.Errorf("core: K=%d, need K >= 2 for cycles to exist", p.K)
+	}
+	return nil
+}
+
+func (p Params) scoring() ScoringFunc {
+	if p.Scoring != nil {
+		return p.Scoring
+	}
+	fn := scoringFuncs[ScoringExponential]
+	return fn
+}
+
+// Compute runs CycleRank on g with reference node r.
+//
+// The algorithm follows the reference implementation's two phases:
+//
+//  1. Prune: bounded BFS from r over out-edges gives dOut[v] (shortest
+//     r→v distance); bounded BFS over in-edges gives dIn[v] (shortest
+//     v→r distance). Any cycle through r that visits v has length at
+//     least dOut[v]+dIn[v], so nodes where that sum exceeds K can never
+//     contribute and are removed.
+//  2. Enumerate: an iterative DFS from r over the pruned subgraph
+//     generates every elementary cycle of length ≤ K through r exactly
+//     once, extending a path at v with edge (v,w) only when
+//     len(path)+1+dIn[w] ≤ K. Each discovered cycle of length n adds
+//     σ(n) to every node on it.
+//
+// The context is checked periodically so long enumerations can be
+// cancelled; ctx == nil means context.Background().
+func Compute(ctx context.Context, g *graph.Graph, r graph.NodeID, p Params) (*ranking.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.ValidNode(r) {
+		return nil, fmt.Errorf("core: reference node %d not in graph (N=%d)", r, g.NumNodes())
+	}
+	scoring := p.scoring()
+
+	scores := make([]float64, g.NumNodes())
+	cycles, err := enumerate(ctx, g, r, p.K, func(path []graph.NodeID) {
+		w := scoring(len(path))
+		for _, v := range path {
+			scores[v] += w
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res, err := ranking.NewResult("cyclerank", g, scores)
+	if err != nil {
+		return nil, err
+	}
+	res.CyclesFound = cycles
+	return res, nil
+}
+
+// CountCycles returns the number of elementary cycles of length ≤ k
+// through r, without scoring. It powers the K-sweep ablation.
+func CountCycles(ctx context.Context, g *graph.Graph, r graph.NodeID, k int) (int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if k < 2 {
+		return 0, fmt.Errorf("core: K=%d, need K >= 2", k)
+	}
+	if !g.ValidNode(r) {
+		return 0, fmt.Errorf("core: reference node %d not in graph (N=%d)", r, g.NumNodes())
+	}
+	return enumerate(ctx, g, r, k, func([]graph.NodeID) {})
+}
+
+// cancelCheckInterval is how many DFS edge expansions pass between
+// context cancellation checks.
+const cancelCheckInterval = 1 << 14
+
+// enumerate generates every elementary cycle of length ≤ k through r
+// and calls emit with the node path (cycle nodes in order, starting at
+// r; the closing edge back to r is implicit). The path slice is reused
+// between calls — emit must not retain it.
+func enumerate(ctx context.Context, g *graph.Graph, r graph.NodeID, k int, emit func(path []graph.NodeID)) (int64, error) {
+	// Phase 1: distance pruning.
+	dOut := graph.BFSFrom(g, r, k-1)
+	dIn := graph.BFSTo(g, r, k-1)
+
+	alive := func(v graph.NodeID) bool {
+		return dOut[v] != graph.Unreachable &&
+			dIn[v] != graph.Unreachable &&
+			int(dOut[v])+int(dIn[v]) <= k
+	}
+
+	// Quick exit: r participates in no short cycle at all when no
+	// in-neighbor of r is alive.
+	anyReturn := false
+	for _, w := range g.In(r) {
+		if w == r || alive(w) {
+			anyReturn = true
+			break
+		}
+	}
+	if !anyReturn {
+		return 0, nil
+	}
+
+	// Phase 2: iterative DFS over simple paths from r.
+	type frame struct {
+		node graph.NodeID
+		next int // index into Out(node)
+	}
+	var (
+		cycles int64
+		steps  int64
+		path   = make([]graph.NodeID, 1, k)
+		stack  = make([]frame, 1, k)
+		onPath = make([]bool, g.NumNodes())
+	)
+	path[0] = r
+	stack[0] = frame{node: r}
+	onPath[r] = true
+
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		v := top.node
+		adj := g.Out(v)
+
+		// path holds the nodes of the current simple path starting at
+		// r, so it represents len(path)-1 edges; extending with (v,w)
+		// makes it len(path) edges, and closing to r yields a cycle of
+		// exactly len(path) edges.
+		extended := false
+		for top.next < len(adj) {
+			w := adj[top.next]
+			top.next++
+			steps++
+			if steps%cancelCheckInterval == 0 {
+				select {
+				case <-ctx.Done():
+					return cycles, fmt.Errorf("core: enumeration cancelled: %w", ctx.Err())
+				default:
+				}
+			}
+			if w == r {
+				// Closing edge: cycle of length len(path) edges.
+				n := len(path)
+				if n >= 2 && n <= k {
+					cycles++
+					emit(path)
+				}
+				continue
+			}
+			if onPath[w] || !alive(w) {
+				continue
+			}
+			// Prune: the cheapest completion via w uses len(path) edges
+			// to reach w plus dIn[w] edges back to r.
+			if len(path)+int(dIn[w]) > k {
+				continue
+			}
+			// Descend.
+			path = append(path, w)
+			onPath[w] = true
+			stack = append(stack, frame{node: w})
+			extended = true
+			break
+		}
+		if extended {
+			continue
+		}
+		if top.next >= len(adj) {
+			// Backtrack.
+			onPath[v] = false
+			path = path[:len(path)-1]
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return cycles, nil
+}

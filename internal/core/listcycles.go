@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// Cycle is one elementary cycle through the reference node, stored as
+// the node sequence starting at the reference (the closing edge back
+// to it is implicit).
+type Cycle struct {
+	Nodes []graph.NodeID
+}
+
+// Len returns the cycle's length in edges.
+func (c Cycle) Len() int { return len(c.Nodes) }
+
+// Labels renders the cycle through the graph's label table, appending
+// the reference again at the end to show the closure.
+func (c Cycle) Labels(g *graph.Graph) []string {
+	out := make([]string, 0, len(c.Nodes)+1)
+	for _, v := range c.Nodes {
+		out = append(out, g.Label(v))
+	}
+	if len(c.Nodes) > 0 {
+		out = append(out, g.Label(c.Nodes[0]))
+	}
+	return out
+}
+
+// ListCycles enumerates up to limit elementary cycles of length ≤ K
+// through r, shortest first — the explanation view a UI shows when a
+// user asks *why* a node is ranked ("which cycles connect me to it?").
+// limit ≤ 0 means no cap. The total cycle count (not capped) is
+// returned alongside.
+func ListCycles(ctx context.Context, g *graph.Graph, r graph.NodeID, p Params, limit int) ([]Cycle, int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if !g.ValidNode(r) {
+		return nil, 0, fmt.Errorf("core: reference node %d not in graph (N=%d)", r, g.NumNodes())
+	}
+	var cycles []Cycle
+	total, err := enumerate(ctx, g, r, p.K, func(path []graph.NodeID) {
+		if limit > 0 && len(cycles) >= limit {
+			return
+		}
+		nodes := make([]graph.NodeID, len(path))
+		copy(nodes, path)
+		cycles = append(cycles, Cycle{Nodes: nodes})
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	sort.SliceStable(cycles, func(i, j int) bool {
+		if cycles[i].Len() != cycles[j].Len() {
+			return cycles[i].Len() < cycles[j].Len()
+		}
+		return lessNodeSeq(cycles[i].Nodes, cycles[j].Nodes)
+	})
+	return cycles, total, nil
+}
+
+func lessNodeSeq(a, b []graph.NodeID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// CyclesThrough reports, for a particular node i, up to limit cycles
+// containing both r and i — the drill-down behind a single table row.
+func CyclesThrough(ctx context.Context, g *graph.Graph, r, i graph.NodeID, p Params, limit int) ([]Cycle, error) {
+	if !g.ValidNode(i) {
+		return nil, fmt.Errorf("core: node %d not in graph (N=%d)", i, g.NumNodes())
+	}
+	all, _, err := ListCycles(ctx, g, r, p, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []Cycle
+	for _, c := range all {
+		for _, v := range c.Nodes {
+			if v == i {
+				out = append(out, c)
+				break
+			}
+		}
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}

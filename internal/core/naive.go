@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/ranking"
+)
+
+// NaiveScores computes CycleRank by exhaustive depth-first search over
+// every simple path from r, with no distance pruning. It is
+// exponentially slower than Compute and exists purely as a test
+// oracle: property tests assert that Compute and NaiveScores agree on
+// random graphs. It also returns the per-length cycle census.
+func NaiveScores(g *graph.Graph, r graph.NodeID, p Params) (*ranking.Result, []int64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if !g.ValidNode(r) {
+		return nil, nil, fmt.Errorf("core: reference node %d not in graph (N=%d)", r, g.NumNodes())
+	}
+	scoring := p.scoring()
+	scores := make([]float64, g.NumNodes())
+	census := make([]int64, p.K+1) // census[n] = cycles of length n
+	onPath := make([]bool, g.NumNodes())
+	path := []graph.NodeID{r}
+	onPath[r] = true
+
+	var dfs func(v graph.NodeID)
+	dfs = func(v graph.NodeID) {
+		for _, w := range g.Out(v) {
+			if w == r {
+				n := len(path)
+				if n >= 2 && n <= p.K {
+					census[n]++
+					weight := scoring(n)
+					for _, u := range path {
+						scores[u] += weight
+					}
+				}
+				continue
+			}
+			if onPath[w] || len(path) >= p.K {
+				continue
+			}
+			onPath[w] = true
+			path = append(path, w)
+			dfs(w)
+			path = path[:len(path)-1]
+			onPath[w] = false
+		}
+	}
+	dfs(r)
+
+	res, err := ranking.NewResult("cyclerank-naive", g, scores)
+	if err != nil {
+		return nil, nil, err
+	}
+	var total int64
+	for _, c := range census {
+		total += c
+	}
+	res.CyclesFound = total
+	return res, census, nil
+}
+
+// CycleCensus returns, for each length n in [2, k], the number of
+// elementary cycles of length n through r, computed with the pruned
+// enumerator. It backs the K-sweep ablation experiment.
+func CycleCensus(ctx context.Context, g *graph.Graph, r graph.NodeID, k int) ([]int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("core: K=%d, need K >= 2", k)
+	}
+	if !g.ValidNode(r) {
+		return nil, fmt.Errorf("core: reference node %d not in graph (N=%d)", r, g.NumNodes())
+	}
+	census := make([]int64, k+1)
+	_, err := enumerate(ctx, g, r, k, func(path []graph.NodeID) {
+		census[len(path)]++
+	})
+	if err != nil {
+		return nil, err
+	}
+	return census, nil
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/ranking"
+)
+
+// ComputeParallel runs CycleRank using several goroutines, one unit of
+// work per first-hop branch out of the reference node.
+//
+// Every elementary cycle through r starts with exactly one edge
+// (r, w), so partitioning the enumeration by first hop covers each
+// cycle exactly once with no coordination between workers; per-worker
+// score vectors are summed at the end. Workers ≤ 0 selects GOMAXPROCS.
+//
+// For reference nodes with small out-degree or small K the goroutine
+// overhead can exceed the win — Compute remains the right default;
+// this entry point exists for the hub-adjacent heavy queries the demo
+// platform off-loads to its executor pool, and is exercised by the
+// scalability ablation.
+func ComputeParallel(ctx context.Context, g *graph.Graph, r graph.NodeID, p Params, workers int) (*ranking.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.ValidNode(r) {
+		return nil, fmt.Errorf("core: reference node %d not in graph (N=%d)", r, g.NumNodes())
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	scoring := p.scoring()
+
+	// Shared pruning pass (read-only afterwards).
+	dOut := graph.BFSFrom(g, r, p.K-1)
+	dIn := graph.BFSTo(g, r, p.K-1)
+
+	firstHops := g.Out(r)
+	type partial struct {
+		scores []float64
+		cycles int64
+		err    error
+	}
+	jobs := make(chan graph.NodeID)
+	results := make(chan partial, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := partial{scores: make([]float64, g.NumNodes())}
+			for first := range jobs {
+				n, err := enumerateBranch(ctx, g, r, first, p.K, dOut, dIn, func(path []graph.NodeID) {
+					weight := scoring(len(path))
+					for _, v := range path {
+						out.scores[v] += weight
+					}
+				})
+				out.cycles += n
+				if err != nil {
+					out.err = err
+					break
+				}
+			}
+			results <- out
+		}()
+	}
+
+	go func() {
+		defer close(jobs)
+		for _, w := range firstHops {
+			select {
+			case jobs <- w:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(results)
+
+	scores := make([]float64, g.NumNodes())
+	var cycles int64
+	var firstErr error
+	for part := range results {
+		if part.err != nil && firstErr == nil {
+			firstErr = part.err
+		}
+		cycles += part.cycles
+		for v, s := range part.scores {
+			scores[v] += s
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: parallel enumeration cancelled: %w", err)
+	}
+
+	res, err := ranking.NewResult("cyclerank", g, scores)
+	if err != nil {
+		return nil, err
+	}
+	res.CyclesFound = cycles
+	return res, nil
+}
+
+// enumerateBranch enumerates the elementary cycles through r whose
+// first edge is (r, first), using the shared pruning arrays.
+func enumerateBranch(ctx context.Context, g *graph.Graph, r, first graph.NodeID, k int, dOut, dIn []int32, emit func([]graph.NodeID)) (int64, error) {
+	alive := func(v graph.NodeID) bool {
+		return dOut[v] != graph.Unreachable &&
+			dIn[v] != graph.Unreachable &&
+			int(dOut[v])+int(dIn[v]) <= k
+	}
+	if first == r {
+		return 0, nil // self-loop: length-1 cycles are excluded by definition
+	}
+	if !alive(first) || 1+int(dIn[first]) > k {
+		return 0, nil
+	}
+
+	type frame struct {
+		node graph.NodeID
+		next int
+	}
+	var (
+		cycles int64
+		steps  int64
+		path   = make([]graph.NodeID, 2, k)
+		stack  = make([]frame, 1, k)
+		onPath = make([]bool, g.NumNodes())
+	)
+	path[0], path[1] = r, first
+	stack[0] = frame{node: first}
+	onPath[r], onPath[first] = true, true
+
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		v := top.node
+		adj := g.Out(v)
+		extended := false
+		for top.next < len(adj) {
+			w := adj[top.next]
+			top.next++
+			steps++
+			if steps%cancelCheckInterval == 0 {
+				select {
+				case <-ctx.Done():
+					return cycles, fmt.Errorf("core: enumeration cancelled: %w", ctx.Err())
+				default:
+				}
+			}
+			if w == r {
+				n := len(path)
+				if n >= 2 && n <= k {
+					cycles++
+					emit(path)
+				}
+				continue
+			}
+			if onPath[w] || !alive(w) || len(path)+int(dIn[w]) > k {
+				continue
+			}
+			path = append(path, w)
+			onPath[w] = true
+			stack = append(stack, frame{node: w})
+			extended = true
+			break
+		}
+		if extended {
+			continue
+		}
+		if top.next >= len(adj) {
+			onPath[v] = false
+			path = path[:len(path)-1]
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return cycles, nil
+}
+
+// ComputeMulti runs CycleRank for several reference nodes and returns
+// the per-node sum of their scores — the natural extension to query
+// sets of nodes ("one can specify one or more nodes as query" in the
+// demo's PPR description; this gives CycleRank the same capability).
+func ComputeMulti(ctx context.Context, g *graph.Graph, refs []graph.NodeID, p Params) (*ranking.Result, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("core: ComputeMulti needs at least one reference node")
+	}
+	total := make([]float64, g.NumNodes())
+	var cycles int64
+	for _, r := range refs {
+		res, err := Compute(ctx, g, r, p)
+		if err != nil {
+			return nil, err
+		}
+		cycles += res.CyclesFound
+		for v, s := range res.Scores {
+			total[v] += s
+		}
+	}
+	res, err := ranking.NewResult("cyclerank-multi", g, total)
+	if err != nil {
+		return nil, err
+	}
+	res.CyclesFound = cycles
+	return res, nil
+}

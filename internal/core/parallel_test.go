@@ -1,0 +1,189 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// Property: parallel and sequential CycleRank agree exactly (scores
+// and cycle counts) on random graphs for every worker count.
+func TestParallelMatchesSequentialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(15)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*4; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		r := graph.NodeID(rng.Intn(n))
+		k := 2 + rng.Intn(4)
+		seq, err := Compute(nil, g, r, Params{K: k})
+		if err != nil {
+			return false
+		}
+		for _, workers := range []int{1, 2, 4} {
+			par, err := ComputeParallel(nil, g, r, Params{K: k}, workers)
+			if err != nil {
+				return false
+			}
+			if par.CyclesFound != seq.CyclesFound {
+				t.Logf("seed %d workers %d: cycles %d vs %d", seed, workers, par.CyclesFound, seq.CyclesFound)
+				return false
+			}
+			for v := range seq.Scores {
+				if math.Abs(par.Scores[v]-seq.Scores[v]) > 1e-9 {
+					t.Logf("seed %d workers %d: score[%d] %v vs %v", seed, workers, v, par.Scores[v], seq.Scores[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	g := mustGraph(t, 2, []graph.Edge{edge(0, 1), edge(1, 0)})
+	if _, err := ComputeParallel(nil, g, 0, Params{K: 1}, 2); err == nil {
+		t.Error("accepted K=1")
+	}
+	if _, err := ComputeParallel(nil, g, 9, Params{K: 3}, 2); err == nil {
+		t.Error("accepted bad reference")
+	}
+	// Default worker count path.
+	res, err := ComputeParallel(nil, g, 0, Params{K: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CyclesFound != 1 {
+		t.Errorf("cycles = %d", res.CyclesFound)
+	}
+}
+
+func TestParallelCancellation(t *testing.T) {
+	g := completeDigraph(t, 12)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ComputeParallel(ctx, g, 0, Params{K: 12}, 4); err == nil {
+		t.Error("cancelled parallel computation returned no error")
+	}
+}
+
+func TestParallelSelfLoopBranch(t *testing.T) {
+	// A self-loop at the reference creates a first-hop branch back to
+	// r itself; it must contribute no cycles (length-1 excluded).
+	g := mustGraph(t, 2, []graph.Edge{edge(0, 0), edge(0, 1), edge(1, 0)})
+	res, err := ComputeParallel(nil, g, 0, Params{K: 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CyclesFound != 1 {
+		t.Errorf("cycles = %d, want 1", res.CyclesFound)
+	}
+}
+
+func TestComputeMulti(t *testing.T) {
+	// Two disjoint mutual pairs; multi over both references covers
+	// both cycles.
+	g := mustGraph(t, 4, []graph.Edge{edge(0, 1), edge(1, 0), edge(2, 3), edge(3, 2)})
+	res, err := ComputeMulti(nil, g, []graph.NodeID{0, 2}, Params{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CyclesFound != 2 {
+		t.Errorf("cycles = %d, want 2", res.CyclesFound)
+	}
+	if res.Scores[1] == 0 || res.Scores[3] == 0 {
+		t.Error("multi-reference scores missing")
+	}
+	if _, err := ComputeMulti(nil, g, nil, Params{K: 2}); err == nil {
+		t.Error("accepted empty reference set")
+	}
+	if _, err := ComputeMulti(nil, g, []graph.NodeID{99}, Params{K: 2}); err == nil {
+		t.Error("accepted invalid reference")
+	}
+}
+
+func TestListCycles(t *testing.T) {
+	// Cycles through 0: (0,1) len 2 and (0,1,2) len 3.
+	g := mustGraph(t, 3, []graph.Edge{edge(0, 1), edge(1, 0), edge(1, 2), edge(2, 0)})
+	cycles, total, err := ListCycles(nil, g, 0, Params{K: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || len(cycles) != 2 {
+		t.Fatalf("total=%d listed=%d", total, len(cycles))
+	}
+	// Shortest first.
+	if cycles[0].Len() != 2 || cycles[1].Len() != 3 {
+		t.Errorf("lengths = %d, %d", cycles[0].Len(), cycles[1].Len())
+	}
+	labels := cycles[0].Labels(g)
+	if len(labels) != 3 || labels[0] != labels[len(labels)-1] {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestListCyclesLimit(t *testing.T) {
+	g := completeDigraph(t, 5)
+	cycles, total, err := ListCycles(nil, g, 0, Params{K: 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cycles) != 3 {
+		t.Errorf("listed %d cycles with limit 3", len(cycles))
+	}
+	if total <= 3 {
+		t.Errorf("total = %d, expected full count beyond limit", total)
+	}
+}
+
+func TestListCyclesValidation(t *testing.T) {
+	g := mustGraph(t, 2, []graph.Edge{edge(0, 1)})
+	if _, _, err := ListCycles(nil, g, 0, Params{K: 0}, 0); err == nil {
+		t.Error("accepted K=0")
+	}
+	if _, _, err := ListCycles(nil, g, 7, Params{K: 3}, 0); err == nil {
+		t.Error("accepted invalid reference")
+	}
+}
+
+func TestCyclesThrough(t *testing.T) {
+	g := mustGraph(t, 3, []graph.Edge{edge(0, 1), edge(1, 0), edge(1, 2), edge(2, 0)})
+	through2, err := CyclesThrough(nil, g, 0, 2, Params{K: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(through2) != 1 || through2[0].Len() != 3 {
+		t.Errorf("cycles through node 2: %v", through2)
+	}
+	if _, err := CyclesThrough(nil, g, 0, 99, Params{K: 3}, 0); err == nil {
+		t.Error("accepted invalid node")
+	}
+	limited, err := CyclesThrough(nil, g, 0, 1, Params{K: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 1 {
+		t.Errorf("limit ignored: %d", len(limited))
+	}
+}
+
+func TestLabelsOfEmptyCycle(t *testing.T) {
+	var c Cycle
+	g := mustGraph(t, 1, nil)
+	if got := c.Labels(g); len(got) != 0 {
+		t.Errorf("empty cycle labels = %v", got)
+	}
+}

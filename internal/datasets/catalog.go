@@ -1,0 +1,174 @@
+package datasets
+
+import (
+	"fmt"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// BuiltinCatalog returns the platform's 50 pre-loaded datasets: 36
+// WikiLinkGraphs snapshots (9 languages × 4 years), the Amazon
+// co-purchase graph, two Twitter crawls, and 11 synthetic benchmark
+// graphs.
+func BuiltinCatalog() (*Catalog, error) {
+	var ds []Dataset
+
+	for _, lang := range WikiLanguages() {
+		for _, year := range WikiYears() {
+			lang, year := lang, year
+			sources := wikiSuggestedSources(lang, year)
+			ds = append(ds, Dataset{
+				Name: fmt.Sprintf("%swiki-%d", lang, year),
+				Kind: "wikilink",
+				Description: fmt.Sprintf(
+					"Synthetic WikiLinkGraphs snapshot: %s Wikipedia as of %d-03-01", lang, year),
+				SuggestedSources: sources,
+				generate: func() (*graph.Graph, error) {
+					return GenerateWiki(WikiConfig{Language: lang, Year: year})
+				},
+			})
+		}
+	}
+
+	ds = append(ds, Dataset{
+		Name:             "amazon",
+		Kind:             "amazon",
+		Description:      "Synthetic Amazon co-purchase network (customers who bought X also bought Y)",
+		SuggestedSources: []string{"1984", "The Fellowship of the Ring"},
+		generate: func() (*graph.Graph, error) {
+			return GenerateAmazon(AmazonConfig{})
+		},
+	})
+
+	for _, topic := range TwitterTopics() {
+		topic := topic
+		desc := "Synthetic Twitter interaction network: COP27 climate conference"
+		if topic == "8m" {
+			desc = "Synthetic Twitter interaction network: 8th of March, International Women's Day"
+		}
+		ds = append(ds, Dataset{
+			Name:             "twitter-" + topic,
+			Kind:             "twitter",
+			Description:      desc,
+			SuggestedSources: []string{fmt.Sprintf("%s_organizer_00", topic)},
+			generate: func() (*graph.Graph, error) {
+				return GenerateTwitter(TwitterConfig{Topic: topic})
+			},
+		})
+	}
+
+	synthetic := []Dataset{
+		{
+			Name: "ba-small", Kind: "synthetic",
+			Description: "Preferential attachment, 1k nodes, 25% reciprocity",
+			generate: func() (*graph.Graph, error) {
+				return PreferentialAttachment(1000, 4, 0.25, 1)
+			},
+		},
+		{
+			Name: "ba-medium", Kind: "synthetic",
+			Description: "Preferential attachment, 10k nodes, 25% reciprocity",
+			generate: func() (*graph.Graph, error) {
+				return PreferentialAttachment(10000, 4, 0.25, 2)
+			},
+		},
+		{
+			Name: "ba-large", Kind: "synthetic",
+			Description: "Preferential attachment, 50k nodes, 25% reciprocity",
+			generate: func() (*graph.Graph, error) {
+				return PreferentialAttachment(50000, 4, 0.25, 3)
+			},
+		},
+		{
+			Name: "ba-reciprocal", Kind: "synthetic",
+			Description: "Preferential attachment, 5k nodes, 75% reciprocity (cycle-rich)",
+			generate: func() (*graph.Graph, error) {
+				return PreferentialAttachment(5000, 4, 0.75, 4)
+			},
+		},
+		{
+			Name: "er-sparse", Kind: "synthetic",
+			Description: "Erdős–Rényi G(2000, 0.002)",
+			generate: func() (*graph.Graph, error) {
+				return ErdosRenyi(2000, 0.002, 5)
+			},
+		},
+		{
+			Name: "er-dense", Kind: "synthetic",
+			Description: "Erdős–Rényi G(500, 0.05)",
+			generate: func() (*graph.Graph, error) {
+				return ErdosRenyi(500, 0.05, 6)
+			},
+		},
+		{
+			Name: "copying-web", Kind: "synthetic",
+			Description: "Kleinberg copying-model web graph, 5k nodes",
+			generate: func() (*graph.Graph, error) {
+				return CopyingModel(5000, 5, 0.3, 7)
+			},
+		},
+		{
+			Name: "ring-1k", Kind: "synthetic",
+			Description: "Directed ring of 1000 nodes (single long cycle)",
+			generate: func() (*graph.Graph, error) {
+				return DirectedRing(1000)
+			},
+		},
+		{
+			Name: "cliques-ring", Kind: "synthetic",
+			Description: "Ring of 20 bidirectional 8-cliques (cycle stress test)",
+			generate: func() (*graph.Graph, error) {
+				return RingOfCliques(20, 8)
+			},
+		},
+		{
+			Name: "complete-50", Kind: "synthetic",
+			Description: "Complete digraph on 50 nodes (densest cycle load)",
+			generate: func() (*graph.Graph, error) {
+				return CompleteDigraph(50)
+			},
+		},
+		{
+			Name: "copying-dense", Kind: "synthetic",
+			Description: "Kleinberg copying-model graph, 2k nodes, heavy copying",
+			generate: func() (*graph.Graph, error) {
+				return CopyingModel(2000, 8, 0.15, 8)
+			},
+		},
+	}
+	ds = append(ds, synthetic...)
+
+	return NewCatalog(ds...)
+}
+
+// BuiltinCatalogSubset returns a catalog holding only the named
+// built-in datasets — useful for tools and tests that need one or two
+// datasets without carrying the full 50-entry catalog.
+func BuiltinCatalogSubset(names ...string) (*Catalog, error) {
+	full, err := BuiltinCatalog()
+	if err != nil {
+		return nil, err
+	}
+	sub := make([]Dataset, 0, len(names))
+	for _, n := range names {
+		d, err := full.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		sub = append(sub, d)
+	}
+	return NewCatalog(sub...)
+}
+
+// wikiSuggestedSources lists reference nodes that exist in the given
+// snapshot (the fake-news article is absent before 2013).
+func wikiSuggestedSources(lang string, year int) []string {
+	var out []string
+	for _, com := range wikiCommunities(lang) {
+		if isFakeNews(com.ref) && year < 2013 {
+			continue
+		}
+		out = append(out, com.ref)
+	}
+	return out
+}

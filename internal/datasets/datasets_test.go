@@ -1,0 +1,478 @@
+package datasets
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/cyclerank/cyclerank-go/internal/core"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/pagerank"
+)
+
+func TestBuiltinCatalogHasFiftyDatasets(t *testing.T) {
+	c, err := BuiltinCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 50 {
+		t.Errorf("catalog has %d datasets, want 50 (as shipped by the demo)", c.Len())
+	}
+	if len(c.Names()) != c.Len() || len(c.All()) != c.Len() {
+		t.Error("Names/All length mismatch")
+	}
+}
+
+func TestCatalogGet(t *testing.T) {
+	c, err := BuiltinCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Get("enwiki-2018")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != "wikilink" {
+		t.Errorf("kind = %q", d.Kind)
+	}
+	if _, err := c.Get("no-such-dataset"); err == nil {
+		t.Error("unknown dataset resolved")
+	}
+}
+
+func TestCatalogRejectsDuplicates(t *testing.T) {
+	d := Dataset{Name: "x"}
+	if _, err := NewCatalog(d, d); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := NewCatalog(Dataset{}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestWikiConfigValidation(t *testing.T) {
+	if err := (WikiConfig{Language: "xx", Year: 2018}).Validate(); err == nil {
+		t.Error("bad language accepted")
+	}
+	if err := (WikiConfig{Language: "en", Year: 1999}).Validate(); err == nil {
+		t.Error("bad year accepted")
+	}
+	if _, err := GenerateWiki(WikiConfig{Language: "xx", Year: 2018}); err == nil {
+		t.Error("GenerateWiki accepted bad config")
+	}
+}
+
+func TestWikiDeterministic(t *testing.T) {
+	cfg := WikiConfig{Language: "nl", Year: 2008}
+	a, err := GenerateWiki(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateWiki(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d", a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	same := true
+	a.Edges(func(u, v graph.NodeID) bool {
+		au, _ := b.NodeByLabel(a.Label(u))
+		av, _ := b.NodeByLabel(a.Label(v))
+		if !b.HasEdge(au, av) {
+			same = false
+			return false
+		}
+		return true
+	})
+	if !same {
+		t.Error("edge sets differ between runs")
+	}
+}
+
+func TestWikiGrowsOverYears(t *testing.T) {
+	var prev int
+	for _, year := range WikiYears() {
+		g, err := GenerateWiki(WikiConfig{Language: "en", Year: year})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumNodes() <= prev {
+			t.Errorf("year %d snapshot (%d nodes) not larger than previous (%d)", year, g.NumNodes(), prev)
+		}
+		prev = g.NumNodes()
+	}
+}
+
+func TestWikiFakeNewsAbsentBefore2013(t *testing.T) {
+	early, err := GenerateWiki(WikiConfig{Language: "en", Year: 2008})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := early.NodeByLabel("Fake news"); ok {
+		t.Error("Fake news article present in 2008 snapshot")
+	}
+	late, err := GenerateWiki(WikiConfig{Language: "en", Year: 2018})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := late.NodeByLabel("Fake news"); !ok {
+		t.Error("Fake news article missing in 2018 snapshot")
+	}
+}
+
+func TestWikiHubsHaveLowReciprocityHighInDegree(t *testing.T) {
+	g, err := GenerateWiki(WikiConfig{Language: "en", Year: 2018})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, ok := g.NodeByLabel("United States")
+	if !ok {
+		t.Fatal("United States missing")
+	}
+	queen, _ := g.NodeByLabel("Queen (band)")
+	if g.InDegree(us) < 10*g.InDegree(queen) {
+		t.Errorf("hub in-degree %d not dominant over community node %d", g.InDegree(us), g.InDegree(queen))
+	}
+	// Reciprocity of the hub's in-links must be tiny: count back-links.
+	back := 0
+	for _, w := range g.In(us) {
+		if g.HasEdge(us, w) {
+			back++
+		}
+	}
+	if frac := float64(back) / float64(g.InDegree(us)); frac > 0.05 {
+		t.Errorf("hub reciprocity %.3f too high for the PPR-vs-CR contrast", frac)
+	}
+}
+
+// The structural acceptance test for the Table I substitution: on the
+// synthetic enwiki-2018, CycleRank from Freddie Mercury surfaces the
+// band community and no global hub, while PPR leaks onto at least one
+// global hub; classic PageRank's top-5 is exactly the hub set.
+func TestWikiReproducesTableIShape(t *testing.T) {
+	g, err := GenerateWiki(WikiConfig{Language: "en", Year: 2018})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, ok := g.NodeByLabel("Freddie Mercury")
+	if !ok {
+		t.Fatal("Freddie Mercury missing")
+	}
+
+	// PageRank top-5 = the five heaviest hubs, in weight order.
+	pr, err := pagerank.PageRank(nil, g, pagerank.Params{Alpha: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPR := []string{"United States", "Animal", "Arthropod", "Association football", "Insect"}
+	gotPR := pr.TopLabels(5)
+	for i, want := range wantPR {
+		if gotPR[i] != want {
+			t.Errorf("PageRank top[%d] = %q, want %q (full: %v)", i, gotPR[i], want, gotPR)
+		}
+	}
+
+	// CycleRank K=3 from FM: reference first, then band community; no
+	// hub anywhere in its support.
+	cr, err := core.Compute(nil, g, fm, core.Params{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crTop := cr.TopLabels(5)
+	if crTop[0] != "Freddie Mercury" {
+		t.Errorf("CycleRank top1 = %q, want the reference", crTop[0])
+	}
+	if crTop[1] != "Queen (band)" {
+		t.Errorf("CycleRank top2 = %q, want Queen (band) (full: %v)", crTop[1], crTop)
+	}
+	hubSet := map[string]bool{}
+	for _, h := range enHubs {
+		hubSet[h.name] = true
+	}
+	for _, e := range cr.Top(-1) {
+		if hubSet[e.Label] {
+			t.Errorf("CycleRank scored global hub %q", e.Label)
+		}
+	}
+
+	// PPR alpha=0.3 from FM: the one-way leak target must appear in
+	// the top-5 even though CycleRank ignores it.
+	ppr, err := pagerank.Personalized(nil, g, pagerank.Params{Alpha: 0.3, Seeds: []graph.NodeID{fm}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprTop := ppr.TopLabels(6)
+	leaked := false
+	for _, l := range pprTop {
+		if l == "HIV/AIDS" || l == "United States" {
+			leaked = true
+		}
+	}
+	if !leaked {
+		t.Errorf("PPR top-6 %v contains no global hub; the substitution lost the leak effect", pprTop)
+	}
+}
+
+func TestAmazonReproducesTableIIShape(t *testing.T) {
+	g, err := GenerateAmazon(AmazonConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pr, err := pagerank.PageRank(nil, g, pagerank.Params{Alpha: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := pr.TopLabels(1); top[0] != "Good to Great" {
+		t.Errorf("Amazon PageRank top1 = %v, want Good to Great", top)
+	}
+	// Table II PR column as a set: {Good to Great, Catcher, DSM-IV,
+	// Great Gatsby, Lord of the Flies}.
+	wantPR := map[string]bool{
+		"Good to Great": true, "The Catcher in the Rye": true, "DSM-IV": true,
+		"The Great Gatsby": true, "Lord of the Flies": true,
+	}
+	for _, l := range pr.TopLabels(5) {
+		if !wantPR[l] {
+			t.Errorf("Amazon PageRank top-5 contains %q, outside the paper's set (full: %v)", l, pr.TopLabels(5))
+		}
+	}
+
+	fotr, ok := g.NodeByLabel("The Fellowship of the Ring")
+	if !ok {
+		t.Fatal("Fellowship missing")
+	}
+	cr, err := core.Compute(nil, g, fotr, core.Params{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crTop := cr.TopLabels(6)
+	if crTop[0] != "The Fellowship of the Ring" || crTop[1] != "The Hobbit" {
+		t.Errorf("Amazon CycleRank top = %v", crTop)
+	}
+	for _, l := range cr.TopLabels(-1) {
+		if strings.HasPrefix(l, "Harry Potter") {
+			t.Errorf("CycleRank surfaced bestseller %q", l)
+		}
+	}
+
+	ppr, err := pagerank.Personalized(nil, g, pagerank.Params{Alpha: 0.85, Seeds: []graph.NodeID{fotr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpInPPR := false
+	for _, l := range ppr.TopLabels(6) {
+		if strings.HasPrefix(l, "Harry Potter") {
+			hpInPPR = true
+		}
+	}
+	if !hpInPPR {
+		t.Errorf("PPR top-6 %v has no Harry Potter; bestseller leak lost", ppr.TopLabels(6))
+	}
+}
+
+func TestEveryLanguageHasFakeNewsCommunity2018(t *testing.T) {
+	refs := map[string]string{
+		"de": "Fake News", "en": "Fake news", "es": "Noticias falsas",
+		"fr": "Fake news", "it": "Fake news", "nl": "Nepnieuws",
+		"pl": "Fake news", "ru": "Фейковые новости", "sv": "Falska nyheter",
+	}
+	for lang, ref := range refs {
+		g, err := GenerateWiki(WikiConfig{Language: lang, Year: 2018})
+		if err != nil {
+			t.Fatalf("%s: %v", lang, err)
+		}
+		id, ok := g.NodeByLabel(ref)
+		if !ok {
+			t.Errorf("%s: reference %q missing", lang, ref)
+			continue
+		}
+		res, err := core.Compute(nil, g, id, core.Params{K: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", lang, err)
+		}
+		if res.CyclesFound == 0 {
+			t.Errorf("%s: fake-news community has no cycles", lang)
+		}
+		members := wikiCommunities(lang)[len(wikiCommunities(lang))-1].members
+		top := res.TopLabels(3)
+		if top[0] != ref || top[1] != members[0] {
+			t.Errorf("%s: CR top = %v, want [%s %s ...]", lang, top, ref, members[0])
+		}
+	}
+}
+
+func TestTwitterGenerators(t *testing.T) {
+	for _, topic := range TwitterTopics() {
+		g, err := GenerateTwitter(TwitterConfig{Topic: topic})
+		if err != nil {
+			t.Fatalf("%s: %v", topic, err)
+		}
+		if g.NumNodes() < 1000 {
+			t.Errorf("%s: only %d nodes", topic, g.NumNodes())
+		}
+		org, ok := g.NodeByLabel(topic + "_organizer_00")
+		if !ok {
+			t.Fatalf("%s: organizer missing", topic)
+		}
+		res, err := core.Compute(nil, g, org, core.Params{K: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CyclesFound == 0 {
+			t.Errorf("%s: organizer community has no cycles", topic)
+		}
+		// Influencers: high in-degree.
+		inf, ok := g.NodeByLabel(topic + "_influencer_00")
+		if !ok {
+			t.Fatalf("%s: influencer missing", topic)
+		}
+		if g.InDegree(inf) < 50 {
+			t.Errorf("%s: influencer in-degree %d too small", topic, g.InDegree(inf))
+		}
+	}
+	if _, err := GenerateTwitter(TwitterConfig{Topic: "nope"}); err == nil {
+		t.Error("bad topic accepted")
+	}
+}
+
+func TestRandomGenerators(t *testing.T) {
+	er, err := ErdosRenyi(100, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.NumNodes() != 100 || er.NumEdges() == 0 {
+		t.Error("ER degenerate")
+	}
+	ba, err := PreferentialAttachment(500, 3, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ba.NumNodes() != 500 {
+		t.Error("BA wrong size")
+	}
+	// Heavy tail: max in-degree far above mean.
+	stats := graph.ComputeStats(ba)
+	if float64(stats.MaxInDegree) < 4*stats.AvgDegree {
+		t.Errorf("BA max in-degree %d vs avg %f: no heavy tail", stats.MaxInDegree, stats.AvgDegree)
+	}
+	cm, err := CopyingModel(300, 4, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.NumNodes() != 300 {
+		t.Error("copying model wrong size")
+	}
+	ring, err := DirectedRing(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.NumEdges() != 10 {
+		t.Error("ring wrong edges")
+	}
+	roc, err := RingOfCliques(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roc.NumNodes() != 12 {
+		t.Error("ring of cliques wrong size")
+	}
+	k, err := CompleteDigraph(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.NumEdges() != 20 {
+		t.Error("complete digraph wrong edges")
+	}
+}
+
+func TestRandomGeneratorValidation(t *testing.T) {
+	if _, err := ErdosRenyi(-1, 0.5, 1); err == nil {
+		t.Error("ER accepted negative n")
+	}
+	if _, err := ErdosRenyi(10, 1.5, 1); err == nil {
+		t.Error("ER accepted p>1")
+	}
+	if _, err := PreferentialAttachment(10, 0, 0.2, 1); err == nil {
+		t.Error("BA accepted m=0")
+	}
+	if _, err := PreferentialAttachment(10, 2, -0.1, 1); err == nil {
+		t.Error("BA accepted bad pRecip")
+	}
+	if _, err := CopyingModel(10, 0, 0.3, 1); err == nil {
+		t.Error("copying accepted m=0")
+	}
+	if _, err := CopyingModel(10, 2, 7, 1); err == nil {
+		t.Error("copying accepted bad beta")
+	}
+	if _, err := DirectedRing(-2); err == nil {
+		t.Error("ring accepted negative n")
+	}
+	if _, err := RingOfCliques(0, 3); err == nil {
+		t.Error("ring of cliques accepted k=0")
+	}
+	if _, err := CompleteDigraph(-1); err == nil {
+		t.Error("complete accepted negative n")
+	}
+}
+
+func TestRingCycleRankExactlyOneCycle(t *testing.T) {
+	g, err := DirectedRing(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := core.CountCycles(context.Background(), g, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("ring of 6 has %d cycles through node 0 at K=6, want 1", n)
+	}
+	short, err := core.CountCycles(context.Background(), g, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short != 0 {
+		t.Errorf("ring of 6 has %d cycles at K=5, want 0", short)
+	}
+}
+
+func TestEveryCatalogDatasetLoads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads all 50 datasets; skipped in -short")
+	}
+	c, err := BuiltinCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range c.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			g, err := d.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.NumNodes() == 0 || g.NumEdges() == 0 {
+				t.Errorf("degenerate graph: N=%d M=%d", g.NumNodes(), g.NumEdges())
+			}
+			if d.Description == "" {
+				t.Error("missing description")
+			}
+			// Suggested sources must resolve.
+			for _, s := range d.SuggestedSources {
+				if _, ok := g.NodeByLabel(s); !ok {
+					t.Errorf("suggested source %q missing from graph", s)
+				}
+			}
+		})
+	}
+}
+
+func TestDatasetWithoutGenerator(t *testing.T) {
+	d := Dataset{Name: "empty"}
+	if _, err := d.Load(); err == nil {
+		t.Error("Load succeeded without generator")
+	}
+}

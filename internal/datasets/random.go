@@ -1,0 +1,163 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// ErdosRenyi generates G(n, p): each of the n·(n−1) possible directed
+// edges exists independently with probability p.
+func ErdosRenyi(n int, p float64, seed int64) (*graph.Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("datasets: erdos-renyi: negative n %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("datasets: erdos-renyi: p=%v outside [0,1]", p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < p {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// PreferentialAttachment generates a directed Barabási–Albert-style
+// graph: nodes arrive one at a time and attach m out-edges to earlier
+// nodes chosen proportionally to their current in-degree (plus one
+// smoothing), yielding the heavy-tailed in-degree distribution of web
+// and citation graphs. With probability pRecip each new edge is
+// reciprocated, controlling how much material CycleRank has to work
+// with.
+func PreferentialAttachment(n, m int, pRecip float64, seed int64) (*graph.Graph, error) {
+	if n < 0 || m < 1 {
+		return nil, fmt.Errorf("datasets: preferential attachment: invalid n=%d m=%d", n, m)
+	}
+	if pRecip < 0 || pRecip > 1 {
+		return nil, fmt.Errorf("datasets: preferential attachment: pRecip=%v outside [0,1]", pRecip)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// targets implements the classic "repeated endpoints" trick: a
+	// node's multiplicity in the slice is proportional to degree+1.
+	targets := make([]graph.NodeID, 0, 2*n*m)
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		targets = append(targets, id) // smoothing entry
+		if v == 0 {
+			continue
+		}
+		deg := m
+		if v < m {
+			deg = v
+		}
+		for e := 0; e < deg; e++ {
+			t := targets[rng.Intn(len(targets))]
+			if t == id {
+				continue
+			}
+			b.AddEdge(id, t)
+			targets = append(targets, t)
+			if rng.Float64() < pRecip {
+				b.AddEdge(t, id)
+				targets = append(targets, id)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CopyingModel generates a Kleinberg-style web graph: each new node
+// picks a random prototype among earlier nodes and copies each of the
+// prototype's out-links with probability 1−beta, otherwise linking to
+// a uniform random earlier node. Copying produces the dense bipartite
+// cores and high clustering of real link graphs.
+func CopyingModel(n, m int, beta float64, seed int64) (*graph.Graph, error) {
+	if n < 0 || m < 1 {
+		return nil, fmt.Errorf("datasets: copying model: invalid n=%d m=%d", n, m)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("datasets: copying model: beta=%v outside [0,1]", beta)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	outs := make([][]graph.NodeID, n)
+	for v := 1; v < n; v++ {
+		id := graph.NodeID(v)
+		proto := rng.Intn(v)
+		for e := 0; e < m && e < v; e++ {
+			var t graph.NodeID
+			if rng.Float64() < beta || len(outs[proto]) == 0 {
+				t = graph.NodeID(rng.Intn(v))
+			} else {
+				t = outs[proto][rng.Intn(len(outs[proto]))]
+			}
+			if t == id {
+				continue
+			}
+			b.AddEdge(id, t)
+			outs[v] = append(outs[v], t)
+		}
+	}
+	return b.Build()
+}
+
+// DirectedRing generates the n-cycle 0→1→…→n−1→0, the minimal graph on
+// which every node lies on exactly one long cycle.
+func DirectedRing(n int) (*graph.Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("datasets: ring: negative n %d", n)
+	}
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(graph.NodeID(v), graph.NodeID((v+1)%n))
+	}
+	return b.Build()
+}
+
+// RingOfCliques generates k bidirectional cliques of the given size,
+// joined in a ring by single directed bridges. Clique members share
+// huge numbers of short cycles while cross-clique cycles require the
+// full ring — a worst-case-vs-best-case stress shape for CycleRank's
+// pruning.
+func RingOfCliques(k, size int) (*graph.Graph, error) {
+	if k < 1 || size < 1 {
+		return nil, fmt.Errorf("datasets: ring of cliques: invalid k=%d size=%d", k, size)
+	}
+	n := k * size
+	b := graph.NewBuilder(n)
+	node := func(c, i int) graph.NodeID { return graph.NodeID(c*size + i) }
+	for c := 0; c < k; c++ {
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				b.AddEdge(node(c, i), node(c, j))
+				b.AddEdge(node(c, j), node(c, i))
+			}
+		}
+		b.AddEdge(node(c, 0), node((c+1)%k, 0))
+	}
+	return b.Build()
+}
+
+// CompleteDigraph generates the complete directed graph on n nodes
+// (every ordered pair is an edge), the densest possible cycle load.
+func CompleteDigraph(n int) (*graph.Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("datasets: complete: negative n %d", n)
+	}
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,146 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// TwitterConfig selects a synthetic Twitter interaction network. An
+// edge u->v means user u interacted with (retweeted, replied to,
+// quoted or mentioned) user v.
+type TwitterConfig struct {
+	// Topic names the crawl: "cop27" (COP27 climate conference) or
+	// "8m" (International Women's Day).
+	Topic string
+	// Users is the account count (default depends on topic).
+	Users int
+	// Seed perturbs the topology (default derived from topic).
+	Seed int64
+}
+
+// TwitterTopics lists the crawls the demo ships.
+func TwitterTopics() []string { return []string{"cop27", "8m"} }
+
+// Validate checks the configuration.
+func (c TwitterConfig) Validate() error {
+	for _, t := range TwitterTopics() {
+		if t == c.Topic {
+			return nil
+		}
+	}
+	return fmt.Errorf("datasets: unknown twitter topic %q", c.Topic)
+}
+
+func (c TwitterConfig) users() int {
+	if c.Users != 0 {
+		return c.Users
+	}
+	if c.Topic == "cop27" {
+		return 1500
+	}
+	return 1200
+}
+
+func (c TwitterConfig) seed() int64 {
+	if c.Seed != 0 {
+		return c.Seed
+	}
+	if c.Topic == "cop27" {
+		return 20221106
+	}
+	return 20230308
+}
+
+// GenerateTwitter builds the synthetic interaction network: a handful
+// of influencer accounts that everyone mentions but who rarely reply
+// (high in-degree, low reciprocity — the Twitter analogue of the
+// Wikipedia hubs), reply communities of mutually interacting users,
+// and a power-law background of one-way retweets.
+func GenerateTwitter(c TwitterConfig) (*graph.Graph, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.seed()))
+	b := graph.NewLabeledBuilder()
+
+	const numInfluencers = 8
+	influencers := make([]string, numInfluencers)
+	weights := make([]float64, numInfluencers)
+	for i := range influencers {
+		influencers[i] = fmt.Sprintf("%s_influencer_%02d", c.Topic, i)
+		weights[i] = float64(numInfluencers - i)
+		b.AddNode(influencers[i])
+	}
+	pick := newWeightedPicker(weights)
+
+	// Reply communities: cliques of mutually interacting activists.
+	// Community 0 is anchored on a named organizer account used as the
+	// suggested reference node.
+	numCommunities := 6
+	communitySize := 8
+	organizers := make([]string, numCommunities)
+	for ci := 0; ci < numCommunities; ci++ {
+		members := make([]string, communitySize)
+		for mi := range members {
+			if mi == 0 {
+				members[mi] = fmt.Sprintf("%s_organizer_%02d", c.Topic, ci)
+				organizers[ci] = members[mi]
+			} else {
+				members[mi] = fmt.Sprintf("%s_activist_%02d_%02d", c.Topic, ci, mi)
+			}
+		}
+		addCommunity(b, members[0], members[1:], []string{influencers[ci%numInfluencers]})
+		// Occasional cross-community mutual interaction.
+		if ci > 0 {
+			b.AddLabeledEdge(organizers[ci], organizers[ci-1])
+			b.AddLabeledEdge(organizers[ci-1], organizers[ci])
+		}
+	}
+
+	n := c.users()
+	bg := make([]string, n)
+	for i := range bg {
+		bg[i] = fmt.Sprintf("%s_user_%05d", c.Topic, i)
+		b.AddNode(bg[i])
+	}
+	for i, name := range bg {
+		// Power-law-ish activity: most users interact once or twice, a
+		// few are prolific.
+		activity := 1 + rng.Intn(3)
+		if rng.Float64() < 0.05 {
+			activity += rng.Intn(20)
+		}
+		for a := 0; a < activity; a++ {
+			r := rng.Float64()
+			switch {
+			case r < 0.5:
+				// Mention/retweet an influencer (one-way).
+				b.AddLabeledEdge(name, influencers[pick.pick(rng)])
+			case r < 0.6:
+				// Join a reply thread with an organizer (mutual).
+				org := organizers[rng.Intn(len(organizers))]
+				b.AddLabeledEdge(name, org)
+				if rng.Float64() < 0.5 {
+					b.AddLabeledEdge(org, name)
+				}
+			default:
+				if i == 0 {
+					b.AddLabeledEdge(name, influencers[pick.pick(rng)])
+					continue
+				}
+				j := rng.Intn(i)
+				b.AddLabeledEdge(name, bg[j])
+				if rng.Float64() < 0.15 {
+					b.AddLabeledEdge(bg[j], name)
+				}
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("datasets: twitter %s: %w", c.Topic, err)
+	}
+	return g, nil
+}

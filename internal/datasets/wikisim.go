@@ -1,0 +1,398 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// WikiConfig selects a synthetic WikiLinkGraphs snapshot.
+type WikiConfig struct {
+	// Language is a WikiLinkGraphs language code: de, en, es, fr, it,
+	// nl, pl, ru or sv.
+	Language string
+	// Year is the snapshot year: 2003, 2008, 2013 or 2018.
+	Year int
+	// Seed perturbs the background topology; the curated semantic core
+	// is unaffected. Zero derives a seed from language and year.
+	Seed int64
+}
+
+// WikiLanguages lists the supported language editions in the paper's
+// order.
+func WikiLanguages() []string {
+	return []string{"de", "en", "es", "fr", "it", "nl", "pl", "ru", "sv"}
+}
+
+// WikiYears lists the supported snapshot years.
+func WikiYears() []int { return []int{2003, 2008, 2013, 2018} }
+
+// Validate checks the configuration.
+func (c WikiConfig) Validate() error {
+	okLang := false
+	for _, l := range WikiLanguages() {
+		if l == c.Language {
+			okLang = true
+			break
+		}
+	}
+	if !okLang {
+		return fmt.Errorf("datasets: unknown wiki language %q", c.Language)
+	}
+	okYear := false
+	for _, y := range WikiYears() {
+		if y == c.Year {
+			okYear = true
+			break
+		}
+	}
+	if !okYear {
+		return fmt.Errorf("datasets: unsupported wiki year %d", c.Year)
+	}
+	return nil
+}
+
+// community is a curated semantic neighborhood: a reference article
+// plus members listed in decreasing expected CycleRank order. The
+// generator links the reference reciprocally with every member and
+// members i,j reciprocally iff i+j < len(members) — a deterministic
+// "nested circles" rule making member i's intra-community degree
+// strictly decrease with i, which in turn makes CycleRank's 3-cycle
+// counts (and thus its ranking) follow the listed order.
+//
+// leakTo lists globally central articles every community member links
+// to one-way; they receive walk probability from Personalized PageRank
+// but, lacking back-links, are invisible to CycleRank. This reproduces
+// the hub-promotion failure mode Tables I and II illustrate.
+type community struct {
+	ref     string
+	members []string
+	leakTo  []string
+	// leakLimit caps how many nodes emit the one-way leak links: the
+	// reference plus the first leakLimit-1 members. Zero means every
+	// member leaks. Tuning this controls how prominently the leak
+	// targets show up in Personalized PageRank's top ranks.
+	leakLimit int
+}
+
+// hub is a globally central article: the background mass links to it
+// one-way with probability proportional to weight, giving it a
+// top-of-PageRank in-degree with near-zero reciprocity.
+type hub struct {
+	name   string
+	weight float64
+}
+
+// enHubs reproduces the top of Table I's PageRank column: the 2018
+// English Wikipedia's most linked articles. Weights order them.
+var enHubs = []hub{
+	{"United States", 2000},
+	{"Animal", 1800},
+	{"Arthropod", 1600},
+	{"Association football", 1400},
+	{"Insect", 1200},
+	{"Donald Trump", 600},
+	{"Facebook", 500},
+	{"CNN", 450},
+	{"HIV/AIDS", 400},
+	{"New York Times", 350},
+	{"World War II", 300},
+	{"Germany", 250},
+}
+
+// genericHubs names hubs for non-English editions (localized where the
+// paper's Table III implies a localized presence).
+func wikiHubs(lang string) []hub {
+	if lang == "en" {
+		return enHubs
+	}
+	base := []hub{
+		{"United States", 2000},
+		{"Europe", 1700},
+		{"Animal", 1500},
+		{"Football", 1300},
+		{"Insect", 1100},
+		{"Donald Trump", 600},
+		{"Facebook", 500},
+		{"Internet", 400},
+		{"Television", 300},
+	}
+	return base
+}
+
+// wikiCommunities returns the curated communities for one language
+// edition. English carries the Table I neighborhoods (Freddie
+// Mercury, Pasta); every language carries its Table III fake-news
+// neighborhood. Member lists follow the paper's reported top-5 rows.
+func wikiCommunities(lang string) []community {
+	switch lang {
+	case "en":
+		return []community{
+			{
+				ref: "Freddie Mercury",
+				members: []string{
+					"Queen (band)", "Brian May", "Roger Taylor", "John Deacon",
+					"Queen II", "The FM Tribute Concert", "Bohemian Rhapsody",
+					"A Night at the Opera", "We Will Rock You", "Live Aid",
+				},
+				leakTo: []string{"HIV/AIDS", "United States"},
+			},
+			{
+				ref: "Pasta",
+				members: []string{
+					"Italian cuisine", "Italy", "Spaghetti", "Flour",
+					"Bolognese sauce", "Carbonara", "Durum", "Olive oil",
+					"Penne", "Lasagna",
+				},
+				leakTo: []string{"United States"},
+			},
+			{
+				ref: "Fake news",
+				members: []string{
+					"CNN", "Facebook", "US presidential election, 2016",
+					"Propaganda", "Social media", "Donald Trump",
+					"Post-truth politics", "Disinformation", "Clickbait",
+				},
+				leakTo: []string{"United States"},
+			},
+		}
+	case "de":
+		return []community{{
+			ref: "Fake News",
+			members: []string{
+				"Barack Obama", "Tagesschau.de", "Desinformation", "Fake",
+				"Donald Trump", "Propaganda", "Soziale Medien", "Lügenpresse",
+			},
+			leakTo: []string{"United States"},
+		}}
+	case "es":
+		return []community{{
+			ref: "Noticias falsas",
+			members: []string{
+				"Posverdad", "Desinformación", "Bulo", "Donald Trump",
+				"Facebook", "Propaganda", "Redes sociales",
+			},
+			leakTo: []string{"United States"},
+		}}
+	case "fr":
+		return []community{{
+			ref: "Fake news",
+			members: []string{
+				"Ère post-vérité", "Donald Trump", "Facebook", "Hoax",
+				"Alex Jones (complotiste)", "Désinformation", "Propagande",
+			},
+			leakTo: []string{"United States"},
+		}}
+	case "it":
+		return []community{{
+			ref: "Fake news",
+			members: []string{
+				"Disinformazione", "Post-verità", "Bufala", "Debunker",
+				"Clickbait", "Donald Trump", "Social media",
+			},
+			leakTo: []string{"United States"},
+		}}
+	case "nl":
+		return []community{{
+			ref: "Nepnieuws",
+			members: []string{
+				"Facebook", "Journalistiek", "Hoax", "Desinformatie",
+				"Sociale media", "Donald Trump",
+			},
+			leakTo: []string{"United States"},
+		}}
+	case "pl":
+		return []community{{
+			ref: "Fake news",
+			members: []string{
+				"Dezinformacja", "Propaganda", "Media społecznościowe",
+				"Dziennikarstwo", "Donald Trump",
+			},
+			leakTo: []string{"United States"},
+		}}
+	case "ru":
+		return []community{{
+			ref: "Фейковые новости",
+			members: []string{
+				"Дезинформация", "Пропаганда", "Социальные сети",
+				"Дональд Трамп", "Журналистика",
+			},
+			leakTo: []string{"United States"},
+		}}
+	case "sv":
+		return []community{{
+			ref: "Falska nyheter",
+			members: []string{
+				"Desinformation", "Propaganda", "Sociala medier",
+				"Donald Trump", "Journalistik",
+			},
+			leakTo: []string{"United States"},
+		}}
+	}
+	return nil
+}
+
+// wikiScale returns the background article count for a language/year
+// pair. English is the largest edition; sizes grow over snapshot
+// years, mirroring WikiLinkGraphs' longitudinal growth.
+func wikiScale(lang string, year int) int {
+	base := map[string]int{
+		"en": 3000, "de": 2100, "fr": 2000, "es": 1500, "it": 1500,
+		"ru": 1400, "nl": 1000, "pl": 1000, "sv": 900,
+	}[lang]
+	switch year {
+	case 2003:
+		return base / 4
+	case 2008:
+		return base / 2
+	case 2013:
+		return base * 3 / 4
+	default:
+		return base
+	}
+}
+
+// GenerateWiki builds the synthetic WikiLinkGraphs snapshot described
+// by c. The graph contains, in order of construction: the hub
+// articles, the curated communities (the fake-news neighborhood only
+// exists from the 2013 snapshot on, mirroring the topic's real-world
+// emergence), and a preferential-attachment background of
+// "<lang>:Article NNNN" pages whose out-links target earlier
+// background pages and hubs (weight-proportional), with a small
+// reciprocation probability.
+func GenerateWiki(c WikiConfig) (*graph.Graph, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = int64(c.Year)*1000 + int64(len(c.Language))*7919 + int64(c.Language[0])
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewLabeledBuilder()
+
+	hubs := wikiHubs(c.Language)
+	hubNames := make([]string, len(hubs))
+	hubWeights := make([]float64, len(hubs))
+	for i, h := range hubs {
+		hubNames[i] = h.name
+		hubWeights[i] = h.weight
+		b.AddNode(h.name)
+	}
+	hubPick := newWeightedPicker(hubWeights)
+
+	for _, com := range wikiCommunities(c.Language) {
+		if isFakeNews(com.ref) && c.Year < 2013 {
+			continue // topic does not exist in early snapshots
+		}
+		members := com.members
+		if c.Year == 2013 {
+			// Younger neighborhood: fewer members in the 2013 snapshot.
+			if len(members) > 4 {
+				members = members[:4]
+			}
+		}
+		addCommunity(b, com.ref, members, com.leakTo)
+	}
+
+	// Preferential-attachment background.
+	n := wikiScale(c.Language, c.Year)
+	bg := make([]string, n)
+	for i := range bg {
+		bg[i] = fmt.Sprintf("%s:Article %04d", c.Language, i)
+		b.AddNode(bg[i])
+	}
+	for i, name := range bg {
+		outDeg := 3 + rng.Intn(8)
+		for d := 0; d < outDeg; d++ {
+			r := rng.Float64()
+			switch {
+			case r < 0.35:
+				// Link to a hub, weight-proportional: this is what gives
+				// hubs their dominating in-degree.
+				b.AddLabeledEdge(name, hubNames[hubPick.pick(rng)])
+			case r < 0.40 && i > 0:
+				// Rarely, link to a recent page AND get linked back:
+				// background reciprocity exists but is low.
+				j := rng.Intn(i)
+				b.AddLabeledEdge(name, bg[j])
+				b.AddLabeledEdge(bg[j], name)
+			default:
+				if i == 0 {
+					b.AddLabeledEdge(name, hubNames[hubPick.pick(rng)])
+					continue
+				}
+				// Preferential attachment by vertex copying: link to a
+				// random earlier page, biased toward low indices (which
+				// accumulated links first).
+				j := rng.Intn(i)
+				if j2 := rng.Intn(i); j2 < j {
+					j = j2
+				}
+				b.AddLabeledEdge(name, bg[j])
+			}
+		}
+	}
+
+	// Hubs link out to a scatter of ordinary pages (a country article
+	// links to its cities, not back to everything that cites it). The
+	// wide one-way fan-out keeps hubs non-dangling while leaving their
+	// reciprocity near zero and — unlike a hub→hub chain — does not
+	// funnel one hub's PageRank mass into another.
+	for _, h := range hubNames {
+		for d := 0; d < 15 && n > 0; d++ {
+			b.AddLabeledEdge(h, bg[rng.Intn(n)])
+		}
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("datasets: wiki %s-%d: %w", c.Language, c.Year, err)
+	}
+	return g, nil
+}
+
+func isFakeNews(ref string) bool {
+	switch ref {
+	case "Fake news", "Fake News", "Nepnieuws", "Noticias falsas",
+		"Фейковые новости", "Falska nyheter":
+		return true
+	}
+	return false
+}
+
+// addCommunity wires a curated community into the builder: the
+// reference node is reciprocally linked with every member; members i,j
+// are reciprocally linked iff i+j < len(members) (nested circles); and
+// the leaking nodes (see community.leakLimit) link one-way to the leak
+// targets.
+func addCommunity(b *graph.Builder, ref string, members []string, leakTo []string) {
+	addCommunityLimited(b, ref, members, leakTo, 0)
+}
+
+func addCommunityLimited(b *graph.Builder, ref string, members []string, leakTo []string, leakLimit int) {
+	for _, m := range members {
+		b.AddLabeledEdge(ref, m)
+		b.AddLabeledEdge(m, ref)
+	}
+	for i := range members {
+		for j := i + 1; j < len(members); j++ {
+			if i+j < len(members) {
+				b.AddLabeledEdge(members[i], members[j])
+				b.AddLabeledEdge(members[j], members[i])
+			}
+		}
+	}
+	leakers := append([]string{ref}, members...)
+	if leakLimit > 0 && leakLimit < len(leakers) {
+		leakers = leakers[:leakLimit]
+	}
+	for _, m := range leakers {
+		for _, t := range leakTo {
+			if t != m {
+				b.AddLabeledEdge(m, t)
+			}
+		}
+	}
+}

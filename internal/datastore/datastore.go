@@ -1,0 +1,266 @@
+// Package datastore implements the platform's persistent storage: the
+// component of the demo architecture responsible for datasets, task
+// results and logs (Figure 1 of the paper).
+//
+// The store is a directory tree:
+//
+//	root/
+//	  datasets/<name>.asd         uploaded graphs (ASD format)
+//	  datasets/<name>.labels      label sidecars
+//	  results/<task-id>.json      completed task results
+//	  logs/<task-id>.log          per-task execution logs
+//
+// All writes are atomic (temp file + rename) so a crashed writer never
+// leaves a partially visible artifact. A Store is safe for concurrent
+// use.
+package datastore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/cyclerank/cyclerank-go/internal/formats"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// Store is a file-backed datastore rooted at a directory.
+type Store struct {
+	root string
+	mu   sync.Mutex
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"datasets", "results", "logs"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("datastore: %w", err)
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// validName guards against path traversal in user-supplied names.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("datastore: empty name")
+	}
+	if strings.ContainsAny(name, "/\\") || name == "." || name == ".." || strings.Contains(name, "..") {
+		return fmt.Errorf("datastore: invalid name %q", name)
+	}
+	return nil
+}
+
+// atomicWrite writes data to path via a temp file and rename.
+func atomicWrite(path string, write func(f *os.File) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("datastore: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("datastore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("datastore: %w", err)
+	}
+	return nil
+}
+
+// SaveDataset stores g under the given name, overwriting any previous
+// dataset with that name. Labels, when present, are stored in a
+// sidecar so round-trips preserve them.
+func (s *Store) SaveDataset(name string, g *graph.Graph) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gpath := filepath.Join(s.root, "datasets", name+".asd")
+	lpath := filepath.Join(s.root, "datasets", name+".labels")
+	err := atomicWrite(gpath, func(f *os.File) error {
+		return formats.WriteASD(f, g)
+	})
+	if err != nil {
+		return err
+	}
+	if g.Labels() == nil {
+		os.Remove(lpath)
+		return nil
+	}
+	return atomicWrite(lpath, func(f *os.File) error {
+		for _, l := range g.Labels().Names() {
+			if strings.ContainsRune(l, '\n') {
+				return fmt.Errorf("datastore: label with newline: %q", l)
+			}
+			if _, err := fmt.Fprintln(f, l); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// LoadDataset retrieves a stored dataset by name.
+func (s *Store) LoadDataset(name string) (*graph.Graph, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	gpath := filepath.Join(s.root, "datasets", name+".asd")
+	gf, err := os.Open(gpath)
+	if err != nil {
+		return nil, fmt.Errorf("datastore: dataset %q: %w", name, err)
+	}
+	defer gf.Close()
+
+	lpath := filepath.Join(s.root, "datasets", name+".labels")
+	lf, err := os.Open(lpath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return formats.ReadASD(gf)
+		}
+		return nil, fmt.Errorf("datastore: dataset %q labels: %w", name, err)
+	}
+	defer lf.Close()
+	return formats.ReadASDWithLabels(gf, lf)
+}
+
+// DeleteDataset removes a stored dataset. Deleting a missing dataset
+// is not an error.
+func (s *Store) DeleteDataset(name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range []string{
+		filepath.Join(s.root, "datasets", name+".asd"),
+		filepath.Join(s.root, "datasets", name+".labels"),
+	} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("datastore: %w", err)
+		}
+	}
+	return nil
+}
+
+// ListDatasets returns the names of all stored datasets, sorted.
+func (s *Store) ListDatasets() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "datasets"))
+	if err != nil {
+		return nil, fmt.Errorf("datastore: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".asd"); ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SaveResult stores an arbitrary JSON-encodable result document under
+// a task id.
+func (s *Store) SaveResult(taskID string, doc any) error {
+	if err := validName(taskID); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := filepath.Join(s.root, "results", taskID+".json")
+	return atomicWrite(path, func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return fmt.Errorf("datastore: encoding result %s: %w", taskID, err)
+		}
+		return nil
+	})
+}
+
+// LoadResult decodes a stored result document into out.
+func (s *Store) LoadResult(taskID string, out any) error {
+	if err := validName(taskID); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(filepath.Join(s.root, "results", taskID+".json"))
+	if err != nil {
+		return fmt.Errorf("datastore: result %q: %w", taskID, err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("datastore: decoding result %q: %w", taskID, err)
+	}
+	return nil
+}
+
+// HasResult reports whether a result exists for the task id.
+func (s *Store) HasResult(taskID string) bool {
+	if validName(taskID) != nil {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(s.root, "results", taskID+".json"))
+	return err == nil
+}
+
+// ListResults returns all stored result task ids, sorted.
+func (s *Store) ListResults() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "results"))
+	if err != nil {
+		return nil, fmt.Errorf("datastore: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if id, ok := strings.CutSuffix(e.Name(), ".json"); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// AppendLog appends a line to the task's execution log.
+func (s *Store) AppendLog(taskID, line string) error {
+	if err := validName(taskID); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := filepath.Join(s.root, "logs", taskID+".log")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("datastore: %w", err)
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, line); err != nil {
+		return fmt.Errorf("datastore: %w", err)
+	}
+	return nil
+}
+
+// ReadLog returns the task's full log, or an empty string when none
+// exists.
+func (s *Store) ReadLog(taskID string) (string, error) {
+	if err := validName(taskID); err != nil {
+		return "", err
+	}
+	data, err := os.ReadFile(filepath.Join(s.root, "logs", taskID+".log"))
+	if os.IsNotExist(err) {
+		return "", nil
+	}
+	if err != nil {
+		return "", fmt.Errorf("datastore: %w", err)
+	}
+	return string(data), nil
+}

@@ -1,0 +1,154 @@
+package formats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// ReadEdgeList parses the CSV edge-list format: one edge per line as
+// "source,target" (comma, tab or whitespace separated). Node names may
+// be arbitrary strings; purely numeric files produce graphs whose
+// labels are the original numeric tokens. Lines that are empty or
+// start with '#' or '%' are skipped. A leading "source,target" /
+// "Source,Target" header row (the Gephi convention) is skipped too.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	b := graph.NewLabeledBuilder()
+	lineNo := 0
+	seenEdge := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := splitFields(line)
+		// Gephi-style header row; extra columns (Weight, Type, ...) are
+		// part of the convention, so any column count qualifies.
+		if !seenEdge && len(fields) >= 2 && isHeaderToken(fields[0]) && isHeaderToken(fields[1]) {
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("formats: edgelist line %d: want 2 fields, got %d (%q)", lineNo, len(fields), line)
+		}
+		// Extra columns (weights, edge types) are tolerated and ignored,
+		// matching the demo's permissive upload path.
+		b.AddLabeledEdge(fields[0], fields[1])
+		seenEdge = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("formats: edgelist: %w", err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("formats: edgelist: %w", err)
+	}
+	return g, nil
+}
+
+// ReadEdgeListWeighted parses an edge list whose optional third column
+// is a positive edge weight (the Gephi "source,target,weight"
+// convention). Rows without a weight default to 1; duplicate edges
+// accumulate their weights — a repeated interaction is a stronger tie.
+func ReadEdgeListWeighted(r io.Reader) (*graph.Graph, *graph.Weights, error) {
+	type wEdge struct {
+		from, to string
+		w        float64
+	}
+	var rows []wEdge
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	b := graph.NewLabeledBuilder()
+	lineNo := 0
+	seenEdge := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := splitFields(line)
+		if !seenEdge && len(fields) >= 2 && isHeaderToken(fields[0]) && isHeaderToken(fields[1]) {
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("formats: edgelist line %d: want at least 2 fields, got %d (%q)", lineNo, len(fields), line)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			var err error
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil || w <= 0 {
+				return nil, nil, fmt.Errorf("formats: edgelist line %d: bad weight %q", lineNo, fields[2])
+			}
+		}
+		b.AddLabeledEdge(fields[0], fields[1])
+		rows = append(rows, wEdge{from: fields[0], to: fields[1], w: w})
+		seenEdge = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("formats: edgelist: %w", err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("formats: edgelist: %w", err)
+	}
+	ws := graph.NewWeights(g)
+	// The builder collapses duplicate edges; replay rows to accumulate
+	// weights (first occurrence replaces the default 1, later ones add).
+	seen := make(map[[2]graph.NodeID]bool, len(rows))
+	for _, row := range rows {
+		u, _ := g.NodeByLabel(row.from)
+		v, _ := g.NodeByLabel(row.to)
+		key := [2]graph.NodeID{u, v}
+		if seen[key] {
+			if err := ws.Add(u, v, row.w); err != nil {
+				return nil, nil, fmt.Errorf("formats: edgelist: %w", err)
+			}
+			continue
+		}
+		seen[key] = true
+		if err := ws.Set(u, v, row.w); err != nil {
+			return nil, nil, fmt.Errorf("formats: edgelist: %w", err)
+		}
+	}
+	return g, ws, nil
+}
+
+func isHeaderToken(s string) bool {
+	switch strings.ToLower(s) {
+	case "source", "target", "src", "dst", "from", "to":
+		return true
+	}
+	return false
+}
+
+// WriteEdgeList encodes g as a CSV edge list, one "source,target" line
+// per edge in canonical order. Labels containing commas are rejected
+// since the format cannot represent them.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	var encodeErr error
+	g.Edges(func(u, v graph.NodeID) bool {
+		lu, lv := g.Label(u), g.Label(v)
+		if strings.ContainsRune(lu, ',') || strings.ContainsRune(lv, ',') {
+			encodeErr = fmt.Errorf("formats: edgelist: label with comma cannot be encoded: %q -> %q", lu, lv)
+			return false
+		}
+		if _, err := fmt.Fprintf(bw, "%s,%s\n", lu, lv); err != nil {
+			encodeErr = fmt.Errorf("formats: edgelist: %w", err)
+			return false
+		}
+		return true
+	})
+	if encodeErr != nil {
+		return encodeErr
+	}
+	return bw.Flush()
+}

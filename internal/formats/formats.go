@@ -1,0 +1,280 @@
+// Package formats reads and writes the three graph file formats the
+// demo platform supports for dataset upload:
+//
+//   - edgelist: comma/whitespace-separated "source,target" pairs, one
+//     edge per line (the Gephi CSV edge-list convention);
+//   - pajek: the Pajek .NET format, "*Vertices n" followed by vertex
+//     declarations and an "*Arcs" (directed) section;
+//   - asd: the CycleRank project's own compact format — a header line
+//     "N M" followed by M lines "src dst" of zero-based integer ids.
+//
+// Each format has a Reader returning *graph.Graph and a Writer; Detect
+// sniffs the format from content. All readers report errors with
+// 1-based line numbers.
+package formats
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// Format identifies a supported graph file format.
+type Format string
+
+// Supported formats.
+const (
+	FormatEdgeList Format = "edgelist"
+	FormatPajek    Format = "pajek"
+	FormatASD      Format = "asd"
+)
+
+// ErrUnknownFormat is returned when sniffing or parsing cannot
+// determine a file's format.
+var ErrUnknownFormat = errors.New("formats: unknown graph format")
+
+// Formats returns all supported formats in stable order.
+func Formats() []Format {
+	return []Format{FormatEdgeList, FormatPajek, FormatASD}
+}
+
+// Valid reports whether f names a supported format.
+func (f Format) Valid() bool {
+	switch f {
+	case FormatEdgeList, FormatPajek, FormatASD:
+		return true
+	}
+	return false
+}
+
+// Extension returns the conventional file extension for f, including
+// the dot.
+func (f Format) Extension() string {
+	switch f {
+	case FormatEdgeList:
+		return ".csv"
+	case FormatPajek:
+		return ".net"
+	case FormatASD:
+		return ".asd"
+	}
+	return ""
+}
+
+// Read parses a graph in the given format.
+func Read(r io.Reader, f Format) (*graph.Graph, error) {
+	switch f {
+	case FormatEdgeList:
+		return ReadEdgeList(r)
+	case FormatPajek:
+		return ReadPajek(r)
+	case FormatASD:
+		return ReadASD(r)
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownFormat, f)
+}
+
+// Write encodes a graph in the given format.
+func Write(w io.Writer, g *graph.Graph, f Format) error {
+	switch f {
+	case FormatEdgeList:
+		return WriteEdgeList(w, g)
+	case FormatPajek:
+		return WritePajek(w, g)
+	case FormatASD:
+		return WriteASD(w, g)
+	}
+	return fmt.Errorf("%w: %q", ErrUnknownFormat, f)
+}
+
+// ReadFile loads a graph from disk, inferring the format from the file
+// extension and falling back to content sniffing. Files ending in .gz
+// are transparently decompressed (e.g. "edges.csv.gz").
+func ReadFile(path string) (*graph.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("formats: %w", err)
+	}
+	ext := filepath.Ext(path)
+	if strings.EqualFold(ext, ".gz") {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("formats: %s: %w", path, err)
+		}
+		data, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("formats: %s: %w", path, err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("formats: %s: %w", path, err)
+		}
+		ext = filepath.Ext(strings.TrimSuffix(path, filepath.Ext(path)))
+	}
+	f := FromExtension(ext)
+	if !f.Valid() {
+		f, err = Detect(data)
+		if err != nil {
+			return nil, fmt.Errorf("formats: %s: %w", path, err)
+		}
+	}
+	g, err := Read(bytes.NewReader(data), f)
+	if err != nil {
+		return nil, fmt.Errorf("formats: %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// WriteFile stores a graph to disk in the format implied by the file
+// extension.
+func WriteFile(path string, g *graph.Graph) error {
+	f := FromExtension(filepath.Ext(path))
+	if !f.Valid() {
+		return fmt.Errorf("%w: extension %q", ErrUnknownFormat, filepath.Ext(path))
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("formats: %w", err)
+	}
+	if err := Write(bufio.NewWriter(file), g, f); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// FromExtension maps a file extension (with or without the leading
+// dot) to a Format; the zero Format is returned for unknown
+// extensions.
+func FromExtension(ext string) Format {
+	switch strings.ToLower(strings.TrimPrefix(ext, ".")) {
+	case "csv", "edgelist", "edges", "txt":
+		return FormatEdgeList
+	case "net", "pajek":
+		return FormatPajek
+	case "asd":
+		return FormatASD
+	}
+	return Format("")
+}
+
+// Detect sniffs the format of graph file content. Pajek files start
+// with a "*Vertices" directive; ASD files start with a bare "N M"
+// integer pair followed by integer edges; anything else that parses as
+// delimiter-separated pairs is an edge list.
+func Detect(data []byte) (Format, error) {
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var first string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		first = line
+		break
+	}
+	if first == "" {
+		return "", fmt.Errorf("%w: empty input", ErrUnknownFormat)
+	}
+	if strings.HasPrefix(strings.ToLower(first), "*vertices") {
+		return FormatPajek, nil
+	}
+	fields := splitFields(first)
+	if len(fields) == 2 && isUint(fields[0]) && isUint(fields[1]) {
+		// Both "N M" headers and "src dst" edge lines look like two
+		// integers. Disambiguate: an ASD header is followed by edges
+		// whose ids are < N; treat a two-integer first line as ASD only
+		// when the declared M matches the number of remaining lines.
+		if looksLikeASD(data) {
+			return FormatASD, nil
+		}
+		return FormatEdgeList, nil
+	}
+	if len(fields) == 2 {
+		return FormatEdgeList, nil
+	}
+	return "", fmt.Errorf("%w: unrecognized first line %q", ErrUnknownFormat, first)
+}
+
+func looksLikeASD(data []byte) bool {
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	header := false
+	var n, m uint64
+	var edges uint64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := splitFields(line)
+		if len(fields) != 2 || !isUint(fields[0]) || !isUint(fields[1]) {
+			return false
+		}
+		a, b := parseUint(fields[0]), parseUint(fields[1])
+		if !header {
+			header = true
+			n, m = a, b
+			continue
+		}
+		if a >= n || b >= n {
+			return false
+		}
+		edges++
+	}
+	return header && edges == m
+}
+
+func splitFields(line string) []string {
+	if strings.ContainsRune(line, ',') {
+		parts := strings.Split(line, ",")
+		out := parts[:0]
+		for _, p := range parts {
+			p = strings.TrimSpace(p)
+			if p != "" {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	if strings.ContainsRune(line, '\t') {
+		parts := strings.Split(line, "\t")
+		out := parts[:0]
+		for _, p := range parts {
+			p = strings.TrimSpace(p)
+			if p != "" {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	return strings.Fields(line)
+}
+
+func isUint(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func parseUint(s string) uint64 {
+	var v uint64
+	for _, r := range s {
+		v = v*10 + uint64(r-'0')
+	}
+	return v
+}

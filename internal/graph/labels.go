@@ -1,0 +1,68 @@
+package graph
+
+import "fmt"
+
+// LabelTable is a bidirectional mapping between node ids and external
+// string names. It is immutable after construction and safe for
+// concurrent readers.
+type LabelTable struct {
+	names []string
+	ids   map[string]NodeID
+}
+
+// NewLabelTable builds a table from a dense slice of names where
+// names[i] labels node i. It returns an error if any name is empty or
+// duplicated, since labels must resolve uniquely.
+func NewLabelTable(names []string) (*LabelTable, error) {
+	t := &LabelTable{
+		names: make([]string, len(names)),
+		ids:   make(map[string]NodeID, len(names)),
+	}
+	copy(t.names, names)
+	for i, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("graph: empty label for node %d", i)
+		}
+		if prev, dup := t.ids[name]; dup {
+			return nil, fmt.Errorf("graph: duplicate label %q for nodes %d and %d", name, prev, i)
+		}
+		t.ids[name] = NodeID(i)
+	}
+	return t, nil
+}
+
+// Len returns the number of labeled nodes.
+func (t *LabelTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.names)
+}
+
+// Name returns the label of node v, or its decimal id if v is out of
+// range.
+func (t *LabelTable) Name(v NodeID) string {
+	if t == nil || v < 0 || int(v) >= len(t.names) {
+		return fmt.Sprintf("%d", v)
+	}
+	return t.names[v]
+}
+
+// ID resolves a label to its node id.
+func (t *LabelTable) ID(name string) (NodeID, bool) {
+	if t == nil {
+		return 0, false
+	}
+	id, ok := t.ids[name]
+	return id, ok
+}
+
+// Names returns a copy of the dense name slice.
+func (t *LabelTable) Names() []string {
+	if t == nil {
+		return nil
+	}
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}

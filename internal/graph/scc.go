@@ -1,0 +1,131 @@
+package graph
+
+// SCCResult describes the strongly connected components of a graph.
+type SCCResult struct {
+	// Component[v] is the id of v's component; ids are dense in
+	// [0, Count) and numbered in reverse topological order of the
+	// condensation (i.e. component 0 has no incoming edges from other
+	// components is NOT guaranteed; ids are assignment order of
+	// Tarjan's algorithm, which is reverse topological).
+	Component []int32
+	// Count is the number of components.
+	Count int
+	// Sizes[c] is the number of nodes in component c.
+	Sizes []int32
+}
+
+// Largest returns the id and size of the largest component, or (-1, 0)
+// on an empty graph.
+func (r *SCCResult) Largest() (id int32, size int32) {
+	id = -1
+	for c, s := range r.Sizes {
+		if s > size {
+			id, size = int32(c), s
+		}
+	}
+	return id, size
+}
+
+// SameComponent reports whether u and v are strongly connected.
+func (r *SCCResult) SameComponent(u, v NodeID) bool {
+	if int(u) >= len(r.Component) || int(v) >= len(r.Component) || u < 0 || v < 0 {
+		return false
+	}
+	return r.Component[u] == r.Component[v]
+}
+
+// StronglyConnectedComponents computes the SCCs of g with an iterative
+// Tarjan's algorithm (no recursion, safe on deep graphs).
+//
+// Every cycle through a reference node r lies entirely inside r's
+// strongly connected component, so SCC membership is both a useful
+// sanity check and an upper bound on CycleRank's support set.
+func StronglyConnectedComponents(g *Graph) *SCCResult {
+	n := g.NumNodes()
+	res := &SCCResult{Component: make([]int32, n)}
+	for i := range res.Component {
+		res.Component[i] = -1
+	}
+
+	const unvisited = -1
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+
+	var (
+		counter int32
+		stack   []NodeID // Tarjan's component stack
+	)
+	type frame struct {
+		v    NodeID
+		next int
+	}
+	var call []frame
+
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{v: NodeID(start)})
+		index[start] = counter
+		lowlink[start] = counter
+		counter++
+		stack = append(stack, NodeID(start))
+		onStack[start] = true
+
+		for len(call) > 0 {
+			top := &call[len(call)-1]
+			v := top.v
+			adj := g.Out(v)
+			recursed := false
+			for top.next < len(adj) {
+				w := adj[top.next]
+				top.next++
+				if index[w] == unvisited {
+					index[w] = counter
+					lowlink[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+					recursed = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+			}
+			if recursed {
+				continue
+			}
+			// v is finished.
+			if lowlink[v] == index[v] {
+				cid := int32(res.Count)
+				res.Count++
+				var size int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					res.Component[w] = cid
+					size++
+					if w == v {
+						break
+					}
+				}
+				res.Sizes = append(res.Sizes, size)
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].v
+				if lowlink[v] < lowlink[parent] {
+					lowlink[parent] = lowlink[v]
+				}
+			}
+		}
+	}
+	return res
+}

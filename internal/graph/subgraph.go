@@ -1,0 +1,89 @@
+package graph
+
+import "fmt"
+
+// InducedSubgraph returns the subgraph induced by the given nodes
+// (deduplicated), together with the mapping from new ids to original
+// ids (origOf[newID] = oldID). Labels carry over when the source graph
+// is labeled.
+func InducedSubgraph(g *Graph, nodes []NodeID) (*Graph, []NodeID, error) {
+	newOf := make(map[NodeID]NodeID, len(nodes))
+	var origOf []NodeID
+	for _, v := range nodes {
+		if !g.ValidNode(v) {
+			return nil, nil, fmt.Errorf("graph: induced subgraph: node %d out of range", v)
+		}
+		if _, dup := newOf[v]; dup {
+			continue
+		}
+		newOf[v] = NodeID(len(origOf))
+		origOf = append(origOf, v)
+	}
+
+	b := NewBuilder(len(origOf))
+	for _, old := range origOf {
+		u := newOf[old]
+		for _, w := range g.Out(old) {
+			if nw, ok := newOf[w]; ok {
+				b.AddEdge(u, nw)
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Carry node identity into the subgraph: original labels when the
+	// source is labeled, original decimal ids otherwise (so "node 5"
+	// of the parent is still addressable as "5" in the subgraph).
+	names := make([]string, len(origOf))
+	for i, old := range origOf {
+		names[i] = g.Label(old)
+	}
+	sub, err = sub.WithLabels(names)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, origOf, nil
+}
+
+// EgoNet returns the subgraph induced by every node within radius hops
+// of center, following edges in both directions (the neighborhood a UI
+// visualizes around a query node). The center is always included; the
+// returned mapping follows InducedSubgraph conventions with the center
+// first.
+func EgoNet(g *Graph, center NodeID, radius int) (*Graph, []NodeID, error) {
+	if !g.ValidNode(center) {
+		return nil, nil, fmt.Errorf("graph: ego net: node %d out of range", center)
+	}
+	if radius < 0 {
+		return nil, nil, fmt.Errorf("graph: ego net: negative radius %d", radius)
+	}
+	// Bidirectional bounded BFS.
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[center] = 0
+	queue := []NodeID{center}
+	members := []NodeID{center}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if int(dist[v]) >= radius {
+			continue
+		}
+		for _, adj := range [][]NodeID{g.Out(v), g.In(v)} {
+			for _, w := range adj {
+				if dist[w] == Unreachable {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+					members = append(members, w)
+				}
+			}
+		}
+	}
+	// InducedSubgraph numbers nodes by first occurrence, so the center
+	// is node 0 of the result.
+	return InducedSubgraph(g, members)
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	// 0->1->2->0 plus 0->3.
+	g := mustBuild(t, 4, []Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}, {From: 0, To: 3}})
+	sub, origOf, err := InducedSubgraph(g, []NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("sub N=%d M=%d", sub.NumNodes(), sub.NumEdges())
+	}
+	if len(origOf) != 3 || origOf[0] != 0 || origOf[1] != 1 || origOf[2] != 2 {
+		t.Errorf("origOf = %v", origOf)
+	}
+	if !sub.HasEdge(2, 0) {
+		t.Error("closing edge lost")
+	}
+	// Edge to excluded node 3 dropped.
+	for v := 0; v < 3; v++ {
+		for _, w := range sub.Out(NodeID(v)) {
+			if int(w) >= 3 {
+				t.Errorf("edge to excluded node survived: %d->%d", v, w)
+			}
+		}
+	}
+}
+
+func TestInducedSubgraphDedupAndValidation(t *testing.T) {
+	g := triangle(t)
+	sub, origOf, err := InducedSubgraph(g, []NodeID{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 2 || len(origOf) != 2 {
+		t.Errorf("dedup failed: N=%d", sub.NumNodes())
+	}
+	if _, _, err := InducedSubgraph(g, []NodeID{0, 99}); err == nil {
+		t.Error("accepted out-of-range node")
+	}
+}
+
+func TestInducedSubgraphKeepsLabels(t *testing.T) {
+	b := NewLabeledBuilder()
+	b.AddLabeledEdge("x", "y")
+	b.AddLabeledEdge("y", "z")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := g.NodeByLabel("y")
+	z, _ := g.NodeByLabel("z")
+	sub, _, err := InducedSubgraph(g, []NodeID{y, z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sub.NodeByLabel("y"); !ok {
+		t.Error("labels lost")
+	}
+	if _, ok := sub.NodeByLabel("x"); ok {
+		t.Error("excluded label present")
+	}
+}
+
+func TestEgoNet(t *testing.T) {
+	// center 0 <-> 1, 1 -> 2, 3 -> 0, 4 isolated.
+	g := mustBuild(t, 5, []Edge{{From: 0, To: 1}, {From: 1, To: 0}, {From: 1, To: 2}, {From: 3, To: 0}})
+	ego, origOf, err := EgoNet(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radius 1 in both directions: {0, 1, 3}.
+	if ego.NumNodes() != 3 {
+		t.Fatalf("ego N=%d, want 3 (got %v)", ego.NumNodes(), origOf)
+	}
+	if origOf[0] != 0 {
+		t.Errorf("center not node 0: %v", origOf)
+	}
+	ego2, _, err := EgoNet(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ego2.NumNodes() != 4 { // adds node 2; node 4 stays out
+		t.Errorf("radius-2 ego N=%d, want 4", ego2.NumNodes())
+	}
+}
+
+func TestEgoNetZeroRadius(t *testing.T) {
+	g := triangle(t)
+	ego, origOf, err := EgoNet(g, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ego.NumNodes() != 1 || origOf[0] != 1 {
+		t.Errorf("zero-radius ego: N=%d origOf=%v", ego.NumNodes(), origOf)
+	}
+}
+
+func TestEgoNetValidation(t *testing.T) {
+	g := triangle(t)
+	if _, _, err := EgoNet(g, 99, 1); err == nil {
+		t.Error("accepted bad center")
+	}
+	if _, _, err := EgoNet(g, 0, -1); err == nil {
+		t.Error("accepted negative radius")
+	}
+}

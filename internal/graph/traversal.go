@@ -1,0 +1,107 @@
+package graph
+
+// Unreachable is the distance reported for nodes a bounded search did
+// not reach.
+const Unreachable = -1
+
+// BFSFrom computes shortest-path distances (in edges) from src over
+// out-edges, visiting only nodes within maxDepth hops. maxDepth < 0
+// means unbounded. The result has one entry per node; unreached nodes
+// hold Unreachable.
+func BFSFrom(g *Graph, src NodeID, maxDepth int) []int32 {
+	return bfs(g, src, maxDepth, false)
+}
+
+// BFSTo computes shortest-path distances (in edges) *to* dst over
+// out-edges — equivalently, distances from dst over in-edges. maxDepth
+// < 0 means unbounded.
+func BFSTo(g *Graph, dst NodeID, maxDepth int) []int32 {
+	return bfs(g, dst, maxDepth, true)
+}
+
+func bfs(g *Graph, src NodeID, maxDepth int, reverse bool) []int32 {
+	n := g.NumNodes()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if !g.ValidNode(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		d := dist[v]
+		if maxDepth >= 0 && int(d) >= maxDepth {
+			continue
+		}
+		var adj []NodeID
+		if reverse {
+			adj = g.In(v)
+		} else {
+			adj = g.Out(v)
+		}
+		for _, w := range adj {
+			if dist[w] == Unreachable {
+				dist[w] = d + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// ReachableFrom returns the number of nodes reachable from src
+// (including src itself) within maxDepth hops; maxDepth < 0 means
+// unbounded.
+func ReachableFrom(g *Graph, src NodeID, maxDepth int) int {
+	dist := BFSFrom(g, src, maxDepth)
+	count := 0
+	for _, d := range dist {
+		if d != Unreachable {
+			count++
+		}
+	}
+	return count
+}
+
+// DFSPostorder visits every node reachable from the given roots in
+// depth-first postorder, calling fn exactly once per visited node. The
+// traversal is iterative and safe on deep graphs.
+func DFSPostorder(g *Graph, roots []NodeID, fn func(NodeID)) {
+	n := g.NumNodes()
+	visited := make([]bool, n)
+	type frame struct {
+		node NodeID
+		next int
+	}
+	var stack []frame
+	for _, r := range roots {
+		if !g.ValidNode(r) || visited[r] {
+			continue
+		}
+		visited[r] = true
+		stack = append(stack, frame{node: r})
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			adj := g.Out(top.node)
+			advanced := false
+			for top.next < len(adj) {
+				w := adj[top.next]
+				top.next++
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, frame{node: w})
+					advanced = true
+					break
+				}
+			}
+			if !advanced && top.next >= len(adj) {
+				fn(top.node)
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightsDefaultOnes(t *testing.T) {
+	g := triangle(t)
+	ws := NewWeights(g)
+	w, err := ws.Get(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 {
+		t.Errorf("default weight = %v, want 1", w)
+	}
+	if got := ws.OutSum(0); got != 1 {
+		t.Errorf("OutSum = %v", got)
+	}
+	if ws.Graph() != g {
+		t.Error("Graph() identity lost")
+	}
+}
+
+func TestWeightsSetAddGet(t *testing.T) {
+	g := mustBuild(t, 3, []Edge{{From: 0, To: 1}, {From: 0, To: 2}})
+	ws := NewWeights(g)
+	if err := ws.Set(0, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Add(0, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	w1, _ := ws.Get(0, 1)
+	w2, _ := ws.Get(0, 2)
+	if w1 != 3.5 || w2 != 5 {
+		t.Errorf("weights = %v, %v", w1, w2)
+	}
+	if got := ws.OutSum(0); math.Abs(got-8.5) > 1e-12 {
+		t.Errorf("OutSum = %v", got)
+	}
+	ow := ws.OutWeights(0)
+	if len(ow) != 2 {
+		t.Errorf("OutWeights len = %d", len(ow))
+	}
+}
+
+func TestWeightsErrors(t *testing.T) {
+	g := triangle(t)
+	ws := NewWeights(g)
+	if err := ws.Set(0, 2, 1); err == nil { // edge 0->2 does not exist
+		t.Error("set on missing edge succeeded")
+	}
+	if err := ws.Set(0, 1, 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if err := ws.Set(0, 1, -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := ws.Add(0, 1, 0); err == nil {
+		t.Error("zero delta accepted")
+	}
+	if _, err := ws.Get(99, 0); err == nil {
+		t.Error("out-of-range get succeeded")
+	}
+	if err := ws.Set(-1, 0, 1); err == nil {
+		t.Error("negative node accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package pagerank
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/ranking"
+)
+
+// MCParams configures the Monte-Carlo Personalized PageRank engine.
+type MCParams struct {
+	// Alpha is the damping factor (continue probability), in (0, 1),
+	// matching the power-iteration convention.
+	Alpha float64
+	// Walks is the number of random walks started per seed; more walks
+	// mean lower variance. Must be positive.
+	Walks int
+	// MaxSteps caps a single walk's length as a safety net; zero means
+	// 100.
+	MaxSteps int
+	// Seeds are the walk origins. At least one is required.
+	Seeds []graph.NodeID
+	// Seed is the RNG seed, making runs reproducible.
+	Seed int64
+}
+
+// Validate checks parameters against g.
+func (p MCParams) Validate(g *graph.Graph) error {
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return fmt.Errorf("pagerank: mc alpha=%v outside (0,1)", p.Alpha)
+	}
+	if p.Walks <= 0 {
+		return fmt.Errorf("pagerank: mc walks=%d must be positive", p.Walks)
+	}
+	if p.MaxSteps < 0 {
+		return fmt.Errorf("pagerank: mc negative max steps %d", p.MaxSteps)
+	}
+	if len(p.Seeds) == 0 {
+		return fmt.Errorf("pagerank: mc requires at least one seed")
+	}
+	for _, s := range p.Seeds {
+		if !g.ValidNode(s) {
+			return fmt.Errorf("pagerank: seed node %d not in graph (N=%d)", s, g.NumNodes())
+		}
+	}
+	return nil
+}
+
+// MonteCarloPPR estimates Personalized PageRank by simulating random
+// walks with restart: each walk starts at a seed, follows a uniform
+// random out-edge with probability Alpha and terminates otherwise; the
+// estimate for node v is the fraction of walks that terminate at v.
+// Walks hitting a dangling node restart at a random seed, matching the
+// power-iteration engine's dangling convention.
+func MonteCarloPPR(ctx context.Context, g *graph.Graph, p MCParams) (*ranking.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	maxSteps := p.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 100
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := g.NumNodes()
+	counts := make([]int64, n)
+	total := int64(0)
+
+	for wi := 0; wi < p.Walks; wi++ {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("pagerank: mc cancelled: %w", ctx.Err())
+		default:
+		}
+		for _, s := range p.Seeds {
+			v := s
+			for step := 0; step < maxSteps; step++ {
+				if rng.Float64() >= p.Alpha {
+					break // terminate here
+				}
+				out := g.Out(v)
+				if len(out) == 0 {
+					// Dangling: restart at a random seed and continue.
+					v = p.Seeds[rng.Intn(len(p.Seeds))]
+					continue
+				}
+				v = out[rng.Intn(len(out))]
+			}
+			counts[v]++
+			total++
+		}
+	}
+
+	scores := make([]float64, n)
+	for v, c := range counts {
+		scores[v] = float64(c) / float64(total)
+	}
+	res, err := ranking.NewResult("ppr-mc", g, scores)
+	if err != nil {
+		return nil, err
+	}
+	res.Iterations = p.Walks * len(p.Seeds)
+	return res, nil
+}

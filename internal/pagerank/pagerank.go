@@ -1,0 +1,213 @@
+// Package pagerank implements the PageRank family of relevance
+// algorithms showcased by the demo platform: PageRank, Personalized
+// PageRank, CheiRank, Personalized CheiRank, 2DRank and Personalized
+// 2DRank, plus two approximate Personalized PageRank engines (forward
+// push and Monte-Carlo) used by the ablation experiments.
+package pagerank
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/ranking"
+)
+
+// Defaults used by the demo when the user does not override them.
+const (
+	DefaultAlpha   = 0.85
+	DefaultTol     = 1e-10
+	DefaultMaxIter = 200
+)
+
+// Params configures a PageRank-family power iteration.
+type Params struct {
+	// Alpha is the damping factor: the probability of following an
+	// out-link rather than teleporting. Must lie in (0, 1).
+	Alpha float64
+	// Tol is the L1 convergence tolerance; iteration stops when the
+	// total absolute score change falls below it. Zero means
+	// DefaultTol.
+	Tol float64
+	// MaxIter caps the number of iterations. Zero means
+	// DefaultMaxIter.
+	MaxIter int
+	// Seeds is the personalization set: teleporting lands uniformly on
+	// these nodes. Empty means global (uniform) teleportation, i.e.
+	// classic PageRank.
+	Seeds []graph.NodeID
+}
+
+// Validate checks the parameters against g.
+func (p Params) Validate(g *graph.Graph) error {
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return fmt.Errorf("pagerank: alpha=%v outside (0,1)", p.Alpha)
+	}
+	if p.Tol < 0 {
+		return fmt.Errorf("pagerank: negative tolerance %v", p.Tol)
+	}
+	if p.MaxIter < 0 {
+		return fmt.Errorf("pagerank: negative max iterations %d", p.MaxIter)
+	}
+	for _, s := range p.Seeds {
+		if !g.ValidNode(s) {
+			return fmt.Errorf("pagerank: seed node %d not in graph (N=%d)", s, g.NumNodes())
+		}
+	}
+	return nil
+}
+
+func (p Params) tol() float64 {
+	if p.Tol == 0 {
+		return DefaultTol
+	}
+	return p.Tol
+}
+
+func (p Params) maxIter() int {
+	if p.MaxIter == 0 {
+		return DefaultMaxIter
+	}
+	return p.MaxIter
+}
+
+// PageRank computes classic PageRank with damping p.Alpha on g. Any
+// Seeds in p are ignored (use Personalized for seeded teleportation).
+func PageRank(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+	p.Seeds = nil
+	return power(ctx, g, p, "pagerank")
+}
+
+// Personalized computes Personalized PageRank: random walks restart
+// uniformly on p.Seeds instead of on all nodes. At least one seed is
+// required.
+func Personalized(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+	if len(p.Seeds) == 0 {
+		return nil, fmt.Errorf("pagerank: personalized pagerank requires at least one seed")
+	}
+	return power(ctx, g, p, "ppr")
+}
+
+// CheiRank computes PageRank on the transposed graph — relevance by
+// outgoing rather than incoming connections (Chepelianskii 2010).
+func CheiRank(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+	p.Seeds = nil
+	res, err := power(ctx, g.Transpose(), p, "cheirank")
+	if err != nil {
+		return nil, err
+	}
+	return rewrap(res, g)
+}
+
+// PersonalizedCheiRank computes Personalized PageRank on the
+// transposed graph.
+func PersonalizedCheiRank(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+	if len(p.Seeds) == 0 {
+		return nil, fmt.Errorf("pagerank: personalized cheirank requires at least one seed")
+	}
+	res, err := power(ctx, g.Transpose(), p, "pcheirank")
+	if err != nil {
+		return nil, err
+	}
+	return rewrap(res, g)
+}
+
+// rewrap rebinds a result computed on a transpose view back to the
+// original graph so labels and downstream consumers see g itself.
+func rewrap(res *ranking.Result, g *graph.Graph) (*ranking.Result, error) {
+	out, err := ranking.NewResult(res.Algorithm, g, res.Scores)
+	if err != nil {
+		return nil, err
+	}
+	out.Iterations = res.Iterations
+	out.Residual = res.Residual
+	return out, nil
+}
+
+// power is the shared power-iteration core. Dangling mass (score
+// sitting on out-degree-zero nodes) is redistributed to the teleport
+// vector each iteration, keeping the score vector a probability
+// distribution.
+func power(ctx context.Context, g *graph.Graph, p Params, name string) (*ranking.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return ranking.NewResult(name, g, nil)
+	}
+
+	// Teleport distribution.
+	teleport := make([]float64, n)
+	if len(p.Seeds) == 0 {
+		u := 1 / float64(n)
+		for i := range teleport {
+			teleport[i] = u
+		}
+	} else {
+		// Duplicate seeds accumulate mass, matching the "teleport to a
+		// multiset of seeds" semantics.
+		u := 1 / float64(len(p.Seeds))
+		for _, s := range p.Seeds {
+			teleport[s] += u
+		}
+	}
+
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	copy(cur, teleport)
+
+	dangling := g.DanglingNodes()
+	alpha := p.Alpha
+	tol := p.tol()
+	maxIter := p.maxIter()
+
+	var (
+		iter     int
+		residual = math.Inf(1)
+	)
+	for iter = 0; iter < maxIter && residual > tol; iter++ {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("pagerank: %s cancelled: %w", name, ctx.Err())
+		default:
+		}
+
+		var danglingMass float64
+		for _, d := range dangling {
+			danglingMass += cur[d]
+		}
+
+		for v := 0; v < n; v++ {
+			next[v] = (1-alpha)*teleport[v] + alpha*danglingMass*teleport[v]
+		}
+		for v := 0; v < n; v++ {
+			out := g.Out(graph.NodeID(v))
+			if len(out) == 0 || cur[v] == 0 {
+				continue
+			}
+			share := alpha * cur[v] / float64(len(out))
+			for _, w := range out {
+				next[w] += share
+			}
+		}
+
+		residual = 0
+		for v := 0; v < n; v++ {
+			residual += math.Abs(next[v] - cur[v])
+		}
+		cur, next = next, cur
+	}
+
+	res, err := ranking.NewResult(name, g, cur)
+	if err != nil {
+		return nil, err
+	}
+	res.Iterations = iter
+	res.Residual = residual
+	return res, nil
+}

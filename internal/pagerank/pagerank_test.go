@@ -1,0 +1,476 @@
+package pagerank
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+func edge(u, v graph.NodeID) graph.Edge { return graph.Edge{From: u, To: v} }
+
+func mustGraph(t *testing.T, n int, edges []graph.Edge) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func randomGraph(seed int64, n int, degree int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < n*degree; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// On a directed cycle every node has identical structure, so
+	// PageRank must be uniform.
+	const n = 5
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PageRank(nil, g, Params{Alpha: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if math.Abs(res.Scores[v]-1.0/n) > 1e-8 {
+			t.Errorf("score[%d] = %v, want %v", v, res.Scores[v], 1.0/n)
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := randomGraph(7, 50, 3)
+	res, err := PageRank(nil, g, Params{Alpha: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Sum()-1) > 1e-8 {
+		t.Errorf("Sum = %v, want 1", res.Sum())
+	}
+	if res.Iterations == 0 {
+		t.Error("no iterations recorded")
+	}
+	if res.Residual > 1e-9 {
+		t.Errorf("residual %v did not converge", res.Residual)
+	}
+}
+
+func TestPageRankStarCenter(t *testing.T) {
+	// All leaves point to the center: center must dominate.
+	const n = 6
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.NodeID(i), 0)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PageRank(nil, g, Params{Alpha: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < n; v++ {
+		if res.Scores[v] >= res.Scores[0] {
+			t.Errorf("leaf %d (%v) >= center (%v)", v, res.Scores[v], res.Scores[0])
+		}
+	}
+}
+
+func TestPageRankHandlesDangling(t *testing.T) {
+	// 0 -> 1, 1 dangles. Mass must not leak: sum stays 1.
+	g := mustGraph(t, 2, []graph.Edge{edge(0, 1)})
+	res, err := PageRank(nil, g, Params{Alpha: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Sum()-1) > 1e-8 {
+		t.Errorf("Sum with dangling node = %v, want 1", res.Sum())
+	}
+	if res.Scores[1] <= res.Scores[0] {
+		t.Error("sink did not accumulate more mass than source")
+	}
+}
+
+func TestPageRankEmptyGraph(t *testing.T) {
+	var g graph.Graph
+	res, err := PageRank(nil, &g, Params{Alpha: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 0 {
+		t.Error("scores on empty graph")
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	g := mustGraph(t, 2, []graph.Edge{edge(0, 1)})
+	bad := []Params{
+		{Alpha: 0},
+		{Alpha: 1},
+		{Alpha: -0.3},
+		{Alpha: 1.5},
+		{Alpha: 0.85, Tol: -1},
+		{Alpha: 0.85, MaxIter: -1},
+	}
+	for _, p := range bad {
+		if _, err := PageRank(nil, g, p); err == nil {
+			t.Errorf("PageRank accepted %+v", p)
+		}
+	}
+	// Seed validation applies to the personalized variants (classic
+	// PageRank ignores seeds by design).
+	if _, err := Personalized(nil, g, Params{Alpha: 0.85, Seeds: []graph.NodeID{99}}); err == nil {
+		t.Error("Personalized accepted out-of-range seed")
+	}
+}
+
+func TestPersonalizedRequiresSeeds(t *testing.T) {
+	g := mustGraph(t, 2, []graph.Edge{edge(0, 1)})
+	if _, err := Personalized(nil, g, Params{Alpha: 0.85}); err == nil {
+		t.Error("PPR accepted empty seed set")
+	}
+	if _, err := PersonalizedCheiRank(nil, g, Params{Alpha: 0.85}); err == nil {
+		t.Error("PCheiRank accepted empty seed set")
+	}
+	if _, err := PersonalizedTwoDRank(nil, g, Params{Alpha: 0.85}); err == nil {
+		t.Error("P2DRank accepted empty seed set")
+	}
+}
+
+func TestPersonalizedConcentratesNearSeed(t *testing.T) {
+	// Two disjoint mutual pairs; seeding on one pair must leave the
+	// other with (1-alpha)-teleport-only ≈ 0 mass.
+	g := mustGraph(t, 4, []graph.Edge{edge(0, 1), edge(1, 0), edge(2, 3), edge(3, 2)})
+	res, err := Personalized(nil, g, Params{Alpha: 0.85, Seeds: []graph.NodeID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[2] != 0 || res.Scores[3] != 0 {
+		t.Errorf("mass leaked to unreachable nodes: %v", res.Scores)
+	}
+	if res.Scores[0] < res.Scores[1] {
+		t.Error("seed scored below its neighbor")
+	}
+	if math.Abs(res.Sum()-1) > 1e-8 {
+		t.Errorf("Sum = %v, want 1", res.Sum())
+	}
+}
+
+func TestPersonalizedPromotesHighInDegreeHubs(t *testing.T) {
+	// The paper's central observation: a hub reachable from the seed's
+	// neighborhood scores high under PPR even with no back-links.
+	// Build: seed 0 <-> 1 (community), 0->hub, 1->hub, hub dangles.
+	const hub = 2
+	g := mustGraph(t, 3, []graph.Edge{
+		edge(0, 1), edge(1, 0), edge(0, hub), edge(1, hub),
+	})
+	res, err := Personalized(nil, g, Params{Alpha: 0.85, Seeds: []graph.NodeID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[hub] == 0 {
+		t.Error("PPR gave hub zero score; expected leakage (this is PPR's known bias)")
+	}
+}
+
+func TestCheiRankIsPageRankOfTranspose(t *testing.T) {
+	g := randomGraph(11, 30, 3)
+	chei, err := CheiRank(nil, g, Params{Alpha: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prT, err := PageRank(nil, g.Transpose(), Params{Alpha: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range chei.Scores {
+		if math.Abs(chei.Scores[v]-prT.Scores[v]) > 1e-12 {
+			t.Fatalf("cheirank[%d] = %v, pagerank(transpose) = %v", v, chei.Scores[v], prT.Scores[v])
+		}
+	}
+}
+
+func TestCheiRankFavorsOutDegree(t *testing.T) {
+	// 0 points to everyone; nobody points to 0.
+	const n = 5
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, graph.NodeID(i))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheiRank(nil, g, Params{Alpha: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < n; v++ {
+		if res.Scores[v] >= res.Scores[0] {
+			t.Errorf("node %d (%v) >= broadcaster (%v)", v, res.Scores[v], res.Scores[0])
+		}
+	}
+}
+
+func TestTwoDRankOrdering(t *testing.T) {
+	// Hub 0 has high in-degree (good PR) and high out-degree (good
+	// CheiRank): it must be 2DRank #1.
+	g := mustGraph(t, 4, []graph.Edge{
+		edge(1, 0), edge(2, 0), edge(3, 0),
+		edge(0, 1), edge(0, 2), edge(0, 3),
+	})
+	res, err := TwoDRank(nil, g, Params{Alpha: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.Top(1)
+	if len(top) == 0 || top[0].Node != 0 {
+		t.Errorf("2DRank top = %v, want node 0", top)
+	}
+	// Scores are 1/position: all n nodes scored.
+	if got := len(res.Top(-1)); got != 4 {
+		t.Errorf("2DRank scored %d nodes, want 4", got)
+	}
+}
+
+func TestTwoDRankDeterministic(t *testing.T) {
+	g := randomGraph(3, 40, 3)
+	a, err := TwoDRank(nil, g, Params{Alpha: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TwoDRank(nil, g, Params{Alpha: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Scores {
+		if a.Scores[v] != b.Scores[v] {
+			t.Fatalf("2DRank not deterministic at node %d", v)
+		}
+	}
+}
+
+func TestPersonalizedTwoDRank(t *testing.T) {
+	g := mustGraph(t, 4, []graph.Edge{
+		edge(0, 1), edge(1, 0), edge(1, 2), edge(2, 1), edge(2, 3), edge(3, 2),
+	})
+	res, err := PersonalizedTwoDRank(nil, g, Params{Alpha: 0.85, Seeds: []graph.NodeID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "p2drank" {
+		t.Errorf("algorithm = %q", res.Algorithm)
+	}
+	// The seed's immediate mutual neighbor must outrank the far node.
+	if res.Score(1) <= res.Score(3) {
+		t.Errorf("near neighbor %v <= far node %v", res.Score(1), res.Score(3))
+	}
+}
+
+func TestPushPPRApproximatesPower(t *testing.T) {
+	g := randomGraph(5, 60, 4)
+	seeds := []graph.NodeID{7}
+	exact, err := Personalized(nil, g, Params{Alpha: 0.85, Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push with alpha = 1 - damping (ACL stop-probability convention).
+	approx, err := PushPPR(nil, g, PushParams{Alpha: 0.15, Epsilon: 1e-9, Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L1 error small and top-5 sets overlapping.
+	var l1 float64
+	for v := range exact.Scores {
+		l1 += math.Abs(exact.Scores[v] - approx.Scores[v])
+	}
+	if l1 > 1e-4 {
+		t.Errorf("push L1 error = %v", l1)
+	}
+	exactTop := exact.TopLabels(5)
+	approxTop := approx.TopLabels(5)
+	common := 0
+	for _, a := range exactTop {
+		for _, b := range approxTop {
+			if a == b {
+				common++
+			}
+		}
+	}
+	if common < 4 {
+		t.Errorf("push top-5 overlap = %d (%v vs %v)", common, exactTop, approxTop)
+	}
+}
+
+func TestPushPPRValidation(t *testing.T) {
+	g := mustGraph(t, 2, []graph.Edge{edge(0, 1)})
+	bad := []PushParams{
+		{Alpha: 0, Epsilon: 1e-6, Seeds: []graph.NodeID{0}},
+		{Alpha: 0.15, Epsilon: 0, Seeds: []graph.NodeID{0}},
+		{Alpha: 0.15, Epsilon: 1e-6},
+		{Alpha: 0.15, Epsilon: 1e-6, Seeds: []graph.NodeID{5}},
+	}
+	for _, p := range bad {
+		if _, err := PushPPR(nil, g, p); err == nil {
+			t.Errorf("PushPPR accepted %+v", p)
+		}
+	}
+}
+
+func TestMonteCarloPPRApproximatesPower(t *testing.T) {
+	g := randomGraph(9, 40, 4)
+	seeds := []graph.NodeID{3}
+	exact, err := Personalized(nil, g, Params{Alpha: 0.85, Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := MonteCarloPPR(nil, g, MCParams{Alpha: 0.85, Walks: 20000, Seeds: seeds, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The MC top node should be the exact top node on this size.
+	if exact.Top(1)[0].Node != approx.Top(1)[0].Node {
+		t.Errorf("MC top %v != exact top %v", approx.Top(1), exact.Top(1))
+	}
+	if math.Abs(approx.Sum()-1) > 1e-9 {
+		t.Errorf("MC sum = %v", approx.Sum())
+	}
+}
+
+func TestMonteCarloDeterministicPerSeed(t *testing.T) {
+	g := randomGraph(2, 25, 3)
+	p := MCParams{Alpha: 0.85, Walks: 500, Seeds: []graph.NodeID{0}, Seed: 42}
+	a, err := MonteCarloPPR(nil, g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarloPPR(nil, g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Scores {
+		if a.Scores[v] != b.Scores[v] {
+			t.Fatal("MC not reproducible with fixed seed")
+		}
+	}
+}
+
+func TestMCValidation(t *testing.T) {
+	g := mustGraph(t, 2, []graph.Edge{edge(0, 1)})
+	bad := []MCParams{
+		{Alpha: 0, Walks: 10, Seeds: []graph.NodeID{0}},
+		{Alpha: 0.85, Walks: 0, Seeds: []graph.NodeID{0}},
+		{Alpha: 0.85, Walks: 10},
+		{Alpha: 0.85, Walks: 10, Seeds: []graph.NodeID{9}},
+		{Alpha: 0.85, Walks: 10, MaxSteps: -1, Seeds: []graph.NodeID{0}},
+	}
+	for _, p := range bad {
+		if _, err := MonteCarloPPR(nil, g, p); err == nil {
+			t.Errorf("MonteCarloPPR accepted %+v", p)
+		}
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	g := randomGraph(1, 2000, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PageRank(ctx, g, Params{Alpha: 0.85, Tol: 1e-15, MaxIter: 10000}); err == nil {
+		t.Error("cancelled PageRank returned no error")
+	}
+	if _, err := MonteCarloPPR(ctx, g, MCParams{Alpha: 0.85, Walks: 100000, Seeds: []graph.NodeID{0}}); err == nil {
+		t.Error("cancelled MC returned no error")
+	}
+}
+
+// Property: PageRank is a probability distribution and every node has
+// at least the teleport floor (1-alpha)/n... only when no dangling
+// redistribution shifts mass — so assert the weaker invariants: sum to
+// 1, non-negative, converged.
+func TestPageRankDistributionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 30, 2)
+		res, err := PageRank(nil, g, Params{Alpha: 0.85})
+		if err != nil {
+			return false
+		}
+		if math.Abs(res.Sum()-1) > 1e-7 {
+			return false
+		}
+		for _, s := range res.Scores {
+			if s < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PPR with the full node set as seeds equals classic
+// PageRank.
+func TestPPRWithAllSeedsEqualsPageRankProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 20, 3)
+		all := make([]graph.NodeID, g.NumNodes())
+		for i := range all {
+			all[i] = graph.NodeID(i)
+		}
+		pr, err := PageRank(nil, g, Params{Alpha: 0.85})
+		if err != nil {
+			return false
+		}
+		ppr, err := Personalized(nil, g, Params{Alpha: 0.85, Seeds: all})
+		if err != nil {
+			return false
+		}
+		for v := range pr.Scores {
+			if math.Abs(pr.Scores[v]-ppr.Scores[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: duplicate seeds weight the teleport vector (2x seed mass
+// vs a single occurrence of another seed).
+func TestDuplicateSeedWeighting(t *testing.T) {
+	g := mustGraph(t, 3, []graph.Edge{edge(0, 1), edge(1, 0), edge(2, 0)})
+	single, err := Personalized(nil, g, Params{Alpha: 0.85, Seeds: []graph.NodeID{0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled, err := Personalized(nil, g, Params{Alpha: 0.85, Seeds: []graph.NodeID{0, 0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doubled.Scores[0] <= single.Scores[0] {
+		t.Errorf("doubling seed 0 did not raise its score: %v vs %v", doubled.Scores[0], single.Scores[0])
+	}
+}

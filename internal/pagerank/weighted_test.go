@@ -1,0 +1,101 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// Property: all-ones weights reproduce unweighted PageRank exactly,
+// seeded or not.
+func TestWeightedReducesToUnweightedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 25, 3)
+		ws := graph.NewWeights(g)
+		plain, err := PageRank(nil, g, Params{Alpha: 0.85})
+		if err != nil {
+			return false
+		}
+		weighted, err := WeightedPageRank(nil, ws, Params{Alpha: 0.85})
+		if err != nil {
+			return false
+		}
+		for v := range plain.Scores {
+			if math.Abs(plain.Scores[v]-weighted.Scores[v]) > 1e-10 {
+				return false
+			}
+		}
+		seeds := []graph.NodeID{0}
+		pp, err := Personalized(nil, g, Params{Alpha: 0.85, Seeds: seeds})
+		if err != nil {
+			return false
+		}
+		wp, err := WeightedPageRank(nil, ws, Params{Alpha: 0.85, Seeds: seeds})
+		if err != nil {
+			return false
+		}
+		for v := range pp.Scores {
+			if math.Abs(pp.Scores[v]-wp.Scores[v]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedBiasesTowardHeavyEdge(t *testing.T) {
+	// 0 -> 1 and 0 -> 2; weight 9 on 0->1. Node 1 must receive ~9x the
+	// walk mass of node 2.
+	g, err := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := graph.NewWeights(g)
+	if err := ws.Set(0, 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	res, err := WeightedPageRank(nil, ws, Params{Alpha: 0.85, Seeds: []graph.NodeID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[1] <= res.Scores[2]*5 {
+		t.Errorf("heavy edge not favored: %v vs %v", res.Scores[1], res.Scores[2])
+	}
+	if math.Abs(res.Sum()-1) > 1e-8 {
+		t.Errorf("sum = %v", res.Sum())
+	}
+}
+
+func TestWeightedValidationAndEmpty(t *testing.T) {
+	var empty graph.Graph
+	ws := graph.NewWeights(&empty)
+	res, err := WeightedPageRank(nil, ws, Params{Alpha: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 0 {
+		t.Error("scores on empty graph")
+	}
+	g, _ := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}})
+	if _, err := WeightedPageRank(nil, graph.NewWeights(g), Params{Alpha: 2}); err == nil {
+		t.Error("bad alpha accepted")
+	}
+}
+
+func TestWeightedAlgorithmName(t *testing.T) {
+	g, _ := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}})
+	ws := graph.NewWeights(g)
+	global, _ := WeightedPageRank(nil, ws, Params{Alpha: 0.85})
+	if global.Algorithm != "pagerank-weighted" {
+		t.Errorf("name = %q", global.Algorithm)
+	}
+	seeded, _ := WeightedPageRank(nil, ws, Params{Alpha: 0.85, Seeds: []graph.NodeID{0}})
+	if seeded.Algorithm != "ppr-weighted" {
+		t.Errorf("name = %q", seeded.Algorithm)
+	}
+}

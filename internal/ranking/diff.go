@@ -1,0 +1,112 @@
+package ranking
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Diff describes how a ranking changed between two runs — the demo's
+// longitudinal use case ("comparing snapshots of a graph at different
+// points in time") reduced to numbers. Entries are matched by label so
+// the two results may come from different graphs (different snapshot
+// years have different node ids).
+type Diff struct {
+	K int `json:"k"`
+	// Entered lists labels present in the new top-k but not the old,
+	// in new-rank order.
+	Entered []DiffEntry `json:"entered,omitempty"`
+	// Left lists labels present in the old top-k but not the new, in
+	// old-rank order.
+	Left []DiffEntry `json:"left,omitempty"`
+	// Moved lists labels present in both, whose position changed,
+	// sorted by |delta| descending.
+	Moved []DiffEntry `json:"moved,omitempty"`
+	// Stable counts labels present in both at the same position.
+	Stable int `json:"stable"`
+}
+
+// DiffEntry is one label's movement between two rankings. Ranks are
+// 1-based; a rank of 0 means "absent from that side's top-k".
+type DiffEntry struct {
+	Label   string `json:"label"`
+	OldRank int    `json:"old_rank,omitempty"`
+	NewRank int    `json:"new_rank,omitempty"`
+}
+
+// Delta returns the (old − new) position change; positive means the
+// label rose.
+func (e DiffEntry) Delta() int {
+	if e.OldRank == 0 || e.NewRank == 0 {
+		return 0
+	}
+	return e.OldRank - e.NewRank
+}
+
+// DiffTopK compares the top-k of two results by label.
+func DiffTopK(old, new *Result, k int) (*Diff, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ranking: diff depth k=%d < 1", k)
+	}
+	return DiffLists(labelsOf(old, k), labelsOf(new, k), k), nil
+}
+
+func labelsOf(r *Result, k int) []string {
+	top := r.Top(k)
+	out := make([]string, len(top))
+	for i, e := range top {
+		out[i] = e.Label
+	}
+	return out
+}
+
+// DiffLists compares two ranked label lists (already truncated to at
+// most k entries each).
+func DiffLists(old, new []string, k int) *Diff {
+	oldRank := make(map[string]int, len(old))
+	for i, l := range old {
+		oldRank[l] = i + 1
+	}
+	newRank := make(map[string]int, len(new))
+	for i, l := range new {
+		newRank[l] = i + 1
+	}
+
+	d := &Diff{K: k}
+	for i, l := range new {
+		or, inOld := oldRank[l]
+		switch {
+		case !inOld:
+			d.Entered = append(d.Entered, DiffEntry{Label: l, NewRank: i + 1})
+		case or == i+1:
+			d.Stable++
+		default:
+			d.Moved = append(d.Moved, DiffEntry{Label: l, OldRank: or, NewRank: i + 1})
+		}
+	}
+	for i, l := range old {
+		if _, inNew := newRank[l]; !inNew {
+			d.Left = append(d.Left, DiffEntry{Label: l, OldRank: i + 1})
+		}
+	}
+	sort.SliceStable(d.Moved, func(a, b int) bool {
+		da, db := abs(d.Moved[a].Delta()), abs(d.Moved[b].Delta())
+		if da != db {
+			return da > db
+		}
+		return d.Moved[a].Label < d.Moved[b].Label
+	})
+	return d
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// String renders the diff compactly for CLI output.
+func (d *Diff) String() string {
+	return fmt.Sprintf("top-%d diff: %d entered, %d left, %d moved, %d stable",
+		d.K, len(d.Entered), len(d.Left), len(d.Moved), d.Stable)
+}

@@ -1,0 +1,71 @@
+package ranking
+
+import (
+	"testing"
+)
+
+func TestDiffLists(t *testing.T) {
+	old := []string{"a", "b", "c", "d"}
+	new := []string{"a", "c", "b", "e"}
+	d := DiffLists(old, new, 4)
+	if d.Stable != 1 { // "a"
+		t.Errorf("stable = %d, want 1", d.Stable)
+	}
+	if len(d.Entered) != 1 || d.Entered[0].Label != "e" || d.Entered[0].NewRank != 4 {
+		t.Errorf("entered = %+v", d.Entered)
+	}
+	if len(d.Left) != 1 || d.Left[0].Label != "d" || d.Left[0].OldRank != 4 {
+		t.Errorf("left = %+v", d.Left)
+	}
+	if len(d.Moved) != 2 {
+		t.Fatalf("moved = %+v", d.Moved)
+	}
+	// b fell 2->3 (delta -1), c rose 3->2 (delta +1); |delta| equal so
+	// sorted by label.
+	if d.Moved[0].Label != "b" || d.Moved[0].Delta() != -1 {
+		t.Errorf("moved[0] = %+v", d.Moved[0])
+	}
+	if d.Moved[1].Label != "c" || d.Moved[1].Delta() != 1 {
+		t.Errorf("moved[1] = %+v", d.Moved[1])
+	}
+	if d.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestDiffListsIdentical(t *testing.T) {
+	l := []string{"x", "y"}
+	d := DiffLists(l, l, 2)
+	if d.Stable != 2 || len(d.Entered)+len(d.Left)+len(d.Moved) != 0 {
+		t.Errorf("diff of identical lists: %+v", d)
+	}
+}
+
+func TestDiffEntryDeltaAbsent(t *testing.T) {
+	if (DiffEntry{NewRank: 3}).Delta() != 0 {
+		t.Error("entered entry has non-zero delta")
+	}
+	if (DiffEntry{OldRank: 3}).Delta() != 0 {
+		t.Error("left entry has non-zero delta")
+	}
+}
+
+func TestDiffTopK(t *testing.T) {
+	// Results on two *different* graphs, matched by label.
+	gOld := labeledGraph(t, "a", "b", "c")
+	gNew := labeledGraph(t, "c", "b", "z")
+	old := mustResult(t, "x", gOld, []float64{3, 2, 1})
+	new := mustResult(t, "x", gNew, []float64{3, 2, 1})
+	d, err := DiffTopK(old, new, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// old: a,b,c — new: c,b,z. b stable at rank 2; c rose 3->1;
+	// a left; z entered.
+	if d.Stable != 1 || len(d.Entered) != 1 || len(d.Left) != 1 || len(d.Moved) != 1 {
+		t.Errorf("diff = %+v", d)
+	}
+	if _, err := DiffTopK(old, new, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+}

@@ -1,0 +1,110 @@
+package ranking
+
+import "fmt"
+
+// The demo's datastore persists only each task's top-k entries, not
+// full score vectors, so comparing two *stored* results means
+// comparing ranked label lists. These list-based metrics mirror their
+// Result-based counterparts.
+
+// ListJaccard returns the Jaccard similarity of two label lists viewed
+// as sets. Two empty lists agree vacuously (1).
+func ListJaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	setA := make(map[string]bool, len(a))
+	for _, x := range a {
+		setA[x] = true
+	}
+	setB := make(map[string]bool, len(b))
+	inter := 0
+	for _, x := range b {
+		if setB[x] {
+			continue
+		}
+		setB[x] = true
+		if setA[x] {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	return float64(inter) / float64(union)
+}
+
+// ListRBO computes rank-biased overlap between two ranked label lists
+// truncated at the longer list's depth, with persistence p in (0,1).
+func ListRBO(a, b []string, p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("ranking: rbo persistence p=%v outside (0,1)", p)
+	}
+	depth := len(a)
+	if len(b) > depth {
+		depth = len(b)
+	}
+	if depth == 0 {
+		return 1, nil
+	}
+	setA := make(map[string]bool, depth)
+	setB := make(map[string]bool, depth)
+	var sum, norm float64
+	weight := 1.0
+	overlap := 0
+	for d := 1; d <= depth; d++ {
+		if d-1 < len(a) {
+			x := a[d-1]
+			if !setA[x] {
+				setA[x] = true
+				if setB[x] {
+					overlap++
+				}
+			}
+		}
+		if d-1 < len(b) {
+			x := b[d-1]
+			if !setB[x] {
+				setB[x] = true
+				if setA[x] {
+					overlap++
+				}
+			}
+		}
+		if d > 1 {
+			weight *= p
+		}
+		sum += weight * float64(overlap) / float64(d)
+		norm += weight
+	}
+	return sum / norm, nil
+}
+
+// ListOverlapCurve returns the prefix overlap |A_d ∩ B_d| / d for
+// every depth d up to the shorter list's length — the series a UI
+// plots to show where two rankings diverge.
+func ListOverlapCurve(a, b []string) []float64 {
+	depth := len(a)
+	if len(b) < depth {
+		depth = len(b)
+	}
+	out := make([]float64, depth)
+	setA := make(map[string]bool, depth)
+	setB := make(map[string]bool, depth)
+	overlap := 0
+	for d := 1; d <= depth; d++ {
+		x, y := a[d-1], b[d-1]
+		if !setA[x] {
+			setA[x] = true
+			if setB[x] {
+				overlap++
+			}
+		}
+		if !setB[y] {
+			setB[y] = true
+			if setA[y] {
+				overlap++
+			}
+		}
+		out[d-1] = float64(overlap) / float64(d)
+	}
+	return out
+}

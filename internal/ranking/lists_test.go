@@ -1,0 +1,73 @@
+package ranking
+
+import (
+	"math"
+	"testing"
+)
+
+func TestListJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{nil, nil, 1},
+		{[]string{"x"}, nil, 0},
+		{[]string{"x", "y"}, []string{"x", "y"}, 1},
+		{[]string{"x", "y"}, []string{"y", "z"}, 1.0 / 3.0},
+		{[]string{"x", "x", "y"}, []string{"x", "y"}, 1}, // duplicates collapse
+	}
+	for _, c := range cases {
+		if got := ListJaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ListJaccard(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := ListJaccard(c.b, c.a); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ListJaccard not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestListRBO(t *testing.T) {
+	identical := []string{"a", "b", "c"}
+	got, err := ListRBO(identical, identical, 0.9)
+	if err != nil || math.Abs(got-1) > 1e-12 {
+		t.Errorf("RBO(self) = %v, %v", got, err)
+	}
+	disjoint, err := ListRBO([]string{"a", "b"}, []string{"x", "y"}, 0.9)
+	if err != nil || disjoint != 0 {
+		t.Errorf("RBO(disjoint) = %v, %v", disjoint, err)
+	}
+	empty, err := ListRBO(nil, nil, 0.9)
+	if err != nil || empty != 1 {
+		t.Errorf("RBO(empty) = %v, %v", empty, err)
+	}
+	if _, err := ListRBO(identical, identical, 1.5); err == nil {
+		t.Error("accepted p out of range")
+	}
+	// Top-weighting: agreement at rank 1 beats agreement at rank 3.
+	base := []string{"a", "b", "c"}
+	topAgree := []string{"a", "x", "y"}
+	botAgree := []string{"x", "y", "c"}
+	hi, _ := ListRBO(base, topAgree, 0.9)
+	lo, _ := ListRBO(base, botAgree, 0.9)
+	if hi <= lo {
+		t.Errorf("top-weighted RBO: %v <= %v", hi, lo)
+	}
+}
+
+func TestListOverlapCurve(t *testing.T) {
+	a := []string{"x", "y", "z"}
+	b := []string{"x", "z", "y"}
+	curve := ListOverlapCurve(a, b)
+	want := []float64{1, 0.5, 1}
+	if len(curve) != 3 {
+		t.Fatalf("curve len %d", len(curve))
+	}
+	for i := range want {
+		if math.Abs(curve[i]-want[i]) > 1e-12 {
+			t.Errorf("curve[%d] = %v, want %v", i, curve[i], want[i])
+		}
+	}
+	if got := ListOverlapCurve(nil, b); len(got) != 0 {
+		t.Errorf("empty-a curve = %v", got)
+	}
+}

@@ -1,0 +1,189 @@
+package ranking
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// JaccardAtK returns the Jaccard similarity |A∩B| / |A∪B| between the
+// top-k node sets of two results. It is 1 when both top-k sets are
+// empty (two algorithms that rank nothing agree vacuously).
+func JaccardAtK(a, b *Result, k int) float64 {
+	setA := topSet(a, k)
+	setB := topSet(b, k)
+	if len(setA) == 0 && len(setB) == 0 {
+		return 1
+	}
+	inter := 0
+	for v := range setA {
+		if setB[v] {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	return float64(inter) / float64(union)
+}
+
+func topSet(r *Result, k int) map[graph.NodeID]bool {
+	set := make(map[graph.NodeID]bool, k)
+	for _, e := range r.Top(k) {
+		set[e.Node] = true
+	}
+	return set
+}
+
+// KendallTau computes the Kendall rank correlation coefficient τ-a
+// between two results over the union of their top-k items (pass k < 0
+// for all scored nodes). It returns a value in [-1, 1]; 1 means
+// identical order, -1 reversed. An error is returned when fewer than
+// two common items exist, since correlation is undefined there.
+func KendallTau(a, b *Result, k int) (float64, error) {
+	items := unionTop(a, b, k)
+	if len(items) < 2 {
+		return 0, fmt.Errorf("ranking: kendall tau needs at least 2 items, have %d", len(items))
+	}
+	ra, rb := a.Rank(), b.Rank()
+	var concordant, discordant int64
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			u, v := items[i], items[j]
+			da := ra[u] - ra[v]
+			db := rb[u] - rb[v]
+			switch {
+			case da*db > 0:
+				concordant++
+			case da*db < 0:
+				discordant++
+			}
+		}
+	}
+	pairs := int64(len(items)) * int64(len(items)-1) / 2
+	return float64(concordant-discordant) / float64(pairs), nil
+}
+
+func unionTop(a, b *Result, k int) []graph.NodeID {
+	seen := make(map[graph.NodeID]bool)
+	var items []graph.NodeID
+	for _, e := range a.Top(k) {
+		if !seen[e.Node] {
+			seen[e.Node] = true
+			items = append(items, e.Node)
+		}
+	}
+	for _, e := range b.Top(k) {
+		if !seen[e.Node] {
+			seen[e.Node] = true
+			items = append(items, e.Node)
+		}
+	}
+	return items
+}
+
+// RBO computes rank-biased overlap between the rankings of two results
+// truncated at depth k, with persistence parameter p in (0, 1). RBO
+// weights agreement at the top of the lists more heavily — exactly the
+// property needed when comparing relevance rankings whose tails are
+// noise. The truncated form used here is
+//
+//	RBO@k = (1−p)/(1−p^k) · Σ_{d=1..k} p^(d−1) · |A_d ∩ B_d| / d
+//
+// which is normalized to [0, 1] at depth k.
+func RBO(a, b *Result, k int, p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("ranking: rbo persistence p=%v outside (0,1)", p)
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("ranking: rbo depth k=%d < 1", k)
+	}
+	listA := a.Top(k)
+	listB := b.Top(k)
+	setA := make(map[graph.NodeID]bool, k)
+	setB := make(map[graph.NodeID]bool, k)
+	var sum, norm float64
+	weight := 1.0
+	overlap := 0
+	for d := 1; d <= k; d++ {
+		if d-1 < len(listA) {
+			v := listA[d-1].Node
+			if !setA[v] {
+				setA[v] = true
+				if setB[v] {
+					overlap++
+				}
+			}
+		}
+		if d-1 < len(listB) {
+			v := listB[d-1].Node
+			if !setB[v] {
+				setB[v] = true
+				if setA[v] {
+					overlap++
+				}
+			}
+		}
+		if d > 1 {
+			weight *= p
+		}
+		sum += weight * float64(overlap) / float64(d)
+		norm += weight
+	}
+	return sum / norm, nil
+}
+
+// SpearmanFootrule computes the normalized Spearman footrule distance
+// between two results over the union of their top-k items: the mean
+// absolute rank displacement divided by its maximum, yielding a value
+// in [0, 1] where 0 means identical ranks.
+func SpearmanFootrule(a, b *Result, k int) (float64, error) {
+	items := unionTop(a, b, k)
+	if len(items) == 0 {
+		return 0, fmt.Errorf("ranking: footrule over empty item set")
+	}
+	ra, rb := a.Rank(), b.Rank()
+	var total float64
+	for _, v := range items {
+		total += math.Abs(float64(ra[v] - rb[v]))
+	}
+	n := len(a.Scores)
+	maxDisp := float64(n - 1)
+	if maxDisp == 0 {
+		return 0, nil
+	}
+	return total / (float64(len(items)) * maxDisp), nil
+}
+
+// Agreement is a symmetric pairwise comparison of two results, the
+// quantified form of the demo's side-by-side comparison view.
+type Agreement struct {
+	AlgorithmA string  `json:"algorithm_a"`
+	AlgorithmB string  `json:"algorithm_b"`
+	K          int     `json:"k"`
+	Jaccard    float64 `json:"jaccard"`
+	RBO        float64 `json:"rbo"`
+	KendallTau float64 `json:"kendall_tau"`
+	Footrule   float64 `json:"footrule"`
+}
+
+// CompareAt produces the full Agreement between two results at depth k
+// using RBO persistence 0.9 (a standard choice: ~90% of weight on the
+// top 10).
+func CompareAt(a, b *Result, k int) (Agreement, error) {
+	ag := Agreement{AlgorithmA: a.Algorithm, AlgorithmB: b.Algorithm, K: k}
+	ag.Jaccard = JaccardAtK(a, b, k)
+	rbo, err := RBO(a, b, k, 0.9)
+	if err != nil {
+		return ag, err
+	}
+	ag.RBO = rbo
+	tau, err := KendallTau(a, b, k)
+	if err == nil {
+		ag.KendallTau = tau
+	}
+	fr, err := SpearmanFootrule(a, b, k)
+	if err == nil {
+		ag.Footrule = fr
+	}
+	return ag, nil
+}

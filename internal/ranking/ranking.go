@@ -1,0 +1,157 @@
+// Package ranking defines the common result type produced by every
+// relevance algorithm in the platform, plus the rank-comparison
+// metrics that power the demo's algorithm-comparison use case.
+package ranking
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// Entry is one (node, score) pair of a ranking.
+type Entry struct {
+	Node  graph.NodeID `json:"node"`
+	Label string       `json:"label"`
+	Score float64      `json:"score"`
+}
+
+// Result holds the per-node scores produced by a relevance algorithm
+// on a particular graph.
+type Result struct {
+	// Algorithm is the registry name of the producing algorithm.
+	Algorithm string `json:"algorithm"`
+	// Scores has one entry per node of the graph.
+	Scores []float64 `json:"-"`
+	// Iterations is the number of iterations an iterative method ran
+	// for, 0 for non-iterative methods.
+	Iterations int `json:"iterations,omitempty"`
+	// Residual is the final convergence residual of an iterative
+	// method, 0 otherwise.
+	Residual float64 `json:"residual,omitempty"`
+	// CyclesFound is the number of elementary cycles CycleRank
+	// enumerated, 0 for other algorithms.
+	CyclesFound int64 `json:"cycles_found,omitempty"`
+
+	g *graph.Graph
+}
+
+// NewResult wraps a score vector for graph g.
+func NewResult(algorithm string, g *graph.Graph, scores []float64) (*Result, error) {
+	if len(scores) != g.NumNodes() {
+		return nil, fmt.Errorf("ranking: %d scores for %d nodes", len(scores), g.NumNodes())
+	}
+	return &Result{Algorithm: algorithm, Scores: scores, g: g}, nil
+}
+
+// Graph returns the graph the scores refer to.
+func (r *Result) Graph() *graph.Graph { return r.g }
+
+// Score returns the score of node v, or 0 when v is out of range.
+func (r *Result) Score(v graph.NodeID) float64 {
+	if v < 0 || int(v) >= len(r.Scores) {
+		return 0
+	}
+	return r.Scores[v]
+}
+
+// Top returns the k highest-scoring entries in descending score order.
+// Ties break by ascending label (then id) so output is deterministic
+// across runs and platforms. k < 0 or k > N returns all nodes.
+// Zero-score nodes are excluded: an algorithm that assigns no
+// relevance to a node should not rank it.
+func (r *Result) Top(k int) []Entry {
+	return r.TopFiltered(k, nil)
+}
+
+// TopFiltered is Top with an optional exclusion predicate; nodes for
+// which exclude returns true are skipped (the demo uses this to drop
+// the reference node itself from comparison tables).
+func (r *Result) TopFiltered(k int, exclude func(graph.NodeID) bool) []Entry {
+	entries := make([]Entry, 0, len(r.Scores))
+	for v, s := range r.Scores {
+		id := graph.NodeID(v)
+		if s == 0 {
+			continue
+		}
+		if exclude != nil && exclude(id) {
+			continue
+		}
+		entries = append(entries, Entry{Node: id, Label: r.g.Label(id), Score: s})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Score != entries[j].Score {
+			return entries[i].Score > entries[j].Score
+		}
+		if entries[i].Label != entries[j].Label {
+			return entries[i].Label < entries[j].Label
+		}
+		return entries[i].Node < entries[j].Node
+	})
+	if k >= 0 && k < len(entries) {
+		entries = entries[:k]
+	}
+	return entries
+}
+
+// TopLabels returns the labels of the top-k entries, a convenience for
+// table rendering and tests.
+func (r *Result) TopLabels(k int) []string {
+	top := r.Top(k)
+	labels := make([]string, len(top))
+	for i, e := range top {
+		labels[i] = e.Label
+	}
+	return labels
+}
+
+// Rank returns the dense 1-based rank of every node under the result's
+// ordering (rank 1 = highest score; ties broken as in Top). Nodes with
+// zero score share the ranks after all scored nodes, ordered
+// deterministically.
+func (r *Result) Rank() []int {
+	n := len(r.Scores)
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		sa, sb := r.Scores[ids[a]], r.Scores[ids[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		la, lb := r.g.Label(ids[a]), r.g.Label(ids[b])
+		if la != lb {
+			return la < lb
+		}
+		return ids[a] < ids[b]
+	})
+	ranks := make([]int, n)
+	for pos, id := range ids {
+		ranks[id] = pos + 1
+	}
+	return ranks
+}
+
+// Sum returns the total score mass — 1.0 (within tolerance) for
+// PageRank-family stationary distributions.
+func (r *Result) Sum() float64 {
+	var s float64
+	for _, v := range r.Scores {
+		s += v
+	}
+	return s
+}
+
+// Normalize scales scores in place so they sum to 1. It is a no-op on
+// an all-zero result.
+func (r *Result) Normalize() {
+	s := r.Sum()
+	if s == 0 {
+		return
+	}
+	for i := range r.Scores {
+		r.Scores[i] /= s
+	}
+}

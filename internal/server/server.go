@@ -1,0 +1,374 @@
+// Package server implements the platform's API gateway and Web UI:
+// the entry point that mediates between users and the computational
+// nodes (Figure 1 of the demo paper).
+//
+// The JSON API exposes:
+//
+//	GET  /api/algorithms          available algorithms
+//	GET  /api/datasets            pre-loaded + uploaded datasets
+//	GET  /api/datasets/{name}     structural stats for one dataset
+//	POST /api/datasets/{name}     upload a dataset (edgelist/pajek/asd)
+//	POST /api/tasks               submit a query set
+//	GET  /api/tasks/{id}          poll one task (status + result)
+//	GET  /api/compare/{id}        poll a whole query set by permalink
+//
+// The HTML UI (/, /compare/{id}, /instructions) renders the same
+// information server-side.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/datasets"
+	"github.com/cyclerank/cyclerank-go/internal/datastore"
+	"github.com/cyclerank/cyclerank-go/internal/formats"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/task"
+)
+
+// maxUploadBytes caps dataset uploads (64 MiB).
+const maxUploadBytes = 64 << 20
+
+// Server is the API gateway. Create one with New and mount it as an
+// http.Handler.
+type Server struct {
+	registry  *algo.Registry
+	catalog   *datasets.Catalog
+	store     *datastore.Store
+	scheduler *task.Scheduler
+	mux       *http.ServeMux
+
+	mu       sync.RWMutex
+	uploaded map[string]bool // datasets living in the datastore
+}
+
+// Config configures a Server.
+type Config struct {
+	// Registry resolves algorithms; required.
+	Registry *algo.Registry
+	// Catalog provides the pre-loaded datasets; required.
+	Catalog *datasets.Catalog
+	// Store persists uploads, results and logs; required.
+	Store *datastore.Store
+	// Workers sizes the executor pool (default 2).
+	Workers int
+	// TaskTimeout bounds a single task's execution; zero means no
+	// limit. Public deployments should set it.
+	TaskTimeout time.Duration
+}
+
+// New builds the gateway and its scheduler.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil || cfg.Catalog == nil || cfg.Store == nil {
+		return nil, fmt.Errorf("server: registry, catalog and store are required")
+	}
+	s := &Server{
+		registry: cfg.Registry,
+		catalog:  cfg.Catalog,
+		store:    cfg.Store,
+		uploaded: make(map[string]bool),
+	}
+	// Uploads that survived a restart are rediscovered from the store.
+	if names, err := cfg.Store.ListDatasets(); err == nil {
+		for _, n := range names {
+			s.uploaded[n] = true
+		}
+	}
+
+	sched, err := task.NewScheduler(task.SchedulerConfig{
+		Registry:    cfg.Registry,
+		Store:       cfg.Store,
+		Workers:     cfg.Workers,
+		TaskTimeout: cfg.TaskTimeout,
+		Load:        s.loadDataset,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.scheduler = sched
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("GET /api/datasets", s.handleDatasets)
+	mux.HandleFunc("GET /api/datasets/{name}", s.handleDatasetStats)
+	mux.HandleFunc("POST /api/datasets/{name}", s.handleUpload)
+	mux.HandleFunc("POST /api/tasks", s.handleSubmit)
+	mux.HandleFunc("GET /api/tasks/{id}", s.handleTask)
+	mux.HandleFunc("GET /api/compare/{id}", s.handleCompare)
+	mux.HandleFunc("GET /", s.handleHome)
+	mux.HandleFunc("GET /compare/{id}", s.handleComparePage)
+	mux.HandleFunc("GET /instructions", s.handleInstructions)
+	s.registerExtensions(mux)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Scheduler exposes the underlying scheduler (used by tests and by
+// embedded deployments that submit tasks directly).
+func (s *Server) Scheduler() *task.Scheduler { return s.scheduler }
+
+// loadDataset resolves a dataset name: catalog datasets are generated,
+// uploaded datasets are read from the datastore.
+func (s *Server) loadDataset(name string) (*graph.Graph, error) {
+	if d, err := s.catalog.Get(name); err == nil {
+		return d.Load()
+	}
+	s.mu.RLock()
+	up := s.uploaded[name]
+	s.mu.RUnlock()
+	if up {
+		return s.store.LoadDataset(name)
+	}
+	return nil, fmt.Errorf("server: unknown dataset %q", name)
+}
+
+// datasetExists reports whether a dataset name is resolvable.
+func (s *Server) datasetExists(name string) bool {
+	if _, err := s.catalog.Get(name); err == nil {
+		return true
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.uploaded[name]
+}
+
+// --- JSON helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encoding errors after the header is written can only be logged;
+	// the connection is already committed.
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// --- API handlers ---
+
+type algorithmInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	NeedsSource bool   `json:"needs_source"`
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	var out []algorithmInfo
+	for _, a := range s.registry.All() {
+		out = append(out, algorithmInfo{
+			Name:        a.Name(),
+			Description: a.Description(),
+			NeedsSource: a.NeedsSource(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type datasetInfo struct {
+	Name             string   `json:"name"`
+	Kind             string   `json:"kind"`
+	Description      string   `json:"description"`
+	SuggestedSources []string `json:"suggested_sources,omitempty"`
+	Uploaded         bool     `json:"uploaded,omitempty"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	var out []datasetInfo
+	for _, d := range s.catalog.All() {
+		out = append(out, datasetInfo{
+			Name:             d.Name,
+			Kind:             d.Kind,
+			Description:      d.Description,
+			SuggestedSources: d.SuggestedSources,
+		})
+	}
+	s.mu.RLock()
+	for name := range s.uploaded {
+		out = append(out, datasetInfo{
+			Name: name, Kind: "uploaded",
+			Description: "user-uploaded dataset", Uploaded: true,
+		})
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+type datasetStats struct {
+	Name  string      `json:"name"`
+	Stats graph.Stats `json:"stats"`
+}
+
+func (s *Server) handleDatasetStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	g, err := s.loadDataset(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetStats{Name: name, Stats: graph.ComputeStats(g)})
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, err := s.catalog.Get(name); err == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("server: %q is a pre-loaded dataset and cannot be replaced", name))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: reading upload: %w", err))
+		return
+	}
+	if len(body) > maxUploadBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("server: upload exceeds %d bytes", maxUploadBytes))
+		return
+	}
+	format := formats.Format(r.URL.Query().Get("format"))
+	if format == "" {
+		format, err = formats.Detect(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if !format.Valid() {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %q", formats.ErrUnknownFormat, format))
+		return
+	}
+	g, err := formats.Read(bytes.NewReader(body), format)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.store.SaveDataset(name, g); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.uploaded[name] = true
+	s.mu.Unlock()
+	s.scheduler.InvalidateDataset(name)
+	writeJSON(w, http.StatusCreated, datasetStats{Name: name, Stats: graph.ComputeStats(g)})
+}
+
+type submitRequest struct {
+	Tasks []task.Spec `json:"tasks"`
+}
+
+type submitResponse struct {
+	ComparisonID string   `json:"comparison_id"`
+	TaskIDs      []string `json:"task_ids"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
+		return
+	}
+	builder := task.NewBuilder(s.registry, s.datasetExists)
+	for i, spec := range req.Tasks {
+		if err := builder.Add(spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("task %d: %w", i, err))
+			return
+		}
+	}
+	if builder.Len() == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: empty query set"))
+		return
+	}
+	qs, ids, err := s.scheduler.Submit(builder.Specs())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{ComparisonID: qs, TaskIDs: ids})
+}
+
+type taskView struct {
+	Task   task.Task    `json:"task"`
+	Result *task.Result `json:"result,omitempty"`
+	Log    string       `json:"log,omitempty"`
+}
+
+func (s *Server) taskView(id string, includeLog bool) (taskView, error) {
+	t, err := s.scheduler.Status(id)
+	if err != nil {
+		return taskView{}, err
+	}
+	view := taskView{Task: t}
+	if t.State == task.StateDone {
+		if doc, err := s.scheduler.LoadResult(id); err == nil {
+			view.Result = &doc
+		}
+	}
+	if includeLog {
+		if log, err := s.store.ReadLog(id); err == nil {
+			view.Log = log
+		}
+	}
+	return view, nil
+}
+
+func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	view, err := s.taskView(r.PathValue("id"), r.URL.Query().Get("log") == "1")
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+type compareResponse struct {
+	ComparisonID string     `json:"comparison_id"`
+	Tasks        []taskView `json:"tasks"`
+	Done         bool       `json:"done"`
+}
+
+func (s *Server) compareView(id string) (compareResponse, error) {
+	tasks, err := s.scheduler.QuerySet(id)
+	if err != nil {
+		return compareResponse{}, err
+	}
+	resp := compareResponse{ComparisonID: id, Done: true}
+	for _, t := range tasks {
+		view, err := s.taskView(t.ID, false)
+		if err != nil {
+			return compareResponse{}, err
+		}
+		if !t.State.Terminal() {
+			resp.Done = false
+		}
+		resp.Tasks = append(resp.Tasks, view)
+	}
+	return resp, nil
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.compareView(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,387 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/datasets"
+	"github.com/cyclerank/cyclerank-go/internal/datastore"
+	"github.com/cyclerank/cyclerank-go/internal/task"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	store, err := datastore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := datasets.BuiltinCatalogSubset("complete-50", "ring-1k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Registry: algo.NewBuiltinRegistry(),
+		Catalog:  catalog,
+		Store:    store,
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestAlgorithmsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var algos []algorithmInfo
+	resp := getJSON(t, ts.URL+"/api/algorithms", &algos)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(algos) != 9 {
+		t.Errorf("got %d algorithms, want 9", len(algos))
+	}
+	found := false
+	for _, a := range algos {
+		if a.Name == "cyclerank" && a.NeedsSource {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cyclerank missing or not flagged as personalized")
+	}
+}
+
+func TestDatasetsEndpointAndStats(t *testing.T) {
+	_, ts := newTestServer(t)
+	var ds []datasetInfo
+	getJSON(t, ts.URL+"/api/datasets", &ds)
+	if len(ds) != 2 {
+		t.Fatalf("got %d datasets: %+v", len(ds), ds)
+	}
+	var stats datasetStats
+	resp := getJSON(t, ts.URL+"/api/datasets/complete-50", &stats)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if stats.Stats.Nodes != 50 || stats.Stats.Edges != 50*49 {
+		t.Errorf("stats = %+v", stats.Stats)
+	}
+	resp = getJSON(t, ts.URL+"/api/datasets/ghost", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing dataset status = %d", resp.StatusCode)
+	}
+}
+
+func TestSubmitPollCompareFlow(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"tasks": [
+		{"dataset": "complete-50", "algorithm": "pagerank", "params": {"alpha": 0.85}},
+		{"dataset": "complete-50", "algorithm": "cyclerank", "params": {"source": "0", "k": 3}}
+	]}`
+	resp, err := http.Post(ts.URL+"/api/tasks", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if len(sub.TaskIDs) != 2 || sub.ComparisonID == "" {
+		t.Fatalf("submit response %+v", sub)
+	}
+
+	// Poll the comparison until done.
+	deadline := time.Now().Add(10 * time.Second)
+	var cmp compareResponse
+	for {
+		getJSON(t, ts.URL+"/api/compare/"+sub.ComparisonID, &cmp)
+		if cmp.Done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !cmp.Done {
+		t.Fatal("comparison did not finish in time")
+	}
+	for _, v := range cmp.Tasks {
+		if v.Task.State != task.StateDone {
+			t.Errorf("task %s state %s error %q", v.Task.Algorithm, v.Task.State, v.Task.Error)
+			continue
+		}
+		if v.Result == nil || len(v.Result.Top) == 0 {
+			t.Errorf("task %s missing result", v.Task.Algorithm)
+		}
+	}
+
+	// Individual task view with log.
+	var tv taskView
+	getJSON(t, ts.URL+"/api/tasks/"+sub.TaskIDs[0]+"?log=1", &tv)
+	if tv.Log == "" {
+		t.Error("task log empty")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := map[string]string{
+		"bad json":        `{"tasks": [`,
+		"empty set":       `{"tasks": []}`,
+		"unknown dataset": `{"tasks": [{"dataset": "nope", "algorithm": "pagerank"}]}`,
+		"unknown algo":    `{"tasks": [{"dataset": "complete-50", "algorithm": "nope"}]}`,
+		"missing source":  `{"tasks": [{"dataset": "complete-50", "algorithm": "cyclerank"}]}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/api/tasks", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}
+
+func TestUploadFlow(t *testing.T) {
+	_, ts := newTestServer(t)
+	edgelist := "x,y\ny,x\ny,z\nz,y\nz,x\nx,z\n"
+	resp, err := http.Post(ts.URL+"/api/datasets/mygraph", "text/csv", strings.NewReader(edgelist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats datasetStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status %d", resp.StatusCode)
+	}
+	if stats.Stats.Nodes != 3 || stats.Stats.Edges != 6 {
+		t.Errorf("uploaded stats %+v", stats.Stats)
+	}
+
+	// The uploaded dataset is usable in tasks.
+	body := `{"tasks": [{"dataset": "mygraph", "algorithm": "cyclerank", "params": {"source": "x"}}]}`
+	resp, err = http.Post(ts.URL+"/api/tasks", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit on upload status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var tv taskView
+		getJSON(t, ts.URL+"/api/tasks/"+sub.TaskIDs[0], &tv)
+		if tv.Task.State.Terminal() {
+			if tv.Task.State != task.StateDone {
+				t.Fatalf("task failed: %s", tv.Task.Error)
+			}
+			if tv.Result.Top[0].Label != "x" {
+				t.Errorf("top = %v", tv.Result.Top[0])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("upload task did not finish")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Uploads are listed.
+	var ds []datasetInfo
+	getJSON(t, ts.URL+"/api/datasets", &ds)
+	foundUpload := false
+	for _, d := range ds {
+		if d.Name == "mygraph" && d.Uploaded {
+			foundUpload = true
+		}
+	}
+	if !foundUpload {
+		t.Error("uploaded dataset not listed")
+	}
+}
+
+func TestUploadErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Overwriting a catalog dataset is forbidden.
+	resp, err := http.Post(ts.URL+"/api/datasets/complete-50", "text/csv", strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("catalog overwrite status = %d, want 409", resp.StatusCode)
+	}
+	// Garbage bodies are rejected.
+	resp, err = http.Post(ts.URL+"/api/datasets/bad", "text/csv", strings.NewReader("one two three four\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage upload status = %d, want 400", resp.StatusCode)
+	}
+	// Explicit bogus format is rejected.
+	resp, err = http.Post(ts.URL+"/api/datasets/bad?format=bogus", "text/csv", strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus format status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestUploadSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := datastore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := datasets.BuiltinCatalogSubset("ring-1k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Registry: algo.NewBuiltinRegistry(), Catalog: catalog, Store: store}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1)
+	resp, err := http.Post(ts1.URL+"/api/datasets/persisted", "text/csv", strings.NewReader("a,b\nb,a\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts1.Close()
+
+	// "Restart": a new server over the same store.
+	store2, err := datastore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = store2
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	var stats datasetStats
+	r2 := getJSON(t, ts2.URL+"/api/datasets/persisted", &stats)
+	if r2.StatusCode != http.StatusOK {
+		t.Errorf("persisted dataset lost after restart: %d", r2.StatusCode)
+	}
+}
+
+func TestHTMLPages(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/", "/instructions"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := new(bytes.Buffer)
+		body.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(body.String(), "CycleRank demo") {
+			t.Errorf("%s missing title", path)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/no-such-page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown page status %d", resp.StatusCode)
+	}
+}
+
+func TestComparePageRendersResults(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"tasks": [{"dataset": "complete-50", "algorithm": "pagerank"}]}`
+	resp, err := http.Post(ts.URL+"/api/tasks", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitResponse
+	json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var cmp compareResponse
+		getJSON(t, ts.URL+"/api/compare/"+sub.ComparisonID, &cmp)
+		if cmp.Done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	page, err := http.Get(ts.URL + "/compare/" + sub.ComparisonID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := new(bytes.Buffer)
+	buf.ReadFrom(page.Body)
+	page.Body.Close()
+	if !strings.Contains(buf.String(), sub.ComparisonID) {
+		t.Error("compare page missing comparison id")
+	}
+	if !strings.Contains(buf.String(), "pagerank") {
+		t.Error("compare page missing algorithm")
+	}
+	// Unknown comparison 404s.
+	missing, err := http.Get(ts.URL + "/compare/does-not-exist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown compare page status %d", missing.StatusCode)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("accepted empty config")
+	}
+}

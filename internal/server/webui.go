@@ -1,0 +1,148 @@
+package server
+
+import (
+	"html/template"
+	"net/http"
+)
+
+// The Web UI is a deliberately small server-rendered frontend: a task
+// builder listing datasets and algorithms, a comparison page that
+// auto-refreshes while tasks run, and an instructions page documenting
+// upload formats — the same pages the demo exposes.
+
+var uiTemplates = template.Must(template.New("ui").Funcs(template.FuncMap{
+	"inc": func(i int) int { return i + 1 },
+}).Parse(`
+{{define "layout_head"}}<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{{.Title}} — CycleRank demo</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; padding: 0 1rem; color: #1c1e21; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 1rem 0; width: 100%; }
+th, td { border: 1px solid #cbd2d9; padding: 0.35rem 0.6rem; text-align: left; font-size: 0.9rem; }
+th { background: #f1f4f8; }
+code { background: #f1f4f8; padding: 0.1rem 0.3rem; border-radius: 3px; }
+.state-done { color: #0a7d36; } .state-failed { color: #b3261e; }
+.state-running, .state-pending { color: #8a6d00; }
+nav a { margin-right: 1rem; }
+</style>
+</head>
+<body>
+<nav><a href="/">Task builder</a><a href="/instructions">Instructions</a></nav>
+<h1>{{.Title}}</h1>{{end}}
+
+{{define "home"}}{{template "layout_head" .}}
+<p>Build a query set by POSTing to <code>/api/tasks</code>; this page lists
+the available resources. Results are retrieved from the comparison
+permalink returned at submission.</p>
+<h2>Datasets ({{len .Datasets}})</h2>
+<table>
+<tr><th>Name</th><th>Kind</th><th>Description</th><th>Suggested reference nodes</th></tr>
+{{range .Datasets}}<tr><td><a href="/api/datasets/{{.Name}}">{{.Name}}</a></td><td>{{.Kind}}</td><td>{{.Description}}</td><td>{{range .SuggestedSources}}<code>{{.}}</code> {{end}}</td></tr>
+{{end}}</table>
+<h2>Algorithms ({{len .Algorithms}})</h2>
+<table>
+<tr><th>Name</th><th>Needs reference node</th><th>Description</th></tr>
+{{range .Algorithms}}<tr><td><code>{{.Name}}</code></td><td>{{if .NeedsSource}}yes{{else}}no{{end}}</td><td>{{.Description}}</td></tr>
+{{end}}</table>
+</body></html>{{end}}
+
+{{define "compare"}}{{template "layout_head" .}}
+{{if not .Done}}<meta http-equiv="refresh" content="1">
+<p>Computation in progress; this page refreshes automatically.</p>{{end}}
+<p>Comparison id: <code>{{.ComparisonID}}</code></p>
+{{range .Tasks}}
+<h2>{{.Task.Algorithm}} on {{.Task.Dataset}} <span class="state-{{.Task.State}}">[{{.Task.State}}]</span></h2>
+<p>Parameters: <code>{{.Task.Params}}</code>{{with .Task.Error}} — error: {{.}}{{end}}</p>
+{{if .Result}}<table>
+<tr><th>#</th><th>Node</th><th>Score</th></tr>
+{{range $i, $e := .Result.Top}}{{if lt $i 10}}<tr><td>{{inc $i}}</td><td>{{$e.Label}}</td><td>{{printf "%.6g" $e.Score}}</td></tr>{{end}}{{end}}
+</table>{{end}}
+{{end}}
+</body></html>{{end}}
+
+{{define "instructions"}}{{template "layout_head" .}}
+<h2>Supported dataset formats</h2>
+<p>Upload with <code>POST /api/datasets/{name}</code> (raw file body,
+optional <code>?format=</code> override). Supported formats:</p>
+<table>
+<tr><th>Format</th><th>Extension</th><th>Description</th></tr>
+<tr><td><code>edgelist</code></td><td>.csv</td><td>One edge per line: <code>source,target</code> (comma, tab or space separated; Gephi CSV convention).</td></tr>
+<tr><td><code>pajek</code></td><td>.net</td><td>Pajek NET: <code>*Vertices n</code>, vertex declarations, then an <code>*Arcs</code> section of 1-based id pairs.</td></tr>
+<tr><td><code>asd</code></td><td>.asd</td><td>Header <code>N M</code> followed by exactly M lines of 0-based <code>src dst</code> pairs.</td></tr>
+</table>
+<h2>Submitting a query set</h2>
+<pre><code>POST /api/tasks
+{"tasks": [
+  {"dataset": "enwiki-2018", "algorithm": "cyclerank",
+   "params": {"source": "Fake news", "k": 3, "scoring": "exp"}},
+  {"dataset": "enwiki-2018", "algorithm": "pagerank",
+   "params": {"alpha": 0.3}},
+  {"dataset": "enwiki-2018", "algorithm": "ppr",
+   "params": {"source": "Fake news", "alpha": 0.3}}
+]}</code></pre>
+<p>The response carries a <code>comparison_id</code>; retrieve results at
+<code>/api/compare/{id}</code> or view them at <code>/compare/{id}</code>.</p>
+</body></html>{{end}}
+`))
+
+type homeData struct {
+	Title      string
+	Datasets   []datasetInfo
+	Algorithms []algorithmInfo
+}
+
+func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	data := homeData{Title: "Task builder"}
+	for _, d := range s.catalog.All() {
+		data.Datasets = append(data.Datasets, datasetInfo{
+			Name: d.Name, Kind: d.Kind, Description: d.Description,
+			SuggestedSources: d.SuggestedSources,
+		})
+	}
+	s.mu.RLock()
+	for name := range s.uploaded {
+		data.Datasets = append(data.Datasets, datasetInfo{Name: name, Kind: "uploaded", Description: "user-uploaded dataset"})
+	}
+	s.mu.RUnlock()
+	for _, a := range s.registry.All() {
+		data.Algorithms = append(data.Algorithms, algorithmInfo{
+			Name: a.Name(), Description: a.Description(), NeedsSource: a.NeedsSource(),
+		})
+	}
+	s.render(w, "home", data)
+}
+
+type comparePageData struct {
+	Title string
+	compareResponse
+}
+
+func (s *Server) handleComparePage(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.compareView(r.PathValue("id"))
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	s.render(w, "compare", comparePageData{Title: "Comparison", compareResponse: resp})
+}
+
+func (s *Server) handleInstructions(w http.ResponseWriter, r *http.Request) {
+	s.render(w, "instructions", struct{ Title string }{"Instructions"})
+}
+
+func (s *Server) render(w http.ResponseWriter, name string, data any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := uiTemplates.ExecuteTemplate(w, name, data); err != nil {
+		// The header is already written; all we can do is close out.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,71 @@
+package task
+
+import (
+	"fmt"
+
+	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// LoaderFunc resolves a dataset name to its graph. The scheduler uses
+// it to fetch datasets from the catalog or the datastore.
+type LoaderFunc func(name string) (*graph.Graph, error)
+
+// Builder assembles and validates a query set before submission — the
+// demo's Task Builder component. Validation happens at Add time so the
+// UI can reject an invalid query immediately rather than after
+// scheduling.
+type Builder struct {
+	registry *algo.Registry
+	exists   func(dataset string) bool
+	specs    []Spec
+}
+
+// NewBuilder returns a Task Builder validating algorithms against the
+// registry and dataset names against the exists predicate (nil means
+// any dataset name is accepted and failures surface at load time).
+func NewBuilder(registry *algo.Registry, exists func(dataset string) bool) *Builder {
+	return &Builder{registry: registry, exists: exists}
+}
+
+// Add validates and appends one task spec to the query set.
+func (b *Builder) Add(s Spec) error {
+	if s.Dataset == "" {
+		return fmt.Errorf("task: spec has no dataset")
+	}
+	if b.exists != nil && !b.exists(s.Dataset) {
+		return fmt.Errorf("task: unknown dataset %q", s.Dataset)
+	}
+	a, err := b.registry.Get(s.Algorithm)
+	if err != nil {
+		return fmt.Errorf("task: %w", err)
+	}
+	if a.NeedsSource() && s.Params.Source == "" {
+		return fmt.Errorf("task: algorithm %q requires a source node", s.Algorithm)
+	}
+	b.specs = append(b.specs, s)
+	return nil
+}
+
+// Remove deletes the i-th spec from the query set (the UI's per-query
+// delete button).
+func (b *Builder) Remove(i int) error {
+	if i < 0 || i >= len(b.specs) {
+		return fmt.Errorf("task: spec index %d out of range [0,%d)", i, len(b.specs))
+	}
+	b.specs = append(b.specs[:i], b.specs[i+1:]...)
+	return nil
+}
+
+// Clear empties the query set (the UI's trash-bin button).
+func (b *Builder) Clear() { b.specs = nil }
+
+// Len returns the number of queued specs.
+func (b *Builder) Len() int { return len(b.specs) }
+
+// Specs returns a copy of the current query set.
+func (b *Builder) Specs() []Spec {
+	out := make([]Spec, len(b.specs))
+	copy(out, b.specs)
+	return out
+}

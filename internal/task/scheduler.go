@@ -1,0 +1,458 @@
+package task
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/datastore"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// SchedulerConfig configures a Scheduler.
+type SchedulerConfig struct {
+	// Registry resolves algorithm names; required.
+	Registry *algo.Registry
+	// Load fetches dataset graphs by name; required.
+	Load LoaderFunc
+	// Store persists results and logs; required.
+	Store *datastore.Store
+	// Workers is the executor pool size (default 2). The paper's
+	// computational nodes "can be scaled up or down depending on the
+	// system's workload".
+	Workers int
+	// QueueDepth is the pending-task buffer (default 128). Submission
+	// fails fast when the queue is full rather than blocking the API.
+	QueueDepth int
+	// TopK is how many top entries each result persists (default 50).
+	TopK int
+	// TaskTimeout bounds a single task's execution; a task exceeding
+	// it fails with a timeout error. Zero means no limit. A public
+	// demo sets this so one pathological query (K=10 on a dense
+	// graph) cannot monopolize an executor forever.
+	TaskTimeout time.Duration
+}
+
+func (c SchedulerConfig) validate() error {
+	if c.Registry == nil {
+		return fmt.Errorf("task: scheduler needs a registry")
+	}
+	if c.Load == nil {
+		return fmt.Errorf("task: scheduler needs a dataset loader")
+	}
+	if c.Store == nil {
+		return fmt.Errorf("task: scheduler needs a datastore")
+	}
+	return nil
+}
+
+// Scheduler owns the task queue, the executor pool, the dataset cache
+// and the in-memory task table. It is safe for concurrent use.
+type Scheduler struct {
+	cfg   SchedulerConfig
+	queue chan string // task ids
+
+	mu      sync.RWMutex
+	tasks   map[string]*Task
+	cancels map[string]context.CancelFunc
+	sets    map[string][]string // query set id -> task ids
+
+	cacheMu sync.Mutex
+	cache   map[string]*graph.Graph
+
+	wg      sync.WaitGroup
+	stop    context.CancelFunc
+	stopped chan struct{}
+}
+
+// NewScheduler builds a scheduler and starts its executor pool.
+func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 128
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 50
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:     cfg,
+		queue:   make(chan string, cfg.QueueDepth),
+		tasks:   make(map[string]*Task),
+		cancels: make(map[string]context.CancelFunc),
+		sets:    make(map[string][]string),
+		cache:   make(map[string]*graph.Graph),
+		stop:    cancel,
+		stopped: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.executor(ctx, i)
+	}
+	go func() {
+		s.wg.Wait()
+		close(s.stopped)
+	}()
+	return s, nil
+}
+
+// Submit schedules every spec of a query set and returns the query-set
+// (comparison) id plus the individual task ids, in spec order.
+func (s *Scheduler) Submit(specs []Spec) (querySet string, taskIDs []string, err error) {
+	if len(specs) == 0 {
+		return "", nil, fmt.Errorf("task: empty query set")
+	}
+	querySet, err = NewID()
+	if err != nil {
+		return "", nil, err
+	}
+	now := time.Now()
+
+	// Create all tasks first so a full queue cannot leave a partially
+	// registered query set.
+	created := make([]*Task, len(specs))
+	for i, spec := range specs {
+		id, err := NewID()
+		if err != nil {
+			return "", nil, err
+		}
+		created[i] = &Task{
+			ID:        id,
+			QuerySet:  querySet,
+			Dataset:   spec.Dataset,
+			Algorithm: spec.Algorithm,
+			Params:    spec.Params,
+			State:     StatePending,
+			Submitted: now,
+		}
+	}
+
+	s.mu.Lock()
+	for _, t := range created {
+		s.tasks[t.ID] = t
+		s.sets[querySet] = append(s.sets[querySet], t.ID)
+		taskIDs = append(taskIDs, t.ID)
+	}
+	s.mu.Unlock()
+
+	for _, t := range created {
+		select {
+		case s.queue <- t.ID:
+		default:
+			s.failTask(t.ID, fmt.Errorf("task: queue full"))
+		}
+	}
+	return querySet, taskIDs, nil
+}
+
+// Status returns a snapshot of the task.
+func (s *Scheduler) Status(taskID string) (Task, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tasks[taskID]
+	if !ok {
+		return Task{}, fmt.Errorf("task: unknown task %q", taskID)
+	}
+	return *t, nil
+}
+
+// QuerySet returns snapshots of every task in a query set, in
+// submission order.
+func (s *Scheduler) QuerySet(id string) ([]Task, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids, ok := s.sets[id]
+	if !ok {
+		return nil, fmt.Errorf("task: unknown query set %q", id)
+	}
+	out := make([]Task, 0, len(ids))
+	for _, tid := range ids {
+		out = append(out, *s.tasks[tid])
+	}
+	return out, nil
+}
+
+// Tasks returns snapshots of all known tasks, newest first.
+func (s *Scheduler) Tasks() []Task {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Task, 0, len(s.tasks))
+	for _, t := range s.tasks {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Submitted.Equal(out[j].Submitted) {
+			return out[i].Submitted.After(out[j].Submitted)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Cancel requests cancellation of a running or pending task. Cancelling
+// an already terminal task is a no-op.
+func (s *Scheduler) Cancel(taskID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[taskID]
+	if !ok {
+		return fmt.Errorf("task: unknown task %q", taskID)
+	}
+	if t.State.Terminal() {
+		return nil
+	}
+	if cancel, running := s.cancels[taskID]; running {
+		cancel()
+		return nil
+	}
+	// Pending: mark cancelled now; the executor skips it when popped.
+	t.State = StateCancelled
+	t.Finished = time.Now()
+	return nil
+}
+
+// Shutdown stops the executor pool, waiting until in-flight tasks
+// finish or ctx expires.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.stop()
+	select {
+	case <-s.stopped:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("task: shutdown timed out: %w", ctx.Err())
+	}
+}
+
+// WaitQuerySet blocks until every task of the query set is terminal or
+// ctx expires, returning the final snapshots.
+func (s *Scheduler) WaitQuerySet(ctx context.Context, id string) ([]Task, error) {
+	for {
+		tasks, err := s.QuerySet(id)
+		if err != nil {
+			return nil, err
+		}
+		allDone := true
+		for _, t := range tasks {
+			if !t.State.Terminal() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return tasks, nil
+		}
+		select {
+		case <-ctx.Done():
+			return tasks, fmt.Errorf("task: wait: %w", ctx.Err())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Scheduler) failTask(id string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tasks[id]; ok && !t.State.Terminal() {
+		t.State = StateFailed
+		t.Error = err.Error()
+		t.Finished = time.Now()
+	}
+}
+
+// loadGraph fetches a dataset with per-name caching: repeated queries
+// against the same dataset (the common comparison workflow) parse or
+// generate the graph once.
+func (s *Scheduler) loadGraph(name string) (*graph.Graph, error) {
+	s.cacheMu.Lock()
+	if g, ok := s.cache[name]; ok {
+		s.cacheMu.Unlock()
+		return g, nil
+	}
+	s.cacheMu.Unlock()
+
+	g, err := s.cfg.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	s.cacheMu.Lock()
+	s.cache[name] = g
+	s.cacheMu.Unlock()
+	return g, nil
+}
+
+// InvalidateDataset drops a dataset from the cache (after re-upload).
+func (s *Scheduler) InvalidateDataset(name string) {
+	s.cacheMu.Lock()
+	delete(s.cache, name)
+	s.cacheMu.Unlock()
+}
+
+// executor is one computational worker: it pops task ids, runs the
+// algorithm, and persists the result and log.
+func (s *Scheduler) executor(ctx context.Context, worker int) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case id := <-s.queue:
+			s.execute(ctx, worker, id)
+		}
+	}
+}
+
+func (s *Scheduler) execute(ctx context.Context, worker int, id string) {
+	s.mu.Lock()
+	t, ok := s.tasks[id]
+	if !ok || t.State != StatePending {
+		s.mu.Unlock()
+		return
+	}
+	t.State = StateRunning
+	t.Started = time.Now()
+	var (
+		taskCtx context.Context
+		cancel  context.CancelFunc
+	)
+	if s.cfg.TaskTimeout > 0 {
+		taskCtx, cancel = context.WithTimeout(ctx, s.cfg.TaskTimeout)
+	} else {
+		taskCtx, cancel = context.WithCancel(ctx)
+	}
+	s.cancels[id] = cancel
+	snapshot := *t
+	s.mu.Unlock()
+
+	defer func() {
+		cancel()
+		s.mu.Lock()
+		delete(s.cancels, id)
+		s.mu.Unlock()
+	}()
+
+	s.log(id, fmt.Sprintf("worker %d: executing %s on %s (%s)", worker, snapshot.Algorithm, snapshot.Dataset, snapshot.Params))
+
+	g, err := s.loadGraph(snapshot.Dataset)
+	if err != nil {
+		s.finish(id, err)
+		return
+	}
+	res, err := algo.Run(taskCtx, s.cfg.Registry, snapshot.Algorithm, g, snapshot.Params)
+	if err != nil {
+		switch {
+		case errors.Is(taskCtx.Err(), context.DeadlineExceeded):
+			// Timeouts are failures, not user cancellations: the user
+			// should see why their task produced no result.
+			s.finish(id, fmt.Errorf("task: execution exceeded %s timeout", s.cfg.TaskTimeout))
+		case taskCtx.Err() != nil:
+			s.cancelled(id)
+		default:
+			s.finish(id, err)
+		}
+		return
+	}
+
+	doc := Result{
+		Top:        res.Top(s.cfg.TopK),
+		Iterations: res.Iterations,
+		Residual:   res.Residual,
+		Cycles:     res.CyclesFound,
+		GraphNodes: g.NumNodes(),
+		GraphEdges: g.NumEdges(),
+	}
+
+	// Persist the result and the completion log BEFORE publishing the
+	// terminal state: the moment an observer sees StateDone, the
+	// result document and full log must already be readable.
+	finished := time.Now()
+	s.mu.Lock()
+	done := *t
+	done.State = StateDone
+	done.Finished = finished
+	s.mu.Unlock()
+	doc.Task = done
+
+	if err := s.cfg.Store.SaveResult(id, doc); err != nil {
+		s.failTask(id, err)
+		s.log(id, "persisting result failed: "+err.Error())
+		return
+	}
+	s.log(id, fmt.Sprintf("done in %s", done.Duration()))
+
+	s.mu.Lock()
+	t.State = StateDone
+	t.Finished = finished
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) finish(id string, err error) {
+	s.failTask(id, err)
+	s.log(id, "failed: "+err.Error())
+}
+
+func (s *Scheduler) cancelled(id string) {
+	s.mu.Lock()
+	if t, ok := s.tasks[id]; ok && !t.State.Terminal() {
+		t.State = StateCancelled
+		t.Finished = time.Now()
+	}
+	s.mu.Unlock()
+	s.log(id, "cancelled")
+}
+
+func (s *Scheduler) log(id, line string) {
+	// Logging failures must not fail the task; logs are best-effort.
+	_ = s.cfg.Store.AppendLog(id, time.Now().UTC().Format(time.RFC3339Nano)+" "+line)
+}
+
+// Metrics is a snapshot of the scheduler's workload, the signal the
+// paper says drives scaling computational nodes "up or down".
+type Metrics struct {
+	Workers   int `json:"workers"`
+	Queued    int `json:"queued"` // tasks sitting in the queue buffer
+	Pending   int `json:"pending"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+// Metrics returns the current workload snapshot.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := Metrics{Workers: s.cfg.Workers, Queued: len(s.queue)}
+	for _, t := range s.tasks {
+		switch t.State {
+		case StatePending:
+			m.Pending++
+		case StateRunning:
+			m.Running++
+		case StateDone:
+			m.Done++
+		case StateFailed:
+			m.Failed++
+		case StateCancelled:
+			m.Cancelled++
+		}
+	}
+	return m
+}
+
+// LoadResult fetches a completed task's persisted result document.
+func (s *Scheduler) LoadResult(taskID string) (Result, error) {
+	var doc Result
+	if err := s.cfg.Store.LoadResult(taskID, &doc); err != nil {
+		return Result{}, err
+	}
+	return doc, nil
+}

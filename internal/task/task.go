@@ -1,0 +1,96 @@
+// Package task implements the platform's execution pipeline: the Task
+// Builder, Scheduler, Executor pool and Status components from the
+// demo's architecture (Figure 1).
+//
+// A task is the triple (dataset, algorithm, parameters). Users group
+// tasks into query sets; each query set receives a unique comparison
+// id that serves as a permalink for retrieving all of its results.
+// The scheduler fetches datasets (with caching), off-loads computation
+// to a pool of executor goroutines, and persists results and logs to
+// the datastore, from which the status component answers polls.
+package task
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/ranking"
+)
+
+// State is a task's lifecycle state.
+type State string
+
+// Task lifecycle states.
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Spec is a user-submitted task description: the (dataset, algorithm,
+// parameters) triple.
+type Spec struct {
+	Dataset   string      `json:"dataset"`
+	Algorithm string      `json:"algorithm"`
+	Params    algo.Params `json:"params"`
+}
+
+// Task is a scheduled Spec with execution metadata.
+type Task struct {
+	ID        string      `json:"id"`
+	QuerySet  string      `json:"query_set"`
+	Dataset   string      `json:"dataset"`
+	Algorithm string      `json:"algorithm"`
+	Params    algo.Params `json:"params"`
+	State     State       `json:"state"`
+	Error     string      `json:"error,omitempty"`
+	Submitted time.Time   `json:"submitted"`
+	Started   time.Time   `json:"started,omitempty"`
+	Finished  time.Time   `json:"finished,omitempty"`
+}
+
+// Duration returns the task's execution time, zero until it finishes.
+func (t Task) Duration() time.Duration {
+	if t.Finished.IsZero() || t.Started.IsZero() {
+		return 0
+	}
+	return t.Finished.Sub(t.Started)
+}
+
+// Result is the persisted outcome of a completed task: metadata plus
+// the top-ranked entries (the full score vector would be prohibitive
+// for large graphs; the demo's tables only ever show the top).
+type Result struct {
+	Task       Task            `json:"task"`
+	Top        []ranking.Entry `json:"top"`
+	Iterations int             `json:"iterations,omitempty"`
+	Residual   float64         `json:"residual,omitempty"`
+	Cycles     int64           `json:"cycles,omitempty"`
+	GraphNodes int             `json:"graph_nodes"`
+	GraphEdges int64           `json:"graph_edges"`
+}
+
+// NewID generates a 128-bit random identifier formatted like the
+// demo's comparison ids (8-4-4-4-12 hex groups).
+func NewID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("task: generating id: %w", err)
+	}
+	h := hex.EncodeToString(b[:])
+	return fmt.Sprintf("%s-%s-%s-%s-%s", h[0:8], h[8:12], h[12:16], h[16:20], h[20:32]), nil
+}
