@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test bench vet clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem .
+
+clean:
+	$(GO) clean ./...

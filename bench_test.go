@@ -14,6 +14,7 @@ import (
 
 	cyclerank "github.com/cyclerank/cyclerank-go"
 	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/bippr"
 	"github.com/cyclerank/cyclerank-go/internal/core"
 	"github.com/cyclerank/cyclerank-go/internal/datasets"
 	"github.com/cyclerank/cyclerank-go/internal/datastore"
@@ -223,6 +224,86 @@ func BenchmarkPPREngines(b *testing.B) {
 	b.Run("montecarlo", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := pagerank.MonteCarloPPR(context.Background(), g, pagerank.MCParams{Alpha: 0.85, Walks: 10000, Seeds: seeds, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablation A7: bidirectional pair queries ---
+
+// BenchmarkBiPPRPair contrasts the cost of one source→target estimate
+// under the bidirectional subsystem with computing the same number
+// via a full forward push. Accuracy is matched: bippr at rmax=1e-4
+// with 2000 walks estimates π(s,t) at least as tightly as forward
+// push at epsilon=1e-8 (see the crbench bippr ablation). "pair" is
+// the serving scenario — the reverse-push index is cached and each
+// query pays only the walks; "pair-cold" rebuilds the index per
+// query; "forward-push" is the status quo it replaces.
+func BenchmarkBiPPRPair(b *testing.B) {
+	g := loadGraph(b, "enwiki-2018")
+	src := mustNode(b, g, "Brian May")
+	tgt := mustNode(b, g, "Freddie Mercury")
+	params := bippr.Params{Alpha: 0.85, RMax: 1e-4, Walks: 2000, Seed: 1}
+
+	b.Run("pair", func(b *testing.B) {
+		est := bippr.NewEstimator(0)
+		// Build the target index outside the timed loop: under server
+		// traffic the first query per target amortizes it.
+		if _, err := est.Pair(context.Background(), g, src, tgt, params); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := est.Pair(context.Background(), g, src, tgt, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pair-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bippr.Bidirectional(context.Background(), g, src, tgt, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("forward-push", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := pagerank.PushPPR(context.Background(), g, pagerank.PushParams{
+				Alpha: 0.15, Epsilon: 1e-8, Seeds: []graph.NodeID{src},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res.Score(tgt)
+		}
+	})
+}
+
+// BenchmarkPPRTarget measures the target-ranking workload: cold
+// reverse pushes at decreasing rmax, and the cached path a busy
+// server hits.
+func BenchmarkPPRTarget(b *testing.B) {
+	g := loadGraph(b, "enwiki-2018")
+	tgt := mustNode(b, g, "Freddie Mercury")
+	for _, rmax := range []float64{1e-4, 1e-6} {
+		b.Run(fmt.Sprintf("reverse-push/rmax=%.0e", rmax), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bippr.ReversePush(context.Background(), g, tgt, 0.85, rmax); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("cached", func(b *testing.B) {
+		est := bippr.NewEstimator(0)
+		p := bippr.Params{Alpha: 0.85, RMax: 1e-5}
+		if _, err := est.TargetRank(context.Background(), g, tgt, p); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := est.TargetRank(context.Background(), g, tgt, p); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -33,8 +33,8 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("crbench", flag.ContinueOnError)
 	var (
-		table    = fs.Int("table", 0, "paper table to regenerate (1, 2 or 3); 0 = all")
-		ablation = fs.String("ablation", "", "ablation to run: k-sweep, pruned-vs-naive, ppr-engines, scoring, scale, agreement, all")
+		table    = fs.Int("table", 0, "table to regenerate (1-3 from the paper, 4 = target-relevance extension); 0 = all")
+		ablation = fs.String("ablation", "", "ablation to run: k-sweep, pruned-vs-naive, ppr-engines, scoring, scale, agreement, weighted, alpha-sweep, bippr, all")
 		format   = fs.String("format", "text", "output format: text, markdown, csv")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +75,8 @@ func run(args []string, out io.Writer) error {
 			jobs = append(jobs, job{"table-2", func() (*experiments.Table, error) { return experiments.TableII(ctx, reg) }})
 		case 3:
 			jobs = append(jobs, job{"table-3", func() (*experiments.Table, error) { return experiments.TableIII(ctx, reg) }})
+		case 4:
+			jobs = append(jobs, job{"table-4", func() (*experiments.Table, error) { return experiments.TableIV(ctx, reg) }})
 		}
 	}
 	ablations := map[string]func() (*experiments.Table, error){
@@ -93,8 +95,11 @@ func run(args []string, out io.Writer) error {
 			return experiments.AlphaSweep(ctx, "enwiki-2018", "Freddie Mercury",
 				[]string{"United States", "HIV/AIDS"})
 		},
+		"bippr": func() (*experiments.Table, error) {
+			return experiments.BiPPRSweep(ctx, "enwiki-2018", "Brian May", "Freddie Mercury", nil)
+		},
 	}
-	ablationOrder := []string{"k-sweep", "pruned-vs-naive", "ppr-engines", "scoring", "scale", "agreement", "weighted", "alpha-sweep"}
+	ablationOrder := []string{"k-sweep", "pruned-vs-naive", "ppr-engines", "scoring", "scale", "agreement", "weighted", "alpha-sweep", "bippr"}
 
 	switch {
 	case *ablation != "":
@@ -110,14 +115,15 @@ func run(args []string, out io.Writer) error {
 			jobs = append(jobs, job{*ablation, gen})
 		}
 	case *table != 0:
-		if *table < 1 || *table > 3 {
-			return fmt.Errorf("the paper has tables 1-3, not %d", *table)
+		if *table < 1 || *table > 4 {
+			return fmt.Errorf("tables are 1-3 (paper) and 4 (target-relevance extension), not %d", *table)
 		}
 		addTable(*table)
 	default:
 		addTable(1)
 		addTable(2)
 		addTable(3)
+		addTable(4)
 	}
 
 	for _, j := range jobs {

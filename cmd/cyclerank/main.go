@@ -6,6 +6,8 @@
 //	cyclerank -algo cyclerank -dataset enwiki-2018 -source "Fake news" -k 3
 //	cyclerank -algo ppr -file mygraph.csv -source Alice -alpha 0.3 -top 10
 //	cyclerank -algos cyclerank,ppr,pagerank -dataset amazon -source 1984
+//	cyclerank -algo ppr-target -dataset enwiki-2018 -target "Freddie Mercury"
+//	cyclerank -algo bippr-pair -dataset enwiki-2018 -source "Brian May" -target "Freddie Mercury"
 //	cyclerank -list-datasets
 //	cyclerank -list-algorithms
 //
@@ -49,9 +51,13 @@ func run(args []string, out io.Writer) error {
 		dataset   = fs.String("dataset", "", "catalog dataset name (see -list-datasets)")
 		file      = fs.String("file", "", "graph file (edgelist .csv, pajek .net, or .asd)")
 		source    = fs.String("source", "", "reference node label (personalized algorithms)")
+		target    = fs.String("target", "", "target node label (ppr-target, bippr-pair)")
 		k         = fs.Int("k", 0, "CycleRank max cycle length (default 3)")
 		scoring   = fs.String("scoring", "", "CycleRank scoring: exp, lin, quad, const (default exp)")
 		alpha     = fs.Float64("alpha", 0, "damping factor (default 0.85)")
+		rmax      = fs.Float64("rmax", 0, "bidirectional PPR reverse-push residual threshold (default 1e-4)")
+		walks     = fs.Int("walks", 0, "random-walk count for ppr-mc and bippr-pair (default 10000)")
+		seed      = fs.Int64("seed", 0, "random-walk RNG seed (default 1)")
 		top       = fs.Int("top", 10, "how many results to print")
 		stats     = fs.Bool("stats", false, "print graph statistics before results")
 		listDS    = fs.Bool("list-datasets", false, "list catalog datasets and exit")
@@ -66,11 +72,18 @@ func run(args []string, out io.Writer) error {
 	if *listAlgos {
 		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 		for _, a := range registry.All() {
-			needs := ""
+			var needs []string
 			if a.NeedsSource() {
-				needs = "(needs -source)"
+				needs = append(needs, "-source")
 			}
-			fmt.Fprintf(w, "%s\t%s\t%s\n", a.Name(), needs, a.Description())
+			if algo.NeedsTarget(a) {
+				needs = append(needs, "-target")
+			}
+			tag := ""
+			if len(needs) > 0 {
+				tag = "(needs " + strings.Join(needs, ", ") + ")"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\n", a.Name(), tag, a.Description())
 		}
 		return w.Flush()
 	}
@@ -98,7 +111,11 @@ func run(args []string, out io.Writer) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	params := algo.Params{Source: *source, K: *k, Scoring: *scoring, Alpha: *alpha}
+	params := algo.Params{
+		Source: *source, Target: *target,
+		K: *k, Scoring: *scoring, Alpha: *alpha,
+		RMax: *rmax, Walks: *walks, Seed: *seed,
+	}
 
 	if *algoList != "" {
 		names := splitList(*algoList)

@@ -1,0 +1,3 @@
+module github.com/cyclerank/cyclerank-go
+
+go 1.24

@@ -36,10 +36,18 @@ type Params struct {
 	MaxIter int `json:"max_iter,omitempty"`
 	// Epsilon is the forward-push residual threshold (default 1e-8).
 	Epsilon float64 `json:"epsilon,omitempty"`
-	// Walks is the Monte-Carlo walk count per seed (default 10000).
+	// Walks is the random-walk count per seed of the Monte-Carlo and
+	// bidirectional engines (default 10000).
 	Walks int `json:"walks,omitempty"`
-	// Seed is the Monte-Carlo RNG seed (default 1).
+	// Seed is the random-walk RNG seed (default 1).
 	Seed int64 `json:"seed,omitempty"`
+	// Target is the label of the target node; required by
+	// target-relevance algorithms (ppr-target, bippr-pair), ignored by
+	// the rest.
+	Target string `json:"target,omitempty"`
+	// RMax is the reverse-push residual threshold of the bidirectional
+	// engines (default 1e-4).
+	RMax float64 `json:"rmax,omitempty"`
 }
 
 // String renders the parameters compactly for logs and task listings.
@@ -47,6 +55,9 @@ func (p Params) String() string {
 	s := ""
 	if p.Source != "" {
 		s += fmt.Sprintf("source=%q ", p.Source)
+	}
+	if p.Target != "" {
+		s += fmt.Sprintf("target=%q ", p.Target)
 	}
 	if p.K != 0 {
 		s += fmt.Sprintf("k=%d ", p.K)
@@ -56,6 +67,9 @@ func (p Params) String() string {
 	}
 	if p.Alpha != 0 {
 		s += fmt.Sprintf("alpha=%g ", p.Alpha)
+	}
+	if p.RMax != 0 {
+		s += fmt.Sprintf("rmax=%g ", p.RMax)
 	}
 	if s == "" {
 		return "defaults"
@@ -76,6 +90,19 @@ func (p Params) ResolveSource(g *graph.Graph) (graph.NodeID, error) {
 	return id, nil
 }
 
+// ResolveTarget maps p.Target to a node of g, reporting a descriptive
+// error when the label is missing or unknown.
+func (p Params) ResolveTarget(g *graph.Graph) (graph.NodeID, error) {
+	if p.Target == "" {
+		return 0, fmt.Errorf("algo: parameter %q is required", "target")
+	}
+	id, ok := g.NodeByLabel(p.Target)
+	if !ok {
+		return 0, fmt.Errorf("algo: target node %q not found in graph", p.Target)
+	}
+	return id, nil
+}
+
 // Algorithm is a personalized or global relevance algorithm runnable
 // by the platform.
 type Algorithm interface {
@@ -89,6 +116,24 @@ type Algorithm interface {
 	NeedsSource() bool
 	// Run executes the algorithm on g.
 	Run(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error)
+}
+
+// TargetAware is the optional interface of algorithms that rank
+// relevance TO a node and therefore require Params.Target. It is
+// separate from Algorithm so that existing implementations (including
+// third-party ones plugged into the registry) keep compiling
+// unchanged.
+type TargetAware interface {
+	// NeedsTarget reports whether the algorithm requires a target node
+	// (Params.Target).
+	NeedsTarget() bool
+}
+
+// NeedsTarget reports whether a requires Params.Target, tolerating
+// algorithms that predate the TargetAware interface.
+func NeedsTarget(a Algorithm) bool {
+	t, ok := a.(TargetAware)
+	return ok && t.NeedsTarget()
 }
 
 // Registry is a concurrency-safe collection of algorithms.
@@ -161,6 +206,7 @@ type Func struct {
 	AlgoName string
 	AlgoDesc string
 	Source   bool
+	Target   bool
 	RunFunc  func(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error)
 }
 
@@ -172,6 +218,9 @@ func (f Func) Description() string { return f.AlgoDesc }
 
 // NeedsSource implements Algorithm.
 func (f Func) NeedsSource() bool { return f.Source }
+
+// NeedsTarget implements TargetAware.
+func (f Func) NeedsTarget() bool { return f.Target }
 
 // Run implements Algorithm.
 func (f Func) Run(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {

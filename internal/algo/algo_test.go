@@ -36,6 +36,7 @@ func TestBuiltinRegistryHasAllAlgorithms(t *testing.T) {
 	want := []string{
 		Name2DRank, NameCheiRank, NameCycleRank, NamePageRank,
 		NamePCheiRank, NameP2DRank, NamePPR, NamePPRMC, NamePPRPush,
+		NamePPRTarget, NameBiPPRPair,
 	}
 	names := r.Names()
 	if len(names) != len(want) {
@@ -59,6 +60,9 @@ func TestEveryBuiltinRunsOnDemoGraph(t *testing.T) {
 			p := Params{}
 			if a.NeedsSource() {
 				p.Source = "ref"
+			}
+			if NeedsTarget(a) {
+				p.Target = "friend1"
 			}
 			res, err := a.Run(context.Background(), g, p)
 			if err != nil {
@@ -110,6 +114,101 @@ func TestRunValidatesSourceRequirement(t *testing.T) {
 	}
 	if _, err := Run(context.Background(), r, "no-such-algo", g, Params{}); err == nil {
 		t.Error("unknown algorithm did not error")
+	}
+}
+
+func TestRunValidatesTargetRequirement(t *testing.T) {
+	r := NewBuiltinRegistry()
+	g := demoGraph(t)
+	if _, err := Run(context.Background(), r, NamePPRTarget, g, Params{}); err == nil {
+		t.Error("ppr-target ran without a target")
+	}
+	if _, err := Run(context.Background(), r, NameBiPPRPair, g, Params{Source: "ref"}); err == nil {
+		t.Error("bippr-pair ran without a target")
+	}
+	if _, err := Run(context.Background(), r, NameBiPPRPair, g, Params{Target: "ref"}); err == nil {
+		t.Error("bippr-pair ran without a source")
+	}
+	if _, err := Run(context.Background(), r, NamePPRTarget, g, Params{Target: "nobody"}); err == nil {
+		t.Error("unknown target label resolved")
+	}
+}
+
+// targetDemoGraph is demoGraph without the dangling hub, so the
+// bidirectional convention coincides exactly with the forward
+// engines'.
+func targetDemoGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewLabeledBuilder()
+	b.AddLabeledEdge("ref", "friend1")
+	b.AddLabeledEdge("friend1", "ref")
+	b.AddLabeledEdge("friend1", "friend2")
+	b.AddLabeledEdge("friend2", "friend1")
+	b.AddLabeledEdge("friend2", "ref")
+	b.AddLabeledEdge("ref", "friend2")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTargetRankAgreesWithForwardPPR(t *testing.T) {
+	// ppr-target's score for source s must match running ppr FROM s
+	// and reading the target's score, within the rmax additive bound.
+	r := NewBuiltinRegistry()
+	g := targetDemoGraph(t)
+	const rmax = 1e-6
+	tr, err := Run(context.Background(), r, NamePPRTarget, g, Params{Target: "ref", RMax: rmax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := g.NodeByLabel("ref")
+	for _, label := range []string{"friend1", "friend2"} {
+		fwd, err := Run(context.Background(), r, NamePPR, g, Params{Source: label, Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := g.NodeByLabel(label)
+		got, want := tr.Score(s), fwd.Score(ref)
+		if diff := want - got; diff < -1e-9 || diff > rmax+1e-9 {
+			t.Errorf("relevance of %s to ref: ppr-target %g vs ppr %g", label, got, want)
+		}
+	}
+}
+
+func TestBiPPRPairAgreesWithForwardPPR(t *testing.T) {
+	r := NewBuiltinRegistry()
+	g := targetDemoGraph(t)
+	pair, err := Run(context.Background(), r, NameBiPPRPair, g,
+		Params{Source: "friend2", Target: "ref", RMax: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := Run(context.Background(), r, NamePPR, g, Params{Source: "friend2", Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := g.NodeByLabel("ref")
+	got, want := pair.Score(ref), fwd.Score(ref)
+	if diff := got - want; diff < -1e-3 || diff > 1e-3 {
+		t.Errorf("π(friend2, ref): bippr-pair %g vs ppr %g", got, want)
+	}
+	if top := pair.Top(5); len(top) != 1 || top[0].Label != "ref" {
+		t.Errorf("bippr-pair top = %v, want exactly the target", top)
+	}
+}
+
+func TestResolveTargetErrors(t *testing.T) {
+	g := demoGraph(t)
+	if _, err := (Params{}).ResolveTarget(g); err == nil {
+		t.Error("empty target resolved")
+	}
+	if _, err := (Params{Target: "missing"}).ResolveTarget(g); err == nil {
+		t.Error("unknown target resolved")
+	}
+	if id, err := (Params{Target: "hub"}).ResolveTarget(g); err != nil || g.Label(id) != "hub" {
+		t.Errorf("ResolveTarget(hub) = %v, %v", id, err)
 	}
 }
 

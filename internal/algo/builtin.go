@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/cyclerank/cyclerank-go/internal/bippr"
 	"github.com/cyclerank/cyclerank-go/internal/core"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
 	"github.com/cyclerank/cyclerank-go/internal/pagerank"
@@ -11,7 +12,8 @@ import (
 )
 
 // Names of the seven algorithms showcased in the demo, plus the two
-// experimental approximate PPR engines.
+// experimental approximate PPR engines and the two bidirectional
+// target-relevance engines.
 const (
 	NameCycleRank = "cyclerank"
 	NamePageRank  = "pagerank"
@@ -22,6 +24,8 @@ const (
 	NameP2DRank   = "p2drank"
 	NamePPRPush   = "ppr-push"
 	NamePPRMC     = "ppr-mc"
+	NamePPRTarget = bippr.AlgorithmTarget
+	NameBiPPRPair = bippr.AlgorithmPair
 )
 
 // Default parameter values applied when Params fields are zero.
@@ -45,8 +49,12 @@ func NewBuiltinRegistry() *Registry {
 	return r
 }
 
-// Builtins returns fresh instances of every built-in algorithm.
+// Builtins returns fresh instances of every built-in algorithm. The
+// two bidirectional engines share one bippr.Estimator, so repeated
+// queries against the same target amortize the reverse push through
+// its LRU index cache for the lifetime of the registry.
 func Builtins() []Algorithm {
+	est := bippr.NewEstimator(bippr.DefaultCacheSize)
 	return []Algorithm{
 		Func{
 			AlgoName: NameCycleRank,
@@ -164,6 +172,63 @@ func Builtins() []Algorithm {
 				})
 			},
 		},
+		Func{
+			AlgoName: NamePPRTarget,
+			AlgoDesc: "Target-node PPR: rank every node by its relevance TO the target via reverse push (Lofgren-Goel 2013)",
+			Target:   true,
+			RunFunc: func(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+				tgt, err := p.ResolveTarget(g)
+				if err != nil {
+					return nil, err
+				}
+				return est.TargetRank(ctx, g, tgt, bipprParams(p))
+			},
+		},
+		Func{
+			AlgoName: NameBiPPRPair,
+			AlgoDesc: "Bidirectional PPR: fast source→target pair estimate by reverse push plus forward walks (Lofgren et al. 2016)",
+			Source:   true,
+			Target:   true,
+			RunFunc: func(ctx context.Context, g *graph.Graph, p Params) (*ranking.Result, error) {
+				src, err := p.ResolveSource(g)
+				if err != nil {
+					return nil, err
+				}
+				tgt, err := p.ResolveTarget(g)
+				if err != nil {
+					return nil, err
+				}
+				pair, err := est.Pair(ctx, g, src, tgt, bipprParams(p))
+				if err != nil {
+					return nil, err
+				}
+				// The pair estimate is a single number; report it as the
+				// target's score so it flows through the platform's
+				// result pipeline (top lists, tables, persistence). An
+				// unreachable pair estimates to exactly 0 and yields an
+				// empty top list — the platform-wide convention for "no
+				// relevance" (CycleRank with no cycles behaves the same).
+				scores := make([]float64, g.NumNodes())
+				scores[tgt] = pair.Value
+				res, err := ranking.NewResult(NameBiPPRPair, g, scores)
+				if err != nil {
+					return nil, err
+				}
+				res.Iterations = pair.Walks + int(pair.Pushes)
+				return res, nil
+			},
+		},
+	}
+}
+
+// bipprParams translates the shared Params into bippr.Params; zero
+// fields fall through to the bippr defaults.
+func bipprParams(p Params) bippr.Params {
+	return bippr.Params{
+		Alpha: p.Alpha,
+		RMax:  p.RMax,
+		Walks: p.Walks,
+		Seed:  p.Seed,
 	}
 }
 
@@ -211,6 +276,9 @@ func Run(ctx context.Context, r *Registry, name string, g *graph.Graph, p Params
 	}
 	if a.NeedsSource() && p.Source == "" {
 		return nil, fmt.Errorf("algo: %s requires a source node", name)
+	}
+	if NeedsTarget(a) && p.Target == "" {
+		return nil, fmt.Errorf("algo: %s requires a target node", name)
 	}
 	return a.Run(ctx, g, p)
 }

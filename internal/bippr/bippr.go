@@ -1,0 +1,270 @@
+// Package bippr implements bidirectional Personalized PageRank
+// estimation (Lofgren, Banerjee, Goel: "Personalized PageRank
+// Estimation and Search: A Bidirectional Approach", WSDM 2016).
+//
+// Every engine in internal/pagerank answers single-source queries by
+// touching a large fraction of the graph. This package answers the
+// two complementary questions sublinearly:
+//
+//   - target queries — "how relevant is every node TO t?" — via
+//     ReversePush, a local backward push over the graph's in-CSR that
+//     estimates the whole column π(·,t) with additive error below a
+//     residual threshold rmax;
+//   - pair queries — "how relevant is t to s?" — via Bidirectional,
+//     which combines a reverse-push target index with
+//     deterministically seeded forward random walks from s:
+//
+//     π(s,t) ≈ p_t(s) + (1/W)·Σ_walks r_t(endpoint)
+//
+// balancing push cost against walk count through rmax.
+//
+// The random-surfer convention matches the power-iteration engine:
+// Alpha is the damping (continue) probability; the walk stops at the
+// current node with probability 1−Alpha. A walk entering a dangling
+// node is absorbed there: unlike pagerank.Personalized, mass is not
+// returned to the seed, because the reverse formulation must stay
+// independent of the (unknown) source. On dangling-free graphs the
+// two conventions coincide exactly.
+//
+// An Estimator wraps both layers behind a small LRU cache of target
+// indexes, so that repeated queries against the same (graph, target,
+// alpha, rmax) — the common pattern under server traffic — pay the
+// reverse push once and only the walks per query.
+package bippr
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/ranking"
+)
+
+// Default parameter values applied when Params fields are zero.
+const (
+	// DefaultAlpha is the damping (continue) probability.
+	DefaultAlpha = 0.85
+	// DefaultRMax is the reverse-push residual threshold. Estimates
+	// carry additive error strictly below DefaultRMax.
+	DefaultRMax = 1e-4
+	// DefaultWalks is the forward walk count of a pair query.
+	DefaultWalks = 10000
+	// DefaultSeed seeds the walk RNG, making pair estimates
+	// reproducible across runs.
+	DefaultSeed = 1
+	// DefaultMaxSteps truncates a single walk; at Alpha=0.85 the
+	// probability of a walk surviving 100 steps is below 9e-8.
+	DefaultMaxSteps = 100
+	// DefaultCacheSize is the Estimator's target-index LRU capacity.
+	DefaultCacheSize = 32
+)
+
+// AlgorithmTarget and AlgorithmPair are the ranking.Result algorithm
+// names produced by this package.
+const (
+	AlgorithmTarget = "ppr-target"
+	AlgorithmPair   = "bippr-pair"
+)
+
+// Params configures both layers of the bidirectional estimator.
+type Params struct {
+	// Alpha is the damping (continue) probability, in (0,1); default
+	// 0.85, matching the power-iteration engine.
+	Alpha float64
+	// RMax is the reverse-push residual threshold; every node's final
+	// residual is strictly below RMax, so target estimates carry
+	// additive error below RMax. Smaller is more accurate and pushes
+	// longer. Default 1e-4.
+	RMax float64
+	// Walks is the forward walk count of a pair query (unused by pure
+	// target queries). Default 10000.
+	Walks int
+	// Seed seeds the walk RNG deterministically per source. Default 1.
+	Seed int64
+	// MaxSteps truncates a single walk. Default 100.
+	MaxSteps int
+}
+
+// withDefaults fills zero fields.
+func (p Params) withDefaults() Params {
+	if p.Alpha == 0 {
+		p.Alpha = DefaultAlpha
+	}
+	if p.RMax == 0 {
+		p.RMax = DefaultRMax
+	}
+	if p.Walks == 0 {
+		p.Walks = DefaultWalks
+	}
+	if p.Seed == 0 {
+		p.Seed = DefaultSeed
+	}
+	if p.MaxSteps == 0 {
+		p.MaxSteps = DefaultMaxSteps
+	}
+	return p
+}
+
+// validate checks the filled parameters.
+func (p Params) validate() error {
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return fmt.Errorf("bippr: alpha=%v outside (0,1)", p.Alpha)
+	}
+	if p.RMax <= 0 {
+		return fmt.Errorf("bippr: rmax=%v must be positive", p.RMax)
+	}
+	if p.Walks < 0 {
+		return fmt.Errorf("bippr: walks=%d must not be negative", p.Walks)
+	}
+	if p.MaxSteps < 0 {
+		return fmt.Errorf("bippr: max steps=%d must not be negative", p.MaxSteps)
+	}
+	return nil
+}
+
+// Estimate is the outcome of one bidirectional pair query.
+type Estimate struct {
+	// Value estimates π(source, target).
+	Value float64
+	// Pushes is the reverse-push operation count behind the target
+	// index (0 when the index came from the cache).
+	Pushes int64
+	// Walks is the number of forward walks simulated.
+	Walks int
+	// FromCache reports whether the target index was reused.
+	FromCache bool
+}
+
+// Estimator answers target and pair queries, amortizing reverse
+// pushes across queries through an LRU target-index cache. It is safe
+// for concurrent use.
+type Estimator struct {
+	cache *indexCache
+}
+
+// NewEstimator returns an Estimator whose cache holds up to capacity
+// target indexes (capacity <= 0 selects DefaultCacheSize).
+func NewEstimator(capacity int) *Estimator {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Estimator{cache: newIndexCache(capacity)}
+}
+
+// CacheStats reports the estimator's cache hit/miss counters and
+// current size. A hit is any query that did not pay for a reverse
+// push itself — an LRU hit or a ride on a concurrent in-flight push.
+func (e *Estimator) CacheStats() (hits, misses int64, size int) {
+	return e.cache.stats()
+}
+
+// Index returns the reverse-push target index for (g, target, alpha,
+// rmax), computing it on miss. The returned index is shared; callers
+// must not mutate it.
+func (e *Estimator) Index(ctx context.Context, g *graph.Graph, target graph.NodeID, p Params) (*TargetIndex, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	idx, _, err := e.index(ctx, g, target, p)
+	return idx, err
+}
+
+// index is the shared cache path: one reverse push per (graph,
+// target, alpha, rmax) even under concurrent misses. p must already
+// have defaults applied.
+func (e *Estimator) index(ctx context.Context, g *graph.Graph, target graph.NodeID, p Params) (*TargetIndex, bool, error) {
+	key := indexKey{g: g, target: target, alpha: p.Alpha, rmax: p.RMax}
+	return e.cache.getOrCompute(ctx, key, func() (*TargetIndex, error) {
+		return ReversePush(ctx, g, target, p.Alpha, p.RMax)
+	})
+}
+
+// Pair estimates π(source, target): the probability that an
+// Alpha-damped random walk from source stops at target.
+func (e *Estimator) Pair(ctx context.Context, g *graph.Graph, source, target graph.NodeID, p Params) (Estimate, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return Estimate{}, err
+	}
+	if !g.ValidNode(source) {
+		return Estimate{}, fmt.Errorf("bippr: source node %d not in graph (N=%d)", source, g.NumNodes())
+	}
+	idx, cached, err := e.index(ctx, g, target, p)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est, err := pairFromIndex(ctx, g, source, idx, p)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est.FromCache = cached
+	if cached {
+		est.Pushes = 0
+	}
+	return est, nil
+}
+
+// TargetRank ranks every node of g by its relevance to target: the
+// score of s estimates π(s,t) with additive error below RMax. The
+// result's Iterations field carries the push count and Residual the
+// largest remaining residual.
+func (e *Estimator) TargetRank(ctx context.Context, g *graph.Graph, target graph.NodeID, p Params) (*ranking.Result, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	idx, err := e.Index(ctx, g, target, p)
+	if err != nil {
+		return nil, err
+	}
+	// Copy: ranking.Result owners may normalize scores in place, and
+	// the index stays live in the cache.
+	scores := make([]float64, len(idx.Estimates))
+	copy(scores, idx.Estimates)
+	res, err := ranking.NewResult(AlgorithmTarget, g, scores)
+	if err != nil {
+		return nil, err
+	}
+	res.Iterations = int(idx.Pushes)
+	res.Residual = idx.MaxResidual
+	return res, nil
+}
+
+// Bidirectional is the uncached one-shot pair estimate
+// π(s,t) ≈ p_t(s) + (1/W)·Σ_walks r_t(endpoint). Serving layers that
+// issue repeated queries should prefer an Estimator.
+func Bidirectional(ctx context.Context, g *graph.Graph, source, target graph.NodeID, p Params) (Estimate, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return Estimate{}, err
+	}
+	if !g.ValidNode(source) {
+		return Estimate{}, fmt.Errorf("bippr: source node %d not in graph (N=%d)", source, g.NumNodes())
+	}
+	idx, err := ReversePush(ctx, g, target, p.Alpha, p.RMax)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return pairFromIndex(ctx, g, source, idx, p)
+}
+
+// pairFromIndex combines a target index with forward walks from
+// source.
+func pairFromIndex(ctx context.Context, g *graph.Graph, source graph.NodeID, idx *TargetIndex, p Params) (Estimate, error) {
+	value := idx.Estimates[source]
+	walks := 0
+	// The walk term Σ_v π(s,v)·r_t(v) is bounded by MaxResidual; when
+	// the push already drained every residual (tiny graphs) the walks
+	// would only add variance.
+	if idx.MaxResidual > 0 && p.Walks > 0 {
+		w := NewWalkEstimator(g, p.Alpha, p.Seed, p.MaxSteps)
+		corr, err := w.EstimateSum(ctx, source, p.Walks, idx.Residuals)
+		if err != nil {
+			return Estimate{}, err
+		}
+		value += corr
+		walks = p.Walks
+	}
+	return Estimate{Value: value, Pushes: idx.Pushes, Walks: walks}, nil
+}

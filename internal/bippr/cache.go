@@ -1,0 +1,132 @@
+package bippr
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// indexKey identifies one target index. The graph pointer stands in
+// for the dataset name: the scheduler caches one immutable *Graph per
+// dataset, so pointer identity tracks dataset identity — and a
+// re-uploaded dataset arrives as a new pointer, naturally invalidating
+// every entry of the old graph (they age out of the LRU).
+type indexKey struct {
+	g      *graph.Graph
+	target graph.NodeID
+	alpha  float64
+	rmax   float64
+}
+
+// indexCache is a concurrency-safe LRU of target indexes with
+// single-flight computation: concurrent misses for the same key share
+// one reverse push instead of each paying for it.
+type indexCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[indexKey]*list.Element
+	inflight map[indexKey]*inflightCall
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key indexKey
+	idx *TargetIndex
+}
+
+// inflightCall is one in-progress computation; waiters block on done.
+type inflightCall struct {
+	done chan struct{}
+	idx  *TargetIndex
+	err  error
+}
+
+func newIndexCache(capacity int) *indexCache {
+	return &indexCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[indexKey]*list.Element, capacity),
+		inflight: make(map[indexKey]*inflightCall),
+	}
+}
+
+// getOrCompute returns the cached index for key, or runs compute to
+// produce it. cached is true when the caller did not pay for the
+// computation itself — an LRU hit or a ride on another caller's
+// in-flight push. Waiters honor their own ctx while blocked, and a
+// waiter whose computing peer fails (e.g. the peer's context was
+// cancelled) retries the computation itself rather than inheriting
+// the peer's error.
+func (c *indexCache) getOrCompute(ctx context.Context, key indexKey, compute func() (*TargetIndex, error)) (idx *TargetIndex, cached bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.hits++
+			c.order.MoveToFront(el)
+			c.mu.Unlock()
+			return el.Value.(*cacheEntry).idx, true, nil
+		}
+		if call, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return nil, false, fmt.Errorf("bippr: waiting for shared reverse push: %w", ctx.Err())
+			}
+			if call.err == nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+				return call.idx, true, nil
+			}
+			continue // peer failed; try computing ourselves
+		}
+		c.misses++
+		call := &inflightCall{done: make(chan struct{})}
+		c.inflight[key] = call
+		c.mu.Unlock()
+
+		call.idx, call.err = compute()
+		// Retire the inflight entry and publish the result in one
+		// critical section, so no concurrent caller can observe the
+		// key as neither cached nor inflight and start a duplicate
+		// push.
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if call.err == nil {
+			c.putLocked(key, call.idx)
+		}
+		c.mu.Unlock()
+		close(call.done)
+		return call.idx, false, call.err
+	}
+}
+
+// putLocked inserts an index, evicting the least-recently-used entry
+// when over capacity. Re-inserting an existing key refreshes its
+// value. The caller must hold c.mu.
+func (c *indexCache) putLocked(key indexKey, idx *TargetIndex) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).idx = idx
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, idx: idx})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns hit/miss counters and the current entry count.
+func (c *indexCache) stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

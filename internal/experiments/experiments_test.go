@@ -276,3 +276,64 @@ func TestScaleSweep(t *testing.T) {
 		t.Fatalf("headers = %v", tab.Headers)
 	}
 }
+
+func TestTableIV(t *testing.T) {
+	tab, err := TableIV(context.Background(), reg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 || len(tab.Headers) != 5 {
+		t.Fatalf("shape %dx%d", len(tab.Rows), len(tab.Headers))
+	}
+	// The to-Freddie column is his tightly reciprocal community; the
+	// global hubs he leaks to must NOT dominate the target view (they
+	// point at him rarely relative to their out-neighborhoods).
+	for i := 0; i < 5; i++ {
+		if cell := tab.Rows[i][1]; cell == "United States" || cell == "HIV/AIDS" {
+			t.Errorf("global hub %q ranked top-%d by relevance TO Freddie Mercury", cell, i+1)
+		}
+	}
+	// The from-Freddie column leaks onto a global hub (the PPR bias
+	// the paper documents) — the asymmetry Table IV demonstrates.
+	leak := false
+	for i := 0; i < 5; i++ {
+		if tab.Rows[i][2] == "United States" || tab.Rows[i][2] == "HIV/AIDS" {
+			leak = true
+		}
+	}
+	if !leak {
+		t.Error("from-reference column shows no hub leak; asymmetry demo lost")
+	}
+}
+
+func TestBiPPRSweep(t *testing.T) {
+	tab, err := BiPPRSweep(context.Background(), "enwiki-2018", "Brian May", "Freddie Mercury",
+		[]float64{1e-3, 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Smaller rmax must push more and estimate at least as accurately.
+	var pushesLoose, pushesTight int
+	var errLoose, errTight float64
+	if _, err := fmt.Sscanf(tab.Rows[0][1], "%d", &pushesLoose); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscanf(tab.Rows[1][1], "%d", &pushesTight); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscanf(tab.Rows[0][4], "%e", &errLoose); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscanf(tab.Rows[1][4], "%e", &errTight); err != nil {
+		t.Fatal(err)
+	}
+	if pushesTight <= pushesLoose {
+		t.Errorf("pushes did not grow as rmax shrank: %d vs %d", pushesLoose, pushesTight)
+	}
+	if errLoose > 1e-3 || errTight > 1e-4 {
+		t.Errorf("errors exceed additive bounds: %g (1e-3), %g (1e-5)", errLoose, errTight)
+	}
+}

@@ -180,7 +180,7 @@ func TestStatusEndpoint(t *testing.T) {
 	if r.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", r.StatusCode)
 	}
-	if st.Datasets != 2 || st.Algorithms != 9 {
+	if st.Datasets != 2 || st.Algorithms != 11 {
 		t.Errorf("status = %+v", st)
 	}
 	if st.Scheduler.Workers != 2 {

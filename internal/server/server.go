@@ -170,18 +170,26 @@ type algorithmInfo struct {
 	Name        string `json:"name"`
 	Description string `json:"description"`
 	NeedsSource bool   `json:"needs_source"`
+	NeedsTarget bool   `json:"needs_target"`
 }
 
-func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+// algorithmInfos renders the registry for both the JSON API and the
+// HTML UI, so the two views cannot drift.
+func algorithmInfos(r *algo.Registry) []algorithmInfo {
 	var out []algorithmInfo
-	for _, a := range s.registry.All() {
+	for _, a := range r.All() {
 		out = append(out, algorithmInfo{
 			Name:        a.Name(),
 			Description: a.Description(),
 			NeedsSource: a.NeedsSource(),
+			NeedsTarget: algo.NeedsTarget(a),
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, algorithmInfos(s.registry))
 }
 
 type datasetInfo struct {

@@ -61,17 +61,98 @@ func TestAlgorithmsEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	if len(algos) != 9 {
-		t.Errorf("got %d algorithms, want 9", len(algos))
+	if len(algos) != 11 {
+		t.Errorf("got %d algorithms, want 11", len(algos))
 	}
-	found := false
+	var foundCR, foundTarget, foundPair bool
 	for _, a := range algos {
-		if a.Name == "cyclerank" && a.NeedsSource {
-			found = true
+		switch a.Name {
+		case "cyclerank":
+			foundCR = a.NeedsSource
+		case "ppr-target":
+			foundTarget = a.NeedsTarget && !a.NeedsSource
+		case "bippr-pair":
+			foundPair = a.NeedsTarget && a.NeedsSource
 		}
 	}
-	if !found {
+	if !foundCR {
 		t.Error("cyclerank missing or not flagged as personalized")
+	}
+	if !foundTarget {
+		t.Error("ppr-target missing or incorrectly flagged")
+	}
+	if !foundPair {
+		t.Error("bippr-pair missing or incorrectly flagged")
+	}
+}
+
+// TestTargetQueriesThroughScheduler runs the two bidirectional
+// algorithms end-to-end: submit, execute on the worker pool, persist,
+// poll. complete-50 is unlabeled, so decimal ids act as labels.
+func TestTargetQueriesThroughScheduler(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"tasks": [
+		{"dataset": "complete-50", "algorithm": "ppr-target",
+		 "params": {"target": "7"}},
+		{"dataset": "complete-50", "algorithm": "bippr-pair",
+		 "params": {"source": "3", "target": "7", "walks": 200}}
+	]}`
+	resp, err := http.Post(ts.URL+"/api/tasks", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var cmp compareResponse
+	for {
+		getJSON(t, ts.URL+"/api/compare/"+sub.ComparisonID, &cmp)
+		if cmp.Done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !cmp.Done {
+		t.Fatal("query set did not finish in time")
+	}
+	if len(cmp.Tasks) != 2 {
+		t.Fatalf("got %d tasks, want 2", len(cmp.Tasks))
+	}
+	for _, view := range cmp.Tasks {
+		if view.Task.State != task.StateDone {
+			t.Fatalf("%s finished %s: %s", view.Task.Algorithm, view.Task.State, view.Task.Error)
+		}
+		if view.Result == nil || len(view.Result.Top) == 0 {
+			t.Fatalf("%s produced no result rows", view.Task.Algorithm)
+		}
+	}
+	// On a complete digraph every pair looks alike: π(3,7) must agree
+	// with ppr-target's estimate for source 3 (additive rmax error).
+	var targetScore, pairScore float64
+	for _, view := range cmp.Tasks {
+		switch view.Task.Algorithm {
+		case "ppr-target":
+			for _, e := range view.Result.Top {
+				if e.Label == "3" {
+					targetScore = e.Score
+				}
+			}
+		case "bippr-pair":
+			pairScore = view.Result.Top[0].Score
+		}
+	}
+	if targetScore == 0 || pairScore == 0 {
+		t.Fatalf("missing scores: target=%g pair=%g", targetScore, pairScore)
+	}
+	if diff := pairScore - targetScore; diff < -1e-3 || diff > 1e-3 {
+		t.Errorf("pair %g and target %g estimates disagree", pairScore, targetScore)
 	}
 }
 

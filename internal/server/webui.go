@@ -46,8 +46,8 @@ permalink returned at submission.</p>
 {{end}}</table>
 <h2>Algorithms ({{len .Algorithms}})</h2>
 <table>
-<tr><th>Name</th><th>Needs reference node</th><th>Description</th></tr>
-{{range .Algorithms}}<tr><td><code>{{.Name}}</code></td><td>{{if .NeedsSource}}yes{{else}}no{{end}}</td><td>{{.Description}}</td></tr>
+<tr><th>Name</th><th>Needs reference node</th><th>Needs target node</th><th>Description</th></tr>
+{{range .Algorithms}}<tr><td><code>{{.Name}}</code></td><td>{{if .NeedsSource}}yes{{else}}no{{end}}</td><td>{{if .NeedsTarget}}yes{{else}}no{{end}}</td><td>{{.Description}}</td></tr>
 {{end}}</table>
 </body></html>{{end}}
 
@@ -85,6 +85,22 @@ optional <code>?format=</code> override). Supported formats:</p>
   {"dataset": "enwiki-2018", "algorithm": "ppr",
    "params": {"source": "Fake news", "alpha": 0.3}}
 ]}</code></pre>
+<h2>Target-node queries</h2>
+<p>The bidirectional engines answer the reverse question — who is
+relevant <em>to</em> a node. <code>ppr-target</code> ranks every node by
+its Personalized-PageRank relevance to <code>target</code>;
+<code>bippr-pair</code> estimates a single source→target score without
+touching most of the graph:</p>
+<pre><code>POST /api/tasks
+{"tasks": [
+  {"dataset": "enwiki-2018", "algorithm": "ppr-target",
+   "params": {"target": "Freddie Mercury", "alpha": 0.85, "rmax": 1e-4}},
+  {"dataset": "enwiki-2018", "algorithm": "bippr-pair",
+   "params": {"source": "Brian May", "target": "Freddie Mercury", "walks": 10000}}
+]}</code></pre>
+<p>Repeated queries against the same <code>(dataset, target, alpha,
+rmax)</code> reuse a cached reverse-push index, so only the first query
+pays the push cost.</p>
 <p>The response carries a <code>comparison_id</code>; retrieve results at
 <code>/api/compare/{id}</code> or view them at <code>/compare/{id}</code>.</p>
 </body></html>{{end}}
@@ -113,11 +129,7 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
 		data.Datasets = append(data.Datasets, datasetInfo{Name: name, Kind: "uploaded", Description: "user-uploaded dataset"})
 	}
 	s.mu.RUnlock()
-	for _, a := range s.registry.All() {
-		data.Algorithms = append(data.Algorithms, algorithmInfo{
-			Name: a.Name(), Description: a.Description(), NeedsSource: a.NeedsSource(),
-		})
-	}
+	data.Algorithms = algorithmInfos(s.registry)
 	s.render(w, "home", data)
 }
 

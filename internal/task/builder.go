@@ -43,6 +43,9 @@ func (b *Builder) Add(s Spec) error {
 	if a.NeedsSource() && s.Params.Source == "" {
 		return fmt.Errorf("task: algorithm %q requires a source node", s.Algorithm)
 	}
+	if algo.NeedsTarget(a) && s.Params.Target == "" {
+		return fmt.Errorf("task: algorithm %q requires a target node", s.Algorithm)
+	}
 	b.specs = append(b.specs, s)
 	return nil
 }
