@@ -1,6 +1,7 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build test bench vet clean
+.PHONY: build test bench vet docs-check clean
 
 build:
 	$(GO) build ./...
@@ -13,6 +14,15 @@ test: vet
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
+
+# docs-check gates the documentation: every relative markdown link in
+# README.md and docs/ must resolve, and the tree must be gofmt-clean.
+docs-check:
+	$(GO) run ./cmd/docscheck README.md docs/*.md
+	@fmt_out="$$($(GOFMT) -l .)"; \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
 
 clean:
 	$(GO) clean ./...

@@ -278,6 +278,64 @@ func BenchmarkBiPPRPair(b *testing.B) {
 			_ = res.Score(tgt)
 		}
 	})
+
+	// Serial vs sharded walk phase: a cached pair query is walks-only,
+	// so the workers sweep isolates the worker pool's speedup. The
+	// estimate is bit-identical at every pool size (test-enforced by
+	// TestShardedWalksBitIdentical); only latency changes. 50k walks
+	// make the walk phase long enough to measure against pool overhead.
+	// Pool sizes are clamped to GOMAXPROCS, so on a machine with fewer
+	// cores than a sub-benchmark's label the rows run an effectively
+	// smaller (possibly serial) pool and read as ~1x.
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("walk-phase/workers=%d", workers), func(b *testing.B) {
+			est := bippr.NewEstimator(0)
+			p := bippr.Params{Alpha: 0.85, RMax: 1e-4, Walks: 50000, Seed: 1, Workers: workers}
+			if _, err := est.Pair(context.Background(), g, src, tgt, p); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.Pair(context.Background(), g, src, tgt, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTargetIndexStorage contrasts the memory the two index
+// representations pin: dense allocates O(n) arrays regardless of how
+// far the push reaches, sparse allocates O(touched). The ring graph
+// makes the gap extreme — a reverse push at rmax=1e-4 touches ~57
+// nodes of 200k — which is exactly the regime of an LRU cache over a
+// multi-million-node graph. Read the B/op column.
+func BenchmarkTargetIndexStorage(b *testing.B) {
+	const n = 200_000
+	nb := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		nb.AddEdge(graph.NodeID(v), graph.NodeID((v+1)%n))
+	}
+	ring, err := nb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		storage bippr.Storage
+	}{
+		{"dense", bippr.StorageDense},
+		{"sparse", bippr.StorageSparse},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bippr.ReversePushStored(context.Background(), ring, 0, 0.85, 1e-4, tc.storage); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkPPRTarget measures the target-ranking workload: cold

@@ -34,7 +34,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("crbench", flag.ContinueOnError)
 	var (
 		table    = fs.Int("table", 0, "table to regenerate (1-3 from the paper, 4 = target-relevance extension); 0 = all")
-		ablation = fs.String("ablation", "", "ablation to run: k-sweep, pruned-vs-naive, ppr-engines, scoring, scale, agreement, weighted, alpha-sweep, bippr, all")
+		ablation = fs.String("ablation", "", "ablation to run: k-sweep, pruned-vs-naive, ppr-engines, scoring, scale, agreement, weighted, alpha-sweep, bippr, bippr-sharding, all")
 		format   = fs.String("format", "text", "output format: text, markdown, csv")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -98,8 +98,11 @@ func run(args []string, out io.Writer) error {
 		"bippr": func() (*experiments.Table, error) {
 			return experiments.BiPPRSweep(ctx, "enwiki-2018", "Brian May", "Freddie Mercury", nil)
 		},
+		"bippr-sharding": func() (*experiments.Table, error) {
+			return experiments.BiPPRSharding(ctx, "enwiki-2018", "Brian May", "Freddie Mercury", nil)
+		},
 	}
-	ablationOrder := []string{"k-sweep", "pruned-vs-naive", "ppr-engines", "scoring", "scale", "agreement", "weighted", "alpha-sweep", "bippr"}
+	ablationOrder := []string{"k-sweep", "pruned-vs-naive", "ppr-engines", "scoring", "scale", "agreement", "weighted", "alpha-sweep", "bippr", "bippr-sharding"}
 
 	switch {
 	case *ablation != "":

@@ -8,6 +8,7 @@
 //	cyclerank -algos cyclerank,ppr,pagerank -dataset amazon -source 1984
 //	cyclerank -algo ppr-target -dataset enwiki-2018 -target "Freddie Mercury"
 //	cyclerank -algo bippr-pair -dataset enwiki-2018 -source "Brian May" -target "Freddie Mercury"
+//	cyclerank -algo bippr-pair -dataset enwiki-2018 -source "Brian May" -target "Freddie Mercury" -eps 1e-6 -workers 8
 //	cyclerank -list-datasets
 //	cyclerank -list-algorithms
 //
@@ -57,6 +58,8 @@ func run(args []string, out io.Writer) error {
 		alpha     = fs.Float64("alpha", 0, "damping factor (default 0.85)")
 		rmax      = fs.Float64("rmax", 0, "bidirectional PPR reverse-push residual threshold (default 1e-4)")
 		walks     = fs.Int("walks", 0, "random-walk count for ppr-mc and bippr-pair (default 10000)")
+		eps       = fs.Float64("eps", 0, "bippr-pair requested additive error; overrides -walks with an adaptive count")
+		workers   = fs.Int("workers", 0, "bippr-pair walk worker pool size (default 1; results are bit-identical for any value)")
 		seed      = fs.Int64("seed", 0, "random-walk RNG seed (default 1)")
 		top       = fs.Int("top", 10, "how many results to print")
 		stats     = fs.Bool("stats", false, "print graph statistics before results")
@@ -114,7 +117,8 @@ func run(args []string, out io.Writer) error {
 	params := algo.Params{
 		Source: *source, Target: *target,
 		K: *k, Scoring: *scoring, Alpha: *alpha,
-		RMax: *rmax, Walks: *walks, Seed: *seed,
+		RMax: *rmax, Walks: *walks, Eps: *eps,
+		Workers: *workers, Seed: *seed,
 	}
 
 	if *algoList != "" {

@@ -1,0 +1,132 @@
+// Command docscheck validates the repository's markdown documentation
+// offline: every relative link target must exist on disk. It is the
+// `make docs-check` / CI gate that keeps README.md and docs/ from
+// drifting as files move.
+//
+// Usage:
+//
+//	docscheck README.md docs/*.md
+//
+// Checked: inline links and images `[text](target)` whose target is a
+// relative path, resolved against the linking file's directory (any
+// `#fragment` is stripped first). Skipped: absolute URLs
+// (scheme://…), mailto:, pure in-page anchors (#…), and anything
+// inside fenced code blocks — the fences hold example commands, not
+// navigation.
+//
+// Exit status is non-zero if any link is broken or any input file is
+// unreadable, with one "file:line: broken link" diagnostic per
+// offence.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target) /
+// ![alt](target). Targets with spaces or nested parens are not used in
+// this repository's docs.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// fenceRe captures a code-fence delimiter run (``` or ~~~ of any
+// length ≥3, optionally indented) and whatever follows it (an info
+// string on an opening fence; must be blank on a closing one).
+var fenceRe = regexp.MustCompile("^\\s*(`{3,}|~{3,})(.*)$")
+
+// fenceDelim returns the fence marker run opening or closing on this
+// line ("" when the line is not a fence delimiter).
+func fenceDelim(line string) string {
+	m := fenceRe.FindStringSubmatch(line)
+	if m == nil {
+		return ""
+	}
+	return m[1]
+}
+
+// closesFence reports whether line closes a fence opened by the open
+// marker run: per CommonMark the closing run must use the same
+// character, be at least as long, and carry no info string (so a
+// literal "```go" inside an open block does not close it).
+func closesFence(open, line string) bool {
+	m := fenceRe.FindStringSubmatch(line)
+	if m == nil {
+		return false
+	}
+	delim, rest := m[1], m[2]
+	return delim[0] == open[0] && len(delim) >= len(open) && strings.TrimSpace(rest) == ""
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck <file.md> [file.md ...]")
+		os.Exit(2)
+	}
+	broken, unreadable := 0, 0
+	for _, path := range os.Args[1:] {
+		n, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			unreadable++
+			continue
+		}
+		broken += n
+	}
+	if broken > 0 || unreadable > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s), %d unreadable file(s)\n", broken, unreadable)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports the number of broken relative links in one
+// markdown file, printing a diagnostic per offence.
+func checkFile(path string) (broken int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	dir := filepath.Dir(path)
+	openFence := "" // marker run of the fence we are inside, if any
+	for i, line := range strings.Split(string(data), "\n") {
+		if delim := fenceDelim(line); delim != "" {
+			switch {
+			case openFence == "":
+				openFence = delim
+			case closesFence(openFence, line):
+				openFence = ""
+			}
+			continue
+		}
+		if openFence != "" {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skipTarget(target) {
+				continue
+			}
+			if frag := strings.IndexByte(target, '#'); frag >= 0 {
+				target = target[:frag]
+				if target == "" {
+					continue
+				}
+			}
+			if _, statErr := os.Stat(filepath.Join(dir, target)); statErr != nil {
+				fmt.Fprintf(os.Stderr, "%s:%d: broken link %q\n", path, i+1, m[1])
+				broken++
+			}
+		}
+	}
+	return broken, nil
+}
+
+// skipTarget reports whether a link target is out of scope for an
+// offline existence check.
+func skipTarget(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "exists.md", "target")
+	md := write(t, dir, "doc.md", `# Doc
+A [good link](exists.md) and an [anchored one](exists.md#section).
+An [absolute](https://example.com/nowhere) link and [mail](mailto:x@y.z).
+A pure [anchor](#heading).
+
+`+"```sh\n"+`curl -s localhost:8080/api/tasks  # [not a](link.md)
+`+"```\n"+`
+A [broken link](missing.md) and ![broken image](missing.png).
+`)
+	broken, err := checkFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broken != 2 {
+		t.Errorf("broken = %d, want 2 (missing.md, missing.png)", broken)
+	}
+}
+
+func TestCheckFileFenceMismatch(t *testing.T) {
+	// Per CommonMark, a fence only closes on a bare run of the same
+	// marker character, at least as long, with no info string. Neither
+	// a ~~~ line nor a literal ```go line inside a ``` block closes
+	// it, so the broken link after the real closing fence must still
+	// be detected and the fenced pseudo-links must not be.
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"tilde.md": "```sh\n~~~\nstill [fenced](gone.md)\n```\n[broken](missing.md)\n",
+		"info.md":  "````md\n```go\nstill [fenced](gone.md)\n```\n````\n[broken](missing.md)\n",
+	} {
+		md := write(t, dir, name, content)
+		broken, err := checkFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if broken != 1 {
+			t.Errorf("%s: broken = %d, want 1 (only the link outside the fence)", name, broken)
+		}
+	}
+}
+
+func TestCheckFileUnreadable(t *testing.T) {
+	if _, err := checkFile(filepath.Join(t.TempDir(), "ghost.md")); err == nil {
+		t.Error("unreadable file reported no error")
+	}
+}
+
+// TestRepositoryDocs runs the checker against the real repository
+// docs, so `go test` fails on a broken link even before make
+// docs-check runs.
+func TestRepositoryDocs(t *testing.T) {
+	root := "../.."
+	for _, f := range []string{"README.md", "docs/ARCHITECTURE.md", "docs/API.md"} {
+		path := filepath.Join(root, f)
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("doc file missing: %v", err)
+		}
+		broken, err := checkFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if broken != 0 {
+			t.Errorf("%s has %d broken link(s)", f, broken)
+		}
+	}
+}

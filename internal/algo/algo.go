@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/cyclerank/cyclerank-go/internal/bippr"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
 	"github.com/cyclerank/cyclerank-go/internal/ranking"
 )
@@ -48,6 +49,15 @@ type Params struct {
 	// RMax is the reverse-push residual threshold of the bidirectional
 	// engines (default 1e-4).
 	RMax float64 `json:"rmax,omitempty"`
+	// Eps is the requested additive error of a bippr-pair walk
+	// correction; when positive, the walk count is derived from RMax
+	// and Eps instead of Walks (the adaptive budget of Lofgren's
+	// bidirectional analysis).
+	Eps float64 `json:"eps,omitempty"`
+	// Workers sizes the bidirectional engines' walk worker pool
+	// (bounded by GOMAXPROCS; default 1). Estimates are bit-identical
+	// for every value — sharding only changes latency.
+	Workers int `json:"workers,omitempty"`
 }
 
 // String renders the parameters compactly for logs and task listings.
@@ -71,10 +81,55 @@ func (p Params) String() string {
 	if p.RMax != 0 {
 		s += fmt.Sprintf("rmax=%g ", p.RMax)
 	}
+	if p.Eps != 0 {
+		s += fmt.Sprintf("eps=%g ", p.Eps)
+	}
+	if p.Workers != 0 {
+		s += fmt.Sprintf("workers=%d ", p.Workers)
+	}
 	if s == "" {
 		return "defaults"
 	}
 	return s[:len(s)-1]
+}
+
+// Validate rejects parameter values no built-in algorithm accepts, so
+// the task builder can refuse a bad query at Add time instead of
+// failing it after scheduling. Zero values are always valid (they
+// select defaults); algorithm-specific constraints (e.g. unknown
+// scoring names) still surface at Run time.
+func (p Params) Validate() error {
+	if p.K < 0 {
+		return fmt.Errorf("algo: k=%d must not be negative", p.K)
+	}
+	if p.Alpha < 0 || p.Alpha >= 1 {
+		return fmt.Errorf("algo: alpha=%g outside [0,1)", p.Alpha)
+	}
+	if p.Tol < 0 {
+		return fmt.Errorf("algo: tol=%g must not be negative", p.Tol)
+	}
+	if p.MaxIter < 0 {
+		return fmt.Errorf("algo: max_iter=%d must not be negative", p.MaxIter)
+	}
+	if p.Epsilon < 0 {
+		return fmt.Errorf("algo: epsilon=%g must not be negative", p.Epsilon)
+	}
+	if p.Walks < 0 {
+		return fmt.Errorf("algo: walks=%d must not be negative", p.Walks)
+	}
+	if p.Walks > bippr.MaxWalks {
+		return fmt.Errorf("algo: walks=%d exceeds the cap %d", p.Walks, bippr.MaxWalks)
+	}
+	if p.RMax < 0 {
+		return fmt.Errorf("algo: rmax=%g must not be negative", p.RMax)
+	}
+	if p.Eps < 0 {
+		return fmt.Errorf("algo: eps=%g must not be negative", p.Eps)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("algo: workers=%d must not be negative", p.Workers)
+	}
+	return nil
 }
 
 // ResolveSource maps p.Source to a node of g, reporting a descriptive

@@ -225,10 +225,12 @@ func Builtins() []Algorithm {
 // fields fall through to the bippr defaults.
 func bipprParams(p Params) bippr.Params {
 	return bippr.Params{
-		Alpha: p.Alpha,
-		RMax:  p.RMax,
-		Walks: p.Walks,
-		Seed:  p.Seed,
+		Alpha:   p.Alpha,
+		RMax:    p.RMax,
+		Walks:   p.Walks,
+		Eps:     p.Eps,
+		Seed:    p.Seed,
+		Workers: p.Workers,
 	}
 }
 

@@ -10,6 +10,7 @@
 //     ReversePush, a local backward push over the graph's in-CSR that
 //     estimates the whole column π(·,t) with additive error below a
 //     residual threshold rmax;
+//
 //   - pair queries — "how relevant is t to s?" — via Bidirectional,
 //     which combines a reverse-push target index with
 //     deterministically seeded forward random walks from s:
@@ -30,11 +31,20 @@
 // indexes, so that repeated queries against the same (graph, target,
 // alpha, rmax) — the common pattern under server traffic — pay the
 // reverse push once and only the walks per query.
+//
+// Both layers scale past the single-machine defaults: indexes store
+// their estimate/residual vectors sparsely on large graphs (memory
+// proportional to the nodes the push touched, see Storage), walks can
+// be sharded across a GOMAXPROCS-bounded worker pool with bit-identical
+// results (Params.Workers), and the walk count can be derived from a
+// requested additive error instead of a flat default (Params.Eps,
+// WalksForError).
 package bippr
 
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"github.com/cyclerank/cyclerank-go/internal/graph"
 	"github.com/cyclerank/cyclerank-go/internal/ranking"
@@ -57,7 +67,49 @@ const (
 	DefaultMaxSteps = 100
 	// DefaultCacheSize is the Estimator's target-index LRU capacity.
 	DefaultCacheSize = 32
+	// DefaultWorkers is the walk worker-pool size. Serial by default:
+	// a busy server already runs one task per executor goroutine, so
+	// walk-level parallelism is an explicit opt-in (Params.Workers).
+	DefaultWorkers = 1
+	// DefaultFailureProb is the failure probability behind the
+	// adaptive walk count (see WalksForError).
+	DefaultFailureProb = 0.01
+	// MaxAdaptiveWalks caps the walk count WalksForError may request,
+	// bounding the cost of an over-tight Eps.
+	MaxAdaptiveWalks = 1 << 23
+	// MaxWalks is the largest walk count a single query accepts. The
+	// chunked estimator keeps one partial sum per 128 walks, so the
+	// cap also bounds that bookkeeping (8 MiB at the cap) and keeps
+	// absurd API requests from exhausting memory — they are rejected
+	// up front instead.
+	MaxWalks = 1 << 27
 )
+
+// WalksForError returns the walk count that bounds the Monte-Carlo
+// correction term's additive error by eps with probability
+// 1−DefaultFailureProb. Each walk's sample is a residual, bounded by
+// rmax, so Hoeffding gives
+//
+//	W = ⌈ rmax² · ln(2/p_fail) / (2·eps²) ⌉
+//
+// — the rmax/walk-count balance point of Lofgren's bidirectional
+// analysis (BiPPR, WSDM 2016 §3): halving rmax quarters the walks the
+// same eps needs, trading push work against walk work. The result is
+// clamped to [1, MaxAdaptiveWalks].
+func WalksForError(rmax, eps float64) int {
+	if rmax <= 0 || eps <= 0 {
+		return DefaultWalks
+	}
+	ratio := rmax / eps
+	w := math.Ceil(ratio * ratio * math.Log(2/DefaultFailureProb) / 2)
+	if w < 1 {
+		return 1
+	}
+	if w > MaxAdaptiveWalks {
+		return MaxAdaptiveWalks
+	}
+	return int(w)
+}
 
 // AlgorithmTarget and AlgorithmPair are the ranking.Result algorithm
 // names produced by this package.
@@ -77,12 +129,21 @@ type Params struct {
 	// longer. Default 1e-4.
 	RMax float64
 	// Walks is the forward walk count of a pair query (unused by pure
-	// target queries). Default 10000.
+	// target queries). Default 10000; superseded by Eps when set.
 	Walks int
+	// Eps is the requested additive error of the walk correction term.
+	// When positive, the walk count is derived adaptively from RMax
+	// and Eps (see WalksForError) instead of using Walks.
+	Eps float64
 	// Seed seeds the walk RNG deterministically per source. Default 1.
 	Seed int64
 	// MaxSteps truncates a single walk. Default 100.
 	MaxSteps int
+	// Workers sizes the walk worker pool of a pair query. Walks are
+	// sharded across the pool in deterministically seeded chunks, so
+	// estimates are bit-identical for every value. Bounded by
+	// GOMAXPROCS; default 1 (serial).
+	Workers int
 }
 
 // withDefaults fills zero fields.
@@ -93,7 +154,11 @@ func (p Params) withDefaults() Params {
 	if p.RMax == 0 {
 		p.RMax = DefaultRMax
 	}
-	if p.Walks == 0 {
+	if p.Eps > 0 {
+		// Adaptive budget: eps decides the walk count, replacing the
+		// flat default (and any explicit Walks).
+		p.Walks = WalksForError(p.RMax, p.Eps)
+	} else if p.Walks == 0 {
 		p.Walks = DefaultWalks
 	}
 	if p.Seed == 0 {
@@ -101,6 +166,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.MaxSteps == 0 {
 		p.MaxSteps = DefaultMaxSteps
+	}
+	if p.Workers == 0 {
+		p.Workers = DefaultWorkers
 	}
 	return p
 }
@@ -116,8 +184,17 @@ func (p Params) validate() error {
 	if p.Walks < 0 {
 		return fmt.Errorf("bippr: walks=%d must not be negative", p.Walks)
 	}
+	if p.Walks > MaxWalks {
+		return fmt.Errorf("bippr: walks=%d exceeds the cap %d", p.Walks, MaxWalks)
+	}
+	if p.Eps < 0 {
+		return fmt.Errorf("bippr: eps=%v must not be negative", p.Eps)
+	}
 	if p.MaxSteps < 0 {
 		return fmt.Errorf("bippr: max steps=%d must not be negative", p.MaxSteps)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("bippr: workers=%d must not be negative", p.Workers)
 	}
 	return nil
 }
@@ -218,10 +295,9 @@ func (e *Estimator) TargetRank(ctx context.Context, g *graph.Graph, target graph
 	if err != nil {
 		return nil, err
 	}
-	// Copy: ranking.Result owners may normalize scores in place, and
-	// the index stays live in the cache.
-	scores := make([]float64, len(idx.Estimates))
-	copy(scores, idx.Estimates)
+	// Dense materializes a fresh slice: ranking.Result owners may
+	// normalize scores in place, and the index stays live in the cache.
+	scores := idx.Estimates.Dense()
 	res, err := ranking.NewResult(AlgorithmTarget, g, scores)
 	if err != nil {
 		return nil, err
@@ -252,14 +328,14 @@ func Bidirectional(ctx context.Context, g *graph.Graph, source, target graph.Nod
 // pairFromIndex combines a target index with forward walks from
 // source.
 func pairFromIndex(ctx context.Context, g *graph.Graph, source graph.NodeID, idx *TargetIndex, p Params) (Estimate, error) {
-	value := idx.Estimates[source]
+	value := idx.Estimates.Get(source)
 	walks := 0
 	// The walk term Σ_v π(s,v)·r_t(v) is bounded by MaxResidual; when
 	// the push already drained every residual (tiny graphs) the walks
 	// would only add variance.
 	if idx.MaxResidual > 0 && p.Walks > 0 {
 		w := NewWalkEstimator(g, p.Alpha, p.Seed, p.MaxSteps)
-		corr, err := w.EstimateSum(ctx, source, p.Walks, idx.Residuals)
+		corr, err := w.EstimateSum(ctx, source, p.Walks, idx.Residuals, p.Workers)
 		if err != nil {
 			return Estimate{}, err
 		}

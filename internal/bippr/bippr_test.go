@@ -108,14 +108,15 @@ func TestReversePushResidualInvariant(t *testing.T) {
 					t.Fatal(err)
 				}
 				// Termination invariant: every residual strictly below rmax.
-				for v, r := range idx.Residuals {
+				idx.Residuals.ForEach(func(v graph.NodeID, r float64) bool {
 					if r >= rmax {
 						t.Errorf("target %d: residual[%d]=%g ≥ rmax=%g", target, v, r, rmax)
 					}
 					if r < 0 {
 						t.Errorf("target %d: negative residual[%d]=%g", target, v, r)
 					}
-				}
+					return true
+				})
 				if idx.MaxResidual >= rmax {
 					t.Errorf("target %d: MaxResidual=%g ≥ rmax=%g", target, idx.MaxResidual, rmax)
 				}
@@ -123,8 +124,8 @@ func TestReversePushResidualInvariant(t *testing.T) {
 				// π(s,t) = Estimates[s] + Σ_v π(s,v)·Residuals[v].
 				for _, s := range []graph.NodeID{0, 1, graph.NodeID(g.NumNodes() - 1)} {
 					forward := exactForward(g, s, alpha)
-					reconstructed := idx.Estimates[s]
-					for v, r := range idx.Residuals {
+					reconstructed := idx.Estimates.Get(s)
+					for v, r := range idx.Residuals.Dense() {
 						reconstructed += forward[v] * r
 					}
 					if diff := math.Abs(forward[target] - reconstructed); diff > 1e-9 {
@@ -151,7 +152,7 @@ func TestReversePushEstimateBound(t *testing.T) {
 	// Additive bound: Estimates[s] ≤ π(s,t) < Estimates[s] + rmax.
 	for s := 0; s < g.NumNodes(); s++ {
 		exact := exactForward(g, graph.NodeID(s), alpha)[target]
-		est := idx.Estimates[s]
+		est := idx.Estimates.Get(graph.NodeID(s))
 		if est > exact+1e-9 {
 			t.Errorf("source %d: estimate %g exceeds exact %g", s, est, exact)
 		}
@@ -167,19 +168,20 @@ func TestWalkEstimatorDeterministic(t *testing.T) {
 	for i := range weights {
 		weights[i] = float64(i%7) / 7
 	}
+	wv := NewDenseVector(weights)
 	a := NewWalkEstimator(g, 0.85, 42, 0)
 	b := NewWalkEstimator(g, 0.85, 42, 0)
 	// Querying sources in different orders must not change estimates.
 	var first [3]float64
 	for i, s := range []graph.NodeID{4, 9, 30} {
-		v, err := a.EstimateSum(context.Background(), s, 2000, weights)
+		v, err := a.EstimateSum(context.Background(), s, 2000, wv, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		first[i] = v
 	}
 	for i, s := range []graph.NodeID{30, 9, 4} {
-		v, err := b.EstimateSum(context.Background(), s, 2000, weights)
+		v, err := b.EstimateSum(context.Background(), s, 2000, wv, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,7 +190,7 @@ func TestWalkEstimatorDeterministic(t *testing.T) {
 		}
 	}
 	c := NewWalkEstimator(g, 0.85, 43, 0)
-	v, err := c.EstimateSum(context.Background(), 4, 2000, weights)
+	v, err := c.EstimateSum(context.Background(), 4, 2000, wv, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -440,7 +442,7 @@ func TestReversePushDeepQueue(t *testing.T) {
 	// accumulation, not by rmax, at this precision.
 	for _, s := range []graph.NodeID{0, 75, 149} {
 		exact := exactForward(g, s, 0.85)[tgt]
-		if diff := exact - idx.Estimates[s]; diff < -1e-10 || diff >= rmax+1e-10 {
+		if diff := exact - idx.Estimates.Get(s); diff < -1e-10 || diff >= rmax+1e-10 {
 			t.Errorf("source %d: error %g outside [0, rmax)", s, diff)
 		}
 	}

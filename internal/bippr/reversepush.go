@@ -12,11 +12,15 @@ import (
 //
 // The push maintains, for every node s of the graph, the invariant
 //
-//	π(s,t) = Estimates[s] + Σ_v π(s,v)·Residuals[v]
+//	π(s,t) = Estimates.Get(s) + Σ_v π(s,v)·Residuals.Get(v)
 //
 // and terminates when every residual is strictly below the rmax it
-// was run with, so Estimates[s] ≤ π(s,t) < Estimates[s] + rmax
+// was run with, so Estimates.Get(s) ≤ π(s,t) < Estimates.Get(s) + rmax
 // (because Σ_v π(s,v) ≤ 1).
+//
+// Both vectors are stored sparsely on large graphs (see Storage), so a
+// cached index costs memory proportional to the nodes the push
+// touched, not to graph size.
 type TargetIndex struct {
 	// Target is the node the index answers queries about.
 	Target graph.NodeID
@@ -25,11 +29,11 @@ type TargetIndex struct {
 	Alpha float64
 	// RMax is the residual threshold the index was built with.
 	RMax float64
-	// Estimates[s] lower-bounds π(s, Target).
-	Estimates []float64
-	// Residuals[v] is the mass not yet pushed from v; all entries are
-	// strictly below RMax.
-	Residuals []float64
+	// Estimates lower-bounds π(·, Target) per node.
+	Estimates *Vector
+	// Residuals holds the mass not yet pushed per node; all entries
+	// are strictly below RMax.
+	Residuals *Vector
 	// Pushes is the number of push operations performed.
 	Pushes int64
 	// MaxResidual is the largest remaining residual (< RMax).
@@ -43,13 +47,24 @@ const cancelEvery = 1 << 14
 // ReversePush computes an approximate Personalized PageRank column
 // towards target by local backward push over g's in-CSR (Andersen et
 // al. 2007; Lofgren & Goel 2013). alpha is the damping (continue)
-// probability; rmax the residual threshold (see TargetIndex).
+// probability; rmax the residual threshold (see TargetIndex). Storage
+// is chosen automatically: dense arrays on small graphs, sparse maps
+// on large ones.
 //
 // Work is local to the in-neighborhood of the target: the total push
 // cost is O(Σ_pushed indeg) and independent of graph size for
 // moderate rmax, which is what makes target and pair queries cheap on
 // large graphs.
 func ReversePush(ctx context.Context, g *graph.Graph, target graph.NodeID, alpha, rmax float64) (*TargetIndex, error) {
+	return ReversePushStored(ctx, g, target, alpha, rmax, StorageAuto)
+}
+
+// ReversePushStored is ReversePush with an explicit index
+// representation, used by benchmarks and equivalence tests. The push
+// performs identical float operations in identical order under every
+// Storage, so the resulting indexes are bit-identical; only memory
+// layout differs.
+func ReversePushStored(ctx context.Context, g *graph.Graph, target graph.NodeID, alpha, rmax float64, storage Storage) (*TargetIndex, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -68,19 +83,19 @@ func ReversePush(ctx context.Context, g *graph.Graph, target graph.NodeID, alpha
 		Target:    target,
 		Alpha:     alpha,
 		RMax:      rmax,
-		Estimates: make([]float64, n),
-		Residuals: make([]float64, n),
+		Estimates: newVector(n, storage),
+		Residuals: newVector(n, storage),
 	}
 	stop := 1 - alpha
 	res := idx.Residuals
 	est := idx.Estimates
 
-	res[target] = 1
+	res.add(target, 1)
 	var queue []graph.NodeID
-	inQueue := make([]bool, n)
-	if res[target] >= rmax {
+	inQueue := newNodeSet(n, storage)
+	if res.Get(target) >= rmax {
 		queue = append(queue, target)
-		inQueue[target] = true
+		inQueue.insert(target)
 	}
 
 	head := 0
@@ -94,7 +109,7 @@ func ReversePush(ctx context.Context, g *graph.Graph, target graph.NodeID, alpha
 		}
 		v := queue[head]
 		head++
-		inQueue[v] = false
+		inQueue.remove(v)
 
 		idx.Pushes++
 		if idx.Pushes%cancelEvery == 0 {
@@ -105,30 +120,26 @@ func ReversePush(ctx context.Context, g *graph.Graph, target graph.NodeID, alpha
 			}
 		}
 
-		r := res[v]
+		r := res.Get(v)
 		if r < rmax {
 			continue
 		}
-		res[v] = 0
-		est[v] += stop * r
+		res.zero(v)
+		est.add(v, stop*r)
 
 		// π(s,v) = (1−α)·1[s=v] + α·Σ_{u∈In(v)} π(s,u)/outdeg(u):
 		// move v's residual to its in-neighbors, scaled by their
 		// out-degrees. Dangling nodes never appear as in-neighbors, so
 		// outdeg(u) ≥ 1 here.
 		for _, u := range g.In(v) {
-			res[u] += alpha * r / float64(g.OutDegree(u))
-			if !inQueue[u] && res[u] >= rmax {
-				inQueue[u] = true
+			res.add(u, alpha*r/float64(g.OutDegree(u)))
+			if !inQueue.has(u) && res.Get(u) >= rmax {
+				inQueue.insert(u)
 				queue = append(queue, u)
 			}
 		}
 	}
 
-	for _, r := range res {
-		if r > idx.MaxResidual {
-			idx.MaxResidual = r
-		}
-	}
+	idx.MaxResidual = res.Max()
 	return idx, nil
 }

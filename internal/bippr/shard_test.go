@@ -1,0 +1,279 @@
+package bippr
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// allowWorkers lifts GOMAXPROCS for the duration of a test so the
+// pool's concurrent branch runs even on single-CPU CI machines
+// (clampWorkers bounds pools by GOMAXPROCS, not NumCPU).
+func allowWorkers(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// TestShardedWalksBitIdentical is the reproducibility property test:
+// for random graphs, seeds, walk counts and pool sizes, the sharded
+// walk estimate must be bit-identical (==, not approximately equal)
+// to the serial one. The pool only changes which goroutine runs a
+// chunk, never which RNG stream a chunk draws from or the order the
+// partial sums are reduced in.
+func TestShardedWalksBitIdentical(t *testing.T) {
+	allowWorkers(t, 8)
+	rng := rand.New(rand.NewSource(99))
+	walkCounts := []int{1, 127, 128, 129, 1000, 4096}
+	workerCounts := []int{2, 3, 4, 8, 64}
+	for trial := 0; trial < 8; trial++ {
+		n := 20 + rng.Intn(100)
+		g := randomGraph(t, n, n*4, rng.Int63(), trial%2 == 0)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64() * 1e-3
+		}
+		wv := NewDenseVector(weights)
+		w := NewWalkEstimator(g, 0.85, rng.Int63(), 0)
+		source := graph.NodeID(rng.Intn(n))
+		walks := walkCounts[trial%len(walkCounts)]
+
+		serial, err := w.EstimateSum(context.Background(), source, walks, wv, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range workerCounts {
+			sharded, err := w.EstimateSum(context.Background(), source, walks, wv, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sharded != serial {
+				t.Errorf("trial %d (n=%d walks=%d): workers=%d estimate %v != serial %v",
+					trial, n, walks, workers, sharded, serial)
+			}
+		}
+	}
+}
+
+// TestPairShardedBitIdentical asserts the property end to end: a full
+// bidirectional pair query with a worker pool returns exactly the
+// serial estimate.
+func TestPairShardedBitIdentical(t *testing.T) {
+	allowWorkers(t, 8)
+	g := randomGraph(t, 150, 700, 17, true)
+	base := Params{Alpha: 0.85, RMax: 1e-4, Walks: 3000, Seed: 7}
+	for _, pair := range [][2]graph.NodeID{{0, 1}, {10, 99}, {42, 42}} {
+		serial, err := Bidirectional(context.Background(), g, pair[0], pair[1], base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			p := base
+			p.Workers = workers
+			sharded, err := Bidirectional(context.Background(), g, pair[0], pair[1], p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sharded.Value != serial.Value {
+				t.Errorf("π(%d,%d) workers=%d: %v != serial %v",
+					pair[0], pair[1], workers, sharded.Value, serial.Value)
+			}
+		}
+	}
+}
+
+// TestShardedWalksCancellation exercises the pool's context path.
+func TestShardedWalksCancellation(t *testing.T) {
+	allowWorkers(t, 4)
+	g := randomGraph(t, 50, 250, 5, true)
+	w := NewWalkEstimator(g, 0.85, 1, 0)
+	wv := NewDenseVector(make([]float64, g.NumNodes()))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.EstimateSum(ctx, 0, 100000, wv, 4); err == nil {
+		t.Error("cancelled sharded walk run returned nil error")
+	}
+	if _, err := w.EstimateSum(ctx, 0, 100000, wv, 1); err == nil {
+		t.Error("cancelled serial walk run returned nil error")
+	}
+}
+
+// TestSparseDenseEquivalence asserts the two index representations
+// hold bit-identical values: the push performs the same float
+// operations in the same order regardless of storage.
+func TestSparseDenseEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		n := 40 + rng.Intn(200)
+		g := randomGraph(t, n, n*5, rng.Int63(), trial%2 == 0)
+		target := graph.NodeID(rng.Intn(n))
+		dense, err := ReversePushStored(context.Background(), g, target, 0.85, 1e-4, StorageDense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparse, err := ReversePushStored(context.Background(), g, target, 0.85, 1e-4, StorageSparse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dense.Estimates.IsSparse() || !sparse.Estimates.IsSparse() {
+			t.Fatalf("storage override ignored: dense sparse=%v, sparse sparse=%v",
+				dense.Estimates.IsSparse(), sparse.Estimates.IsSparse())
+		}
+		if dense.Pushes != sparse.Pushes {
+			t.Errorf("trial %d: pushes %d (dense) != %d (sparse)", trial, dense.Pushes, sparse.Pushes)
+		}
+		if dense.MaxResidual != sparse.MaxResidual {
+			t.Errorf("trial %d: MaxResidual %v != %v", trial, dense.MaxResidual, sparse.MaxResidual)
+		}
+		for v := 0; v < n; v++ {
+			id := graph.NodeID(v)
+			if dense.Estimates.Get(id) != sparse.Estimates.Get(id) {
+				t.Errorf("trial %d node %d: estimate %v (dense) != %v (sparse)",
+					trial, v, dense.Estimates.Get(id), sparse.Estimates.Get(id))
+			}
+			if dense.Residuals.Get(id) != sparse.Residuals.Get(id) {
+				t.Errorf("trial %d node %d: residual %v (dense) != %v (sparse)",
+					trial, v, dense.Residuals.Get(id), sparse.Residuals.Get(id))
+			}
+		}
+	}
+}
+
+// TestAutoStorageScalesWithTouched asserts the memory property the
+// sparse representation exists for: on a large graph whose push only
+// reaches a small in-neighborhood, the auto index is map-backed and
+// stores O(touched) entries, not O(n).
+func TestAutoStorageScalesWithTouched(t *testing.T) {
+	// A directed ring larger than denseCutoff: the reverse push from
+	// any target walks backwards with geometrically decaying residual,
+	// reaching only ~log(rmax)/log(alpha) ≈ 57 nodes at rmax=1e-4.
+	n := denseCutoff + 5000
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(graph.NodeID(v), graph.NodeID((v+1)%n))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := ReversePush(context.Background(), g, 0, 0.85, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.Estimates.IsSparse() || !idx.Residuals.IsSparse() {
+		t.Fatalf("auto storage picked dense arrays for n=%d", n)
+	}
+	if nz := idx.Estimates.NonZeros(); nz > 200 {
+		t.Errorf("estimates store %d entries; want O(touched) ≈ 57", nz)
+	}
+	// Small graphs fall back to dense arrays.
+	small := randomGraph(t, 50, 200, 3, true)
+	sidx, err := ReversePush(context.Background(), small, 0, 0.85, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sidx.Estimates.IsSparse() {
+		t.Error("auto storage picked a map for a 50-node graph")
+	}
+}
+
+// TestVectorDensify exercises the mid-push fallback: an auto vector
+// above the cutoff converts to dense once the touched set outgrows the
+// map's break-even point, preserving every value.
+func TestVectorDensify(t *testing.T) {
+	n := denseCutoff + 1
+	x := newVector(n, StorageAuto)
+	if !x.IsSparse() {
+		t.Fatal("auto vector above cutoff started dense")
+	}
+	limit := n/densifyFraction + 2
+	for i := 0; i < limit; i++ {
+		x.add(graph.NodeID(i), float64(i)+0.5)
+	}
+	if x.IsSparse() {
+		t.Fatalf("vector still sparse after %d of %d entries", limit, n)
+	}
+	for i := 0; i < limit; i++ {
+		if got := x.Get(graph.NodeID(i)); got != float64(i)+0.5 {
+			t.Fatalf("entry %d lost in densify: %v", i, got)
+		}
+	}
+	if x.NonZeros() != limit {
+		t.Errorf("NonZeros = %d, want %d", x.NonZeros(), limit)
+	}
+	// Forced sparse never densifies.
+	y := newVector(n, StorageSparse)
+	for i := 0; i < limit; i++ {
+		y.add(graph.NodeID(i), 1)
+	}
+	if !y.IsSparse() {
+		t.Error("StorageSparse vector densified")
+	}
+}
+
+// TestWalksForError checks the adaptive budget: tighter eps needs more
+// walks, looser rmax needs fewer, and the count matches the Hoeffding
+// balance point.
+func TestWalksForError(t *testing.T) {
+	if w1, w2 := WalksForError(1e-4, 1e-5), WalksForError(1e-4, 1e-6); w2 <= w1 {
+		t.Errorf("tighter eps did not increase walks: %d vs %d", w1, w2)
+	}
+	if w1, w2 := WalksForError(1e-4, 1e-6), WalksForError(1e-5, 1e-6); w2 >= w1 {
+		t.Errorf("smaller rmax did not decrease walks: %d vs %d", w1, w2)
+	}
+	// Halving rmax quarters the count (up to ceiling).
+	w1, w2 := WalksForError(2e-4, 1e-6), WalksForError(1e-4, 1e-6)
+	if ratio := float64(w1) / float64(w2); ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("rmax halving scaled walks by %v, want ~4", ratio)
+	}
+	if w := WalksForError(1e-4, 1e-12); w != MaxAdaptiveWalks {
+		t.Errorf("absurd eps not clamped: %d", w)
+	}
+	if w := WalksForError(1e-4, 1); w < 1 {
+		t.Errorf("loose eps returned %d walks", w)
+	}
+}
+
+// TestParamsAdaptiveWalks asserts Eps supersedes the flat default and
+// any explicit Walks.
+func TestParamsAdaptiveWalks(t *testing.T) {
+	p := Params{RMax: 1e-4, Eps: 1e-6}.withDefaults()
+	if want := WalksForError(1e-4, 1e-6); p.Walks != want {
+		t.Errorf("Walks = %d, want adaptive %d", p.Walks, want)
+	}
+	p = Params{RMax: 1e-4, Eps: 1e-6, Walks: 5}.withDefaults()
+	if want := WalksForError(1e-4, 1e-6); p.Walks != want {
+		t.Errorf("explicit Walks not superseded: %d, want %d", p.Walks, want)
+	}
+	p = Params{}.withDefaults()
+	if p.Walks != DefaultWalks {
+		t.Errorf("flat default Walks = %d, want %d", p.Walks, DefaultWalks)
+	}
+	if p.Workers != DefaultWorkers {
+		t.Errorf("default Workers = %d, want %d", p.Workers, DefaultWorkers)
+	}
+	if err := (Params{Alpha: 0.85, RMax: 1e-4, Eps: -1}).validate(); err == nil {
+		t.Error("negative eps validated")
+	}
+	if err := (Params{Alpha: 0.85, RMax: 1e-4, Workers: -1}).validate(); err == nil {
+		t.Error("negative workers validated")
+	}
+	// Absurd walk counts are rejected up front rather than allocating
+	// per-chunk bookkeeping for them (or overflowing the chunk math).
+	if err := (Params{Alpha: 0.85, RMax: 1e-4, Walks: MaxWalks + 1}).validate(); err == nil {
+		t.Error("walks above MaxWalks validated")
+	}
+	g := randomGraph(t, 10, 30, 1, true)
+	w := NewWalkEstimator(g, 0.85, 1, 0)
+	wv := NewDenseVector(make([]float64, g.NumNodes()))
+	const huge = int(^uint(0) >> 1) // MaxInt: would overflow chunk math
+	if _, err := w.EstimateSum(context.Background(), 0, huge, wv, 1); err == nil {
+		t.Error("EstimateSum accepted MaxInt walks")
+	}
+	if _, err := w.Distribution(context.Background(), 0, huge); err == nil {
+		t.Error("Distribution accepted MaxInt walks")
+	}
+}

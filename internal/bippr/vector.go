@@ -1,0 +1,217 @@
+package bippr
+
+import "github.com/cyclerank/cyclerank-go/internal/graph"
+
+// Storage selects the representation of a TargetIndex's estimate and
+// residual vectors.
+type Storage int
+
+const (
+	// StorageAuto picks dense arrays for small graphs and sparse maps
+	// for large ones (the map may still densify mid-push if the
+	// frontier grows past densifyFraction of the graph). This is the
+	// default and the right choice everywhere outside tests and
+	// benchmarks.
+	StorageAuto Storage = iota
+	// StorageDense forces flat O(n) arrays.
+	StorageDense
+	// StorageSparse forces map storage proportional to the nodes the
+	// push touches (it never densifies).
+	StorageSparse
+)
+
+// denseCutoff is the graph size below which StorageAuto picks dense
+// arrays: two float64 arrays of 1<<16 entries cost 1 MiB, cheaper and
+// faster than map overhead at that scale.
+const denseCutoff = 1 << 16
+
+// densifyFraction is the touched fraction past which an auto-sparse
+// vector converts to dense mid-push: a map entry costs roughly 6× a
+// dense slot, so past ~1/6 of the graph the array is strictly better.
+// 1/8 leaves headroom for map load-factor waste.
+const densifyFraction = 8
+
+// Vector is a node→float64 mapping holding one layer of a reverse-push
+// index. Depending on Storage it is backed by a flat array (dense) or
+// a map keyed by the touched nodes (sparse), so that an LRU-cached
+// index over a multi-million-node graph pins memory proportional to
+// the push frontier, not to graph size.
+//
+// Reads never mutate, so a Vector shared through the index cache is
+// safe for concurrent readers. Both representations hold identical
+// values: the push performs the same float operations in the same
+// order regardless of storage (see TestSparseDenseEquivalence).
+type Vector struct {
+	n      int
+	dense  []float64
+	sparse map[graph.NodeID]float64
+
+	// auto records whether this vector may densify mid-push
+	// (StorageAuto above denseCutoff).
+	auto bool
+}
+
+// newVector allocates a vector for n nodes under the given policy.
+func newVector(n int, storage Storage) *Vector {
+	switch {
+	case storage == StorageDense, storage == StorageAuto && n <= denseCutoff:
+		return &Vector{n: n, dense: make([]float64, n)}
+	default:
+		return &Vector{
+			n:      n,
+			sparse: make(map[graph.NodeID]float64),
+			auto:   storage == StorageAuto,
+		}
+	}
+}
+
+// NewDenseVector wraps an existing per-node slice as a dense Vector.
+// The slice is used directly, not copied.
+func NewDenseVector(values []float64) *Vector {
+	return &Vector{n: len(values), dense: values}
+}
+
+// NumNodes returns the graph size the vector spans.
+func (x *Vector) NumNodes() int { return x.n }
+
+// IsSparse reports whether the vector is map-backed.
+func (x *Vector) IsSparse() bool { return x.sparse != nil }
+
+// NonZeros returns the number of explicitly stored entries — for a
+// sparse vector, the memory the index actually pins.
+func (x *Vector) NonZeros() int {
+	if x.sparse != nil {
+		return len(x.sparse)
+	}
+	nz := 0
+	for _, v := range x.dense {
+		if v != 0 {
+			nz++
+		}
+	}
+	return nz
+}
+
+// Get returns the value at node v (zero when untouched).
+func (x *Vector) Get(v graph.NodeID) float64 {
+	if x.dense != nil {
+		return x.dense[v]
+	}
+	return x.sparse[v]
+}
+
+// ForEach visits every non-zero entry. Iteration order is unspecified
+// (map order for sparse vectors); callers must not depend on it.
+// Return false to stop early.
+func (x *Vector) ForEach(fn func(v graph.NodeID, value float64) bool) {
+	if x.dense != nil {
+		for v, val := range x.dense {
+			if val != 0 && !fn(graph.NodeID(v), val) {
+				return
+			}
+		}
+		return
+	}
+	for v, val := range x.sparse {
+		if !fn(v, val) {
+			return
+		}
+	}
+}
+
+// Dense materializes the vector as a fresh per-node slice. Callers own
+// the result and may mutate it freely.
+func (x *Vector) Dense() []float64 {
+	out := make([]float64, x.n)
+	if x.dense != nil {
+		copy(out, x.dense)
+		return out
+	}
+	for v, val := range x.sparse {
+		out[v] = val
+	}
+	return out
+}
+
+// Max returns the largest stored value (0 for an empty vector).
+func (x *Vector) Max() float64 {
+	max := 0.0
+	x.ForEach(func(_ graph.NodeID, val float64) bool {
+		if val > max {
+			max = val
+		}
+		return true
+	})
+	return max
+}
+
+// add accumulates delta at node v, densifying an auto vector whose
+// touched set outgrew the map's break-even point.
+func (x *Vector) add(v graph.NodeID, delta float64) {
+	if x.dense != nil {
+		x.dense[v] += delta
+		return
+	}
+	x.sparse[v] += delta
+	if x.auto && len(x.sparse)*densifyFraction > x.n {
+		x.densify()
+	}
+}
+
+// zero clears node v's entry.
+func (x *Vector) zero(v graph.NodeID) {
+	if x.dense != nil {
+		x.dense[v] = 0
+		return
+	}
+	delete(x.sparse, v)
+}
+
+// densify converts a sparse vector to dense in place.
+func (x *Vector) densify() {
+	d := make([]float64, x.n)
+	for v, val := range x.sparse {
+		d[v] = val
+	}
+	x.dense, x.sparse = d, nil
+}
+
+// nodeSet is the push queue's membership filter, stored to match the
+// vectors: a bool array when dense is affordable, a map otherwise.
+type nodeSet struct {
+	dense  []bool
+	sparse map[graph.NodeID]struct{}
+}
+
+// newNodeSet sizes a set for n nodes under the same policy as
+// newVector, so a sparse push does not pin an O(n) bool array either.
+func newNodeSet(n int, storage Storage) *nodeSet {
+	if storage == StorageDense || (storage == StorageAuto && n <= denseCutoff) {
+		return &nodeSet{dense: make([]bool, n)}
+	}
+	return &nodeSet{sparse: make(map[graph.NodeID]struct{})}
+}
+
+func (s *nodeSet) has(v graph.NodeID) bool {
+	if s.dense != nil {
+		return s.dense[v]
+	}
+	_, ok := s.sparse[v]
+	return ok
+}
+
+func (s *nodeSet) insert(v graph.NodeID) {
+	if s.dense != nil {
+		s.dense[v] = true
+		return
+	}
+	s.sparse[v] = struct{}{}
+}
+
+func (s *nodeSet) remove(v graph.NodeID) {
+	if s.dense != nil {
+		s.dense[v] = false
+		return
+	}
+	delete(s.sparse, v)
+}

@@ -4,9 +4,22 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/cyclerank/cyclerank-go/internal/graph"
 )
+
+// walkChunk is the number of walks one RNG stream covers. Walks are
+// partitioned into fixed chunks so that a worker pool can claim chunks
+// independently while the final estimate stays bit-identical to the
+// serial path: chunk c of source s always uses the RNG derived from
+// (seed, s, c) and partial sums are always reduced in chunk order,
+// regardless of how many workers ran them or in what order they
+// finished. 128 walks amortize the RNG construction without starving a
+// pool of schedulable units at typical walk counts.
+const walkChunk = 128
 
 // WalkEstimator simulates damped forward random walks over the
 // graph's out-CSR. Endpoints are distributed according to π(source,·)
@@ -14,10 +27,11 @@ import (
 // which is exactly the sampling distribution the bidirectional
 // estimator needs for its correction term Σ_v π(s,v)·r_t(v).
 //
-// Walks are seeded deterministically per source: two estimators built
-// with the same seed produce identical estimates for the same source
-// regardless of query order, making results reproducible under
-// concurrent server traffic.
+// Walks are seeded deterministically per (source, chunk): two
+// estimators built with the same seed produce identical estimates for
+// the same source regardless of query order or worker count, making
+// results reproducible under concurrent server traffic and across
+// machine sizes.
 type WalkEstimator struct {
 	g        *graph.Graph
 	alpha    float64
@@ -34,11 +48,17 @@ func NewWalkEstimator(g *graph.Graph, alpha float64, seed int64, maxSteps int) *
 	return &WalkEstimator{g: g, alpha: alpha, seed: seed, maxSteps: maxSteps}
 }
 
-// sourceRNG derives the per-source deterministic RNG. SplitMix-style
-// mixing keeps nearby (seed, source) pairs uncorrelated.
-func (w *WalkEstimator) sourceRNG(source graph.NodeID) *rand.Rand {
-	x := uint64(w.seed)*0x9e3779b97f4a7c15 + uint64(uint32(source))*0xbf58476d1ce4e5b9
+// chunkRNG derives the deterministic RNG of one walk chunk.
+// SplitMix-style mixing keeps nearby (seed, source, chunk) triples
+// uncorrelated; the chunk index extends the original per-source
+// seeding so shards draw from disjoint, reproducible streams.
+func (w *WalkEstimator) chunkRNG(source graph.NodeID, chunk int) *rand.Rand {
+	x := uint64(w.seed)*0x9e3779b97f4a7c15 +
+		uint64(uint32(source))*0xbf58476d1ce4e5b9 +
+		uint64(chunk)*0x2545f4914f6cdd1d
 	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
 	return rand.New(rand.NewSource(int64(x)))
@@ -64,43 +84,145 @@ func (w *WalkEstimator) endpoint(rng *rand.Rand, source graph.NodeID) (end graph
 	return v, true
 }
 
-// EstimateSum returns (1/walks)·Σ weight[endpoint] over walks damped
+// chunkSum runs the walks of one chunk and returns Σ weight(endpoint).
+func (w *WalkEstimator) chunkSum(source graph.NodeID, chunk, count int, weight *Vector) float64 {
+	rng := w.chunkRNG(source, chunk)
+	var sum float64
+	for i := 0; i < count; i++ {
+		if end, ok := w.endpoint(rng, source); ok {
+			sum += weight.Get(end)
+		}
+	}
+	return sum
+}
+
+// numChunks returns how many walkChunk-sized chunks cover walks.
+func numChunks(walks int) int {
+	return (walks + walkChunk - 1) / walkChunk
+}
+
+// chunkCount returns how many walks chunk c of walks carries (the
+// last chunk may be short).
+func chunkCount(walks, c int) int {
+	if c == numChunks(walks)-1 {
+		if rem := walks - c*walkChunk; rem > 0 {
+			return rem
+		}
+	}
+	return walkChunk
+}
+
+// clampWorkers bounds a requested pool size: at least 1, at most
+// GOMAXPROCS (more would only contend), at most one worker per chunk.
+func clampWorkers(workers, chunks int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if procs := runtime.GOMAXPROCS(0); workers > procs {
+		workers = procs
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	return workers
+}
+
+// EffectiveWorkers reports the pool size a pair query with the given
+// requested workers and walk count actually runs — the clamp applied
+// inside EstimateSum — so reporting layers (crbench's sharding
+// ablation) can label measurements with what executed rather than
+// what was asked for.
+func EffectiveWorkers(workers, walks int) int {
+	if walks <= 0 {
+		return 1
+	}
+	return clampWorkers(workers, numChunks(walks))
+}
+
+// EstimateSum returns (1/walks)·Σ weight(endpoint) over walks damped
 // forward walks from source — an unbiased estimate of
-// Σ_v π(source,v)·weight[v] up to step truncation. weight must have
-// one entry per node.
-func (w *WalkEstimator) EstimateSum(ctx context.Context, source graph.NodeID, walks int, weight []float64) (float64, error) {
+// Σ_v π(source,v)·weight(v) up to step truncation. weight must span
+// the graph's nodes.
+//
+// workers sizes the walk worker pool; values below 1 select the
+// serial path and the pool is bounded by GOMAXPROCS. The estimate is
+// bit-identical for every worker count: walks are partitioned into
+// deterministically seeded chunks (see walkChunk) whose partial sums
+// are reduced in chunk order no matter which worker produced them.
+func (w *WalkEstimator) EstimateSum(ctx context.Context, source graph.NodeID, walks int, weight *Vector, workers int) (float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if walks <= 0 {
 		return 0, fmt.Errorf("bippr: walks=%d must be positive", walks)
 	}
+	if walks > MaxWalks {
+		return 0, fmt.Errorf("bippr: walks=%d exceeds the cap %d", walks, MaxWalks)
+	}
 	if !w.g.ValidNode(source) {
 		return 0, fmt.Errorf("bippr: walk source %d not in graph (N=%d)", source, w.g.NumNodes())
 	}
-	if len(weight) != w.g.NumNodes() {
-		return 0, fmt.Errorf("bippr: %d weights for %d nodes", len(weight), w.g.NumNodes())
+	if weight.NumNodes() != w.g.NumNodes() {
+		return 0, fmt.Errorf("bippr: weight vector spans %d nodes, graph has %d", weight.NumNodes(), w.g.NumNodes())
 	}
-	rng := w.sourceRNG(source)
-	var sum float64
-	for i := 0; i < walks; i++ {
-		if i%cancelEvery == 0 {
+
+	chunks := numChunks(walks)
+	partial := make([]float64, chunks)
+
+	if workers = clampWorkers(workers, chunks); workers == 1 {
+		for c := 0; c < chunks; c++ {
 			select {
 			case <-ctx.Done():
 				return 0, fmt.Errorf("bippr: walks cancelled: %w", ctx.Err())
 			default:
 			}
+			partial[c] = w.chunkSum(source, c, chunkCount(walks, c), weight)
 		}
-		if end, ok := w.endpoint(rng, source); ok {
-			sum += weight[end]
+	} else {
+		var (
+			next      atomic.Int64
+			wg        sync.WaitGroup
+			cancelled atomic.Bool
+		)
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= chunks {
+						return
+					}
+					select {
+					case <-ctx.Done():
+						cancelled.Store(true)
+						return
+					default:
+					}
+					partial[c] = w.chunkSum(source, c, chunkCount(walks, c), weight)
+				}
+			}()
 		}
+		wg.Wait()
+		if cancelled.Load() {
+			return 0, fmt.Errorf("bippr: walks cancelled: %w", ctx.Err())
+		}
+	}
+
+	// Deterministic reduction: chunk order, independent of workers.
+	var sum float64
+	for _, p := range partial {
+		sum += p
 	}
 	return sum / float64(walks), nil
 }
 
 // Distribution estimates the endpoint distribution π(source,·) from
 // walks samples — a testing and diagnostics aid; pair queries use
-// EstimateSum directly.
+// EstimateSum directly. It draws from the same chunked RNG streams as
+// EstimateSum but always runs serially: parallel merging of the
+// per-node histogram would make the float accumulation order (and so
+// the low bits) depend on the worker count.
 func (w *WalkEstimator) Distribution(ctx context.Context, source graph.NodeID, walks int) ([]float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -108,22 +230,25 @@ func (w *WalkEstimator) Distribution(ctx context.Context, source graph.NodeID, w
 	if walks <= 0 {
 		return nil, fmt.Errorf("bippr: walks=%d must be positive", walks)
 	}
+	if walks > MaxWalks {
+		return nil, fmt.Errorf("bippr: walks=%d exceeds the cap %d", walks, MaxWalks)
+	}
 	if !w.g.ValidNode(source) {
 		return nil, fmt.Errorf("bippr: walk source %d not in graph (N=%d)", source, w.g.NumNodes())
 	}
-	rng := w.sourceRNG(source)
 	dist := make([]float64, w.g.NumNodes())
 	inc := 1 / float64(walks)
-	for i := 0; i < walks; i++ {
-		if i%cancelEvery == 0 {
-			select {
-			case <-ctx.Done():
-				return nil, fmt.Errorf("bippr: walks cancelled: %w", ctx.Err())
-			default:
-			}
+	for c := 0; c < numChunks(walks); c++ {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("bippr: walks cancelled: %w", ctx.Err())
+		default:
 		}
-		if end, ok := w.endpoint(rng, source); ok {
-			dist[end] += inc
+		rng := w.chunkRNG(source, c)
+		for i := 0; i < chunkCount(walks, c); i++ {
+			if end, ok := w.endpoint(rng, source); ok {
+				dist[end] += inc
+			}
 		}
 	}
 	return dist, nil

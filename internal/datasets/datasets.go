@@ -16,6 +16,18 @@
 // Every generator is seeded, so a given dataset name always produces a
 // byte-identical graph. See DESIGN.md §3 for the substitution
 // rationale.
+//
+// Invariants:
+//
+//   - Determinism: Catalog.Get(name).Load() returns the same graph —
+//     same node count, same edges, same labels in the same order —
+//     on every call, platform, and Go version (generators use only
+//     math/rand with fixed seeds, whose sequence is stable).
+//   - Idempotent loading: generators build a fresh graph per Load;
+//     callers own the result and the catalog holds no mutable state.
+//   - Suggested sources always resolve: every name in a dataset's
+//     SuggestedSources is a label present in the generated graph
+//     (tests enforce this), so UIs can offer them unchecked.
 package datasets
 
 import (

@@ -1,6 +1,19 @@
 // Package ranking defines the common result type produced by every
 // relevance algorithm in the platform, plus the rank-comparison
 // metrics that power the demo's algorithm-comparison use case.
+//
+// Invariants every producer and consumer relies on:
+//
+//   - A Result carries exactly one score per node of its graph
+//     (enforced by NewResult).
+//   - Score 0 means "no relevance": zero-score nodes are excluded
+//     from top lists, so an algorithm that finds nothing yields an
+//     empty list rather than an arbitrary ordering of zeros.
+//   - Top-list order is deterministic across runs and platforms:
+//     descending score, ties broken by ascending label, then id.
+//   - Comparison metrics (Jaccard, RBO, overlap) operate on label
+//     lists, not node ids, so results from different graph builds of
+//     the same dataset remain comparable.
 package ranking
 
 import (

@@ -96,11 +96,18 @@ touching most of the graph:</p>
   {"dataset": "enwiki-2018", "algorithm": "ppr-target",
    "params": {"target": "Freddie Mercury", "alpha": 0.85, "rmax": 1e-4}},
   {"dataset": "enwiki-2018", "algorithm": "bippr-pair",
-   "params": {"source": "Brian May", "target": "Freddie Mercury", "walks": 10000}}
+   "params": {"source": "Brian May", "target": "Freddie Mercury", "walks": 10000}},
+  {"dataset": "enwiki-2018", "algorithm": "bippr-pair",
+   "params": {"source": "Brian May", "target": "Freddie Mercury",
+              "eps": 1e-6, "workers": 8}}
 ]}</code></pre>
 <p>Repeated queries against the same <code>(dataset, target, alpha,
 rmax)</code> reuse a cached reverse-push index, so only the first query
-pays the push cost.</p>
+pays the push cost. Instead of a flat <code>walks</code> count,
+<code>eps</code> requests an additive error and derives the walk count
+from it; <code>workers</code> shards the walks across a bounded pool —
+estimates are bit-identical for every pool size. The repository's
+<code>docs/API.md</code> documents every task parameter.</p>
 <p>The response carries a <code>comparison_id</code>; retrieve results at
 <code>/api/compare/{id}</code> or view them at <code>/compare/{id}</code>.</p>
 </body></html>{{end}}

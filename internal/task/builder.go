@@ -46,6 +46,9 @@ func (b *Builder) Add(s Spec) error {
 	if algo.NeedsTarget(a) && s.Params.Target == "" {
 		return fmt.Errorf("task: algorithm %q requires a target node", s.Algorithm)
 	}
+	if err := s.Params.Validate(); err != nil {
+		return fmt.Errorf("task: %w", err)
+	}
 	b.specs = append(b.specs, s)
 	return nil
 }

@@ -8,6 +8,22 @@
 // The scheduler fetches datasets (with caching), off-loads computation
 // to a pool of executor goroutines, and persists results and logs to
 // the datastore, from which the status component answers polls.
+//
+// Invariants:
+//
+//   - Validation is front-loaded: Builder.Add rejects unknown
+//     datasets/algorithms, missing source/target nodes, and
+//     out-of-range parameters (algo.Params.Validate) before
+//     submission, so a scheduled task can only fail on data-dependent
+//     errors (e.g. a label missing from the graph).
+//   - A task's state only moves forward: pending → running → one of
+//     done/failed/cancelled; terminal states never change.
+//   - The scheduler caches at most one immutable *graph.Graph per
+//     dataset name. Downstream caches (e.g. bippr's target-index LRU)
+//     key on that pointer, so InvalidateDataset after an upload is
+//     what makes stale derived state age out.
+//   - Results and logs are persisted before a task is marked done, so
+//     a status poll that observes "done" can always read the result.
 package task
 
 import (

@@ -118,6 +118,31 @@ func TestBuilderValidation(t *testing.T) {
 	if b.Len() != 2 {
 		t.Errorf("Len = %d, want 2", b.Len())
 	}
+
+	// Parameter sanity is enforced at Add time (algo.Params.Validate),
+	// so a bad knob is rejected before scheduling.
+	bippr := Spec{Dataset: "demo", Algorithm: algo.NameBiPPRPair,
+		Params: algo.Params{Source: "s", Target: "t"}}
+	bad := []func(*algo.Params){
+		func(p *algo.Params) { p.Workers = -1 },
+		func(p *algo.Params) { p.Eps = -1e-6 },
+		func(p *algo.Params) { p.Walks = -5 },
+		func(p *algo.Params) { p.RMax = -1e-4 },
+		func(p *algo.Params) { p.Alpha = 1.5 },
+	}
+	for i, mutate := range bad {
+		s := bippr
+		mutate(&s.Params)
+		if err := b.Add(s); err == nil {
+			t.Errorf("case %d: accepted invalid params %+v", i, s.Params)
+		}
+	}
+	good := bippr
+	good.Params.Workers = 8
+	good.Params.Eps = 1e-6
+	if err := b.Add(good); err != nil {
+		t.Errorf("rejected valid workers/eps spec: %v", err)
+	}
 }
 
 func TestBuilderRemoveAndClear(t *testing.T) {
