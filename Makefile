@@ -1,7 +1,11 @@
 GO ?= go
 GOFMT ?= gofmt
+# BENCHTIME controls the bench-json run: the default 1x is a smoke
+# pass (does every bench still run?); override with BENCHTIME=1s for
+# numbers worth tracking.
+BENCHTIME ?= 1x
 
-.PHONY: build test bench vet docs-check clean
+.PHONY: build test test-race bench bench-json vet docs-check clean
 
 build:
 	$(GO) build ./...
@@ -12,8 +16,26 @@ vet:
 test: vet
 	$(GO) test ./...
 
+# test-race covers the packages with real concurrency: the index
+# store's single-flight, the walk worker pool, the scheduler, and the
+# HTTP layer.
+test-race:
+	$(GO) test -race ./internal/bippr/ ./internal/task/ ./internal/server/
+
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
+
+# bench-json runs the BiPPR benchmark family and emits BENCH_bippr.json
+# (name / ns-per-op / bytes-per-op), the machine-readable perf artifact
+# CI archives per commit. The bench output lands in a temp file first
+# so a failed bench run fails the target instead of being masked by
+# the pipe into the converter.
+bench-json:
+	@out=$$(mktemp); \
+	$(GO) test -run NONE -bench 'BiPPR|PPRTarget|TargetIndexStorage' -benchmem -benchtime $(BENCHTIME) . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
+	$(GO) run ./cmd/benchjson -out BENCH_bippr.json < $$out || { rm -f $$out; exit 1; }; \
+	rm -f $$out
+	@echo wrote BENCH_bippr.json
 
 # docs-check gates the documentation: every relative markdown link in
 # README.md and docs/ must resolve, and the tree must be gofmt-clean.

@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON benchmark report, the machine-readable artifact CI archives to
+// track the performance trajectory across commits.
+//
+// Usage:
+//
+//	go test -run NONE -bench BiPPR -benchmem . | benchjson -out BENCH_bippr.json
+//
+// Non-benchmark lines (PASS, ok, cpu info) are ignored, so the raw
+// test output can be piped through unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkBiPPRPair/pair-8   1234   56789 ns/op   321 B/op   7 allocs/op
+//
+// The B/op and allocs/op columns are optional (-benchmem adds them).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	if err := run(os.Stdin, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, outPath string) error {
+	report, err := parse(in)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+func parse(in io.Reader) (*Report, error) {
+	report := &Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing iterations of %q: %w", m[1], err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing ns/op of %q: %w", m[1], err)
+		}
+		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			if b.BytesPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return nil, fmt.Errorf("parsing B/op of %q: %w", m[1], err)
+			}
+		}
+		if m[5] != "" {
+			if b.AllocsPerOp, err = strconv.ParseInt(m[5], 10, 64); err != nil {
+				return nil, fmt.Errorf("parsing allocs/op of %q: %w", m[1], err)
+			}
+		}
+		report.Benchmarks = append(report.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/cyclerank/cyclerank-go
+cpu: Example CPU
+BenchmarkBiPPRPair/pair-8         	    1204	    987654 ns/op	  123456 B/op	     789 allocs/op
+BenchmarkBiPPRPair/pair-cold-8    	      12	 98765432 ns/op
+BenchmarkTargetIndexStorage/sparse-8 	     100	   5500.5 ns/op	    5504 B/op	      12 allocs/op
+PASS
+ok  	github.com/cyclerank/cyclerank-go	12.3s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(report.Benchmarks), report.Benchmarks)
+	}
+	first := report.Benchmarks[0]
+	if first.Name != "BenchmarkBiPPRPair/pair-8" || first.Iterations != 1204 ||
+		first.NsPerOp != 987654 || first.BytesPerOp != 123456 || first.AllocsPerOp != 789 {
+		t.Errorf("first benchmark parsed wrong: %+v", first)
+	}
+	// Without -benchmem columns the memory fields stay zero.
+	second := report.Benchmarks[1]
+	if second.NsPerOp != 98765432 || second.BytesPerOp != 0 || second.AllocsPerOp != 0 {
+		t.Errorf("second benchmark parsed wrong: %+v", second)
+	}
+	// Fractional ns/op (sub-microsecond benches) must parse.
+	if report.Benchmarks[2].NsPerOp != 5500.5 {
+		t.Errorf("fractional ns/op parsed wrong: %+v", report.Benchmarks[2])
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	report, err := parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 0 {
+		t.Fatalf("expected empty report, got %+v", report.Benchmarks)
+	}
+}

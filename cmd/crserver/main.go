@@ -24,7 +24,6 @@ import (
 	"syscall"
 	"time"
 
-	"github.com/cyclerank/cyclerank-go/internal/algo"
 	"github.com/cyclerank/cyclerank-go/internal/datasets"
 	"github.com/cyclerank/cyclerank-go/internal/datastore"
 	"github.com/cyclerank/cyclerank-go/internal/server"
@@ -47,8 +46,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Registry is left nil: the server builds the built-in registry
+	// over its persistent two-tier index store, so reverse-push target
+	// indexes computed before a restart are served from disk after it.
 	srv, err := server.New(server.Config{
-		Registry:    algo.NewBuiltinRegistry(),
 		Catalog:     catalog,
 		Store:       store,
 		Workers:     *workers,

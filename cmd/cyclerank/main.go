@@ -7,6 +7,7 @@
 //	cyclerank -algo ppr -file mygraph.csv -source Alice -alpha 0.3 -top 10
 //	cyclerank -algos cyclerank,ppr,pagerank -dataset amazon -source 1984
 //	cyclerank -algo ppr-target -dataset enwiki-2018 -target "Freddie Mercury"
+//	cyclerank -algo ppr-target -dataset enwiki-2018 -targets "Freddie Mercury,Brian May,Queen (band)"
 //	cyclerank -algo bippr-pair -dataset enwiki-2018 -source "Brian May" -target "Freddie Mercury"
 //	cyclerank -algo bippr-pair -dataset enwiki-2018 -source "Brian May" -target "Freddie Mercury" -eps 1e-6 -workers 8
 //	cyclerank -list-datasets
@@ -53,6 +54,7 @@ func run(args []string, out io.Writer) error {
 		file      = fs.String("file", "", "graph file (edgelist .csv, pajek .net, or .asd)")
 		source    = fs.String("source", "", "reference node label (personalized algorithms)")
 		target    = fs.String("target", "", "target node label (ppr-target, bippr-pair)")
+		targets   = fs.String("targets", "", "comma-separated target labels for a batched multi-target run (side-by-side columns; indexes share one estimator)")
 		k         = fs.Int("k", 0, "CycleRank max cycle length (default 3)")
 		scoring   = fs.String("scoring", "", "CycleRank scoring: exp, lin, quad, const (default exp)")
 		alpha     = fs.Float64("alpha", 0, "damping factor (default 0.85)")
@@ -122,11 +124,25 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *algoList != "" {
+		if *targets != "" {
+			return fmt.Errorf("-algos compares algorithms for one query; use -targets with a single -algo")
+		}
 		names := splitList(*algoList)
 		if len(names) < 2 {
 			return fmt.Errorf("-algos needs at least two algorithms, got %v", names)
 		}
 		return runComparison(ctx, out, registry, g, names, params, *top)
+	}
+
+	if *targets != "" {
+		if *target != "" {
+			return fmt.Errorf("use either -target or -targets, not both")
+		}
+		labels := splitList(*targets)
+		if len(labels) == 0 {
+			return fmt.Errorf("-targets is empty")
+		}
+		return runTargets(ctx, out, registry, g, *algoName, labels, params, *top)
 	}
 
 	res, err := algo.Run(ctx, registry, *algoName, g, params)
@@ -178,6 +194,44 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// runTargets is the CLI face of the batched multi-target pipeline:
+// one algorithm run per target against the same loaded graph, sharing
+// the registry's bidirectional estimator (so same-parameter indexes
+// are built once), printed as one column of top labels per target.
+func runTargets(ctx context.Context, out io.Writer, registry *algo.Registry, g *graph.Graph, name string, labels []string, params algo.Params, top int) error {
+	a, err := registry.Get(name)
+	if err != nil {
+		return err
+	}
+	if !algo.NeedsTarget(a) {
+		return fmt.Errorf("-targets requires a target-aware algorithm (ppr-target, bippr-pair), not %q", name)
+	}
+	tops := make([][]string, len(labels))
+	for i, label := range labels {
+		p := params
+		p.Target = label
+		res, err := algo.Run(ctx, registry, name, g, p)
+		if err != nil {
+			return fmt.Errorf("target %q: %w", label, err)
+		}
+		tops[i] = res.TopLabels(top)
+	}
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "#\t%s\n", strings.Join(labels, "\t"))
+	for row := 0; row < top; row++ {
+		cells := make([]string, len(labels))
+		for i := range labels {
+			if row < len(tops[i]) {
+				cells[i] = tops[i][row]
+			} else {
+				cells[i] = "-"
+			}
+		}
+		fmt.Fprintf(w, "%d\t%s\n", row+1, strings.Join(cells, "\t"))
+	}
+	return w.Flush()
 }
 
 // runComparison prints the demo's side-by-side view: one column per

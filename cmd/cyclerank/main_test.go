@@ -96,6 +96,40 @@ func TestComparisonMode(t *testing.T) {
 	}
 }
 
+func TestMultiTargetMode(t *testing.T) {
+	out, err := runCLI(t,
+		"-dataset", "enwiki-2013",
+		"-algo", "ppr-target",
+		"-targets", "Freddie Mercury,Brian May",
+		"-top", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One column per target, headed by the target labels.
+	header := strings.SplitN(out, "\n", 2)[0]
+	for _, want := range []string{"Freddie Mercury", "Brian May"} {
+		if !strings.Contains(header, want) {
+			t.Errorf("header %q missing column for %q", header, want)
+		}
+	}
+	if rows := strings.Count(out, "\n"); rows < 4 {
+		t.Errorf("expected header + 3 rank rows, got:\n%s", out)
+	}
+}
+
+func TestMultiTargetModeErrors(t *testing.T) {
+	if _, err := runCLI(t, "-dataset", "enwiki-2013", "-algo", "ppr-target",
+		"-target", "Brian May", "-targets", "Freddie Mercury"); err == nil ||
+		!strings.Contains(err.Error(), "not both") {
+		t.Errorf("combining -target and -targets: %v", err)
+	}
+	if _, err := runCLI(t, "-dataset", "enwiki-2013", "-algo", "cyclerank",
+		"-targets", "Freddie Mercury"); err == nil ||
+		!strings.Contains(err.Error(), "target-aware") {
+		t.Errorf("-targets with a source-only algorithm: %v", err)
+	}
+}
+
 func TestErrorPaths(t *testing.T) {
 	cases := [][]string{
 		{},

@@ -36,10 +36,18 @@ const (
 )
 
 // NewBuiltinRegistry returns a registry pre-populated with all
-// built-in algorithms.
+// built-in algorithms, backed by a memory-only index cache.
 func NewBuiltinRegistry() *Registry {
+	return NewBuiltinRegistryWith(bippr.NewEstimator(bippr.DefaultCacheSize))
+}
+
+// NewBuiltinRegistryWith is NewBuiltinRegistry with an explicit
+// bidirectional estimator — the hook through which serving layers
+// plug in a persistent two-tier index store (and keep a handle on its
+// stats). A nil estimator selects the memory-only default.
+func NewBuiltinRegistryWith(est *bippr.Estimator) *Registry {
 	r := NewRegistry()
-	for _, a := range Builtins() {
+	for _, a := range BuiltinsWith(est) {
 		if err := r.Register(a); err != nil {
 			// Builtins have unique hard-coded names; a failure here is
 			// a programming error, not a runtime condition.
@@ -52,9 +60,17 @@ func NewBuiltinRegistry() *Registry {
 // Builtins returns fresh instances of every built-in algorithm. The
 // two bidirectional engines share one bippr.Estimator, so repeated
 // queries against the same target amortize the reverse push through
-// its LRU index cache for the lifetime of the registry.
+// its index cache for the lifetime of the registry.
 func Builtins() []Algorithm {
-	est := bippr.NewEstimator(bippr.DefaultCacheSize)
+	return BuiltinsWith(nil)
+}
+
+// BuiltinsWith is Builtins with an explicit shared bidirectional
+// estimator (nil selects a fresh memory-only one).
+func BuiltinsWith(est *bippr.Estimator) []Algorithm {
+	if est == nil {
+		est = bippr.NewEstimator(bippr.DefaultCacheSize)
+	}
 	return []Algorithm{
 		Func{
 			AlgoName: NameCycleRank,

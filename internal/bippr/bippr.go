@@ -27,10 +27,16 @@
 // independent of the (unknown) source. On dangling-free graphs the
 // two conventions coincide exactly.
 //
-// An Estimator wraps both layers behind a small LRU cache of target
-// indexes, so that repeated queries against the same (graph, target,
-// alpha, rmax) — the common pattern under server traffic — pay the
-// reverse push once and only the walks per query.
+// An Estimator wraps both layers behind an IndexStore, so that
+// repeated queries against the same (graph, target, alpha, rmax) —
+// the common pattern under server traffic — pay the reverse push once
+// and only the walks per query. Two stores exist: the in-memory
+// single-flight LRU (MemoryStore), and the two-tier TieredStore that
+// additionally persists each index as a versioned, checksummed
+// artifact through a DiskTier (the platform datastore) — so a
+// restarted server finds its warm reverse-push cache on disk and pays
+// deserialization instead of recomputation. Corrupt, truncated or
+// version-skewed artifacts are treated as misses and recomputed.
 //
 // Both layers scale past the single-machine defaults: indexes store
 // their estimate/residual vectors sparsely on large graphs (memory
@@ -213,26 +219,43 @@ type Estimate struct {
 }
 
 // Estimator answers target and pair queries, amortizing reverse
-// pushes across queries through an LRU target-index cache. It is safe
-// for concurrent use.
+// pushes across queries through an IndexStore — by default the
+// in-memory LRU, optionally the two-tier persistent store that also
+// survives restarts. It is safe for concurrent use.
 type Estimator struct {
-	cache *indexCache
+	store IndexStore
 }
 
-// NewEstimator returns an Estimator whose cache holds up to capacity
-// target indexes (capacity <= 0 selects DefaultCacheSize).
+// NewEstimator returns an Estimator over a memory-only IndexStore
+// holding up to capacity target indexes (capacity <= 0 selects
+// DefaultCacheSize).
 func NewEstimator(capacity int) *Estimator {
-	if capacity <= 0 {
-		capacity = DefaultCacheSize
-	}
-	return &Estimator{cache: newIndexCache(capacity)}
+	return &Estimator{store: NewMemoryStore(capacity)}
 }
 
-// CacheStats reports the estimator's cache hit/miss counters and
-// current size. A hit is any query that did not pay for a reverse
-// push itself — an LRU hit or a ride on a concurrent in-flight push.
+// NewEstimatorWithStore returns an Estimator over an explicit
+// IndexStore — the path serving layers use to share one persistent
+// two-tier store between the estimator and their stats endpoints.
+func NewEstimatorWithStore(store IndexStore) *Estimator {
+	if store == nil {
+		return NewEstimator(0)
+	}
+	return &Estimator{store: store}
+}
+
+// StoreStats returns a snapshot of the underlying IndexStore's
+// counters, split by tier.
+func (e *Estimator) StoreStats() StoreStats {
+	return e.store.Stats()
+}
+
+// CacheStats reports the estimator's aggregate hit/miss counters and
+// current in-memory size. A hit is any query that did not pay for a
+// reverse push itself — an LRU hit, a persisted-index load, or a ride
+// on a concurrent in-flight push. StoreStats splits hits by tier.
 func (e *Estimator) CacheStats() (hits, misses int64, size int) {
-	return e.cache.stats()
+	s := e.store.Stats()
+	return s.MemoryHits + s.DiskHits, s.Misses, s.MemoryEntries
 }
 
 // Index returns the reverse-push target index for (g, target, alpha,
@@ -247,14 +270,16 @@ func (e *Estimator) Index(ctx context.Context, g *graph.Graph, target graph.Node
 	return idx, err
 }
 
-// index is the shared cache path: one reverse push per (graph,
-// target, alpha, rmax) even under concurrent misses. p must already
-// have defaults applied.
+// index is the shared store path: one reverse push per (graph,
+// target, alpha, rmax) even under concurrent misses, with a persisted
+// artifact consulted first when the store has a disk tier. cached is
+// true when the caller did not pay for the push itself. p must
+// already have defaults applied.
 func (e *Estimator) index(ctx context.Context, g *graph.Graph, target graph.NodeID, p Params) (*TargetIndex, bool, error) {
-	key := indexKey{g: g, target: target, alpha: p.Alpha, rmax: p.RMax}
-	return e.cache.getOrCompute(ctx, key, func() (*TargetIndex, error) {
+	idx, tier, err := e.store.GetOrCompute(ctx, g, target, p.Alpha, p.RMax, func() (*TargetIndex, error) {
 		return ReversePush(ctx, g, target, p.Alpha, p.RMax)
 	})
+	return idx, tier != TierComputed, err
 }
 
 // Pair estimates π(source, target): the probability that an

@@ -23,7 +23,9 @@ type indexKey struct {
 
 // indexCache is a concurrency-safe LRU of target indexes with
 // single-flight computation: concurrent misses for the same key share
-// one reverse push instead of each paying for it.
+// one reverse push instead of each paying for it. It is the memory
+// tier of every IndexStore; the TieredStore layers disk persistence
+// inside its single-flight slot (see store.go).
 type indexCache struct {
 	mu       sync.Mutex
 	capacity int

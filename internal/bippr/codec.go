@@ -1,0 +1,282 @@
+package bippr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// On-disk target-index format (little endian):
+//
+//	magic   [4]byte  "BPIX"
+//	version uint16   indexCodecVersion
+//	target  int32
+//	alpha   float64
+//	rmax    float64
+//	pushes  int64
+//	maxRes  float64
+//	nodes   int64    graph size the vectors span
+//	estimates, residuals:
+//	  repr  uint8    0 = dense, 1 = sparse
+//	  nnz   int64    explicitly stored entries
+//	  nnz × (node int32, value float64)
+//	crc32   uint32   IEEE checksum of everything above
+//
+// Only non-zero entries are written, so files are sized by what the
+// push touched, mirroring the in-memory sparse representation. The
+// repr byte round-trips the representation itself: a decoded dense
+// index stays dense, a sparse one stays sparse.
+//
+// The trailing checksum plus the version field make loads
+// corruption-tolerant: a truncated, garbled, or older/newer-format
+// file fails to decode and the caller treats it as a cache miss and
+// recomputes — a bad artifact can cost time, never correctness.
+
+// indexCodecVersion is bumped whenever the layout above changes;
+// decoding any other version fails with ErrIndexVersion.
+const indexCodecVersion uint16 = 1
+
+var indexMagic = [4]byte{'B', 'P', 'I', 'X'}
+
+// ErrIndexVersion reports an index artifact written by a different
+// codec version. Loaders treat it as a miss and recompute.
+var ErrIndexVersion = errors.New("bippr: index artifact version mismatch")
+
+// ErrIndexCorrupt reports an index artifact that failed structural or
+// checksum validation. Loaders treat it as a miss and recompute.
+var ErrIndexCorrupt = errors.New("bippr: index artifact corrupt")
+
+const (
+	reprDense  uint8 = 0
+	reprSparse uint8 = 1
+)
+
+// EncodeIndex serializes a target index into the versioned binary
+// artifact format above.
+func EncodeIndex(idx *TargetIndex) ([]byte, error) {
+	if idx == nil || idx.Estimates == nil || idx.Residuals == nil {
+		return nil, fmt.Errorf("bippr: cannot encode nil index")
+	}
+	if idx.Estimates.NumNodes() != idx.Residuals.NumNodes() {
+		return nil, fmt.Errorf("bippr: index vectors span %d and %d nodes",
+			idx.Estimates.NumNodes(), idx.Residuals.NumNodes())
+	}
+	var buf bytes.Buffer
+	buf.Write(indexMagic[:])
+	writeU16(&buf, indexCodecVersion)
+	writeU32(&buf, uint32(idx.Target))
+	writeU64(&buf, math.Float64bits(idx.Alpha))
+	writeU64(&buf, math.Float64bits(idx.RMax))
+	writeU64(&buf, uint64(idx.Pushes))
+	writeU64(&buf, math.Float64bits(idx.MaxResidual))
+	writeU64(&buf, uint64(idx.Estimates.NumNodes()))
+	encodeVector(&buf, idx.Estimates)
+	encodeVector(&buf, idx.Residuals)
+	writeU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
+	return buf.Bytes(), nil
+}
+
+func encodeVector(buf *bytes.Buffer, x *Vector) {
+	repr := reprDense
+	if x.IsSparse() {
+		repr = reprSparse
+	}
+	buf.WriteByte(repr)
+	writeU64(buf, uint64(x.NonZeros()))
+	x.ForEach(func(v graph.NodeID, val float64) bool {
+		writeU32(buf, uint32(v))
+		writeU64(buf, math.Float64bits(val))
+		return true
+	})
+}
+
+// DecodeIndex parses an artifact written by EncodeIndex. Any
+// structural damage — truncation, bit flips, wrong magic — yields
+// ErrIndexCorrupt, and a version change yields ErrIndexVersion, so
+// callers can uniformly fall back to recomputation.
+func DecodeIndex(data []byte) (*TargetIndex, error) {
+	return DecodeIndexSized(data, -1)
+}
+
+// DecodeIndexSized is DecodeIndex with the node count the caller
+// expects (from the graph the artifact is being loaded for); an
+// artifact claiming any other size is rejected as corrupt *before*
+// vectors are allocated, so a forged or damaged header cannot
+// request a multi-gigabyte allocation. wantNodes < 0 skips the check
+// (offline tools and tests that have no graph at hand).
+func DecodeIndexSized(data []byte, wantNodes int) (*TargetIndex, error) {
+	r := &byteReader{data: data}
+	var magic [4]byte
+	if err := r.read(magic[:]); err != nil || magic != indexMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrIndexCorrupt)
+	}
+	version, err := r.u16()
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrIndexCorrupt)
+	}
+	if version != indexCodecVersion {
+		return nil, fmt.Errorf("%w: file version %d, codec version %d",
+			ErrIndexVersion, version, indexCodecVersion)
+	}
+	// Validate the checksum before trusting any length fields.
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: truncated", ErrIndexCorrupt)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrIndexCorrupt)
+	}
+	r.limit = len(body)
+
+	idx := &TargetIndex{}
+	tgt, err1 := r.u32()
+	alpha, err2 := r.u64()
+	rmax, err3 := r.u64()
+	pushes, err4 := r.u64()
+	maxRes, err5 := r.u64()
+	nodes, err6 := r.u64()
+	if err := errors.Join(err1, err2, err3, err4, err5, err6); err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrIndexCorrupt)
+	}
+	if nodes > uint64(graph.MaxNodeID)+1 {
+		return nil, fmt.Errorf("%w: implausible node count %d", ErrIndexCorrupt, nodes)
+	}
+	if wantNodes >= 0 && nodes != uint64(wantNodes) {
+		return nil, fmt.Errorf("%w: artifact spans %d nodes, graph has %d", ErrIndexCorrupt, nodes, wantNodes)
+	}
+	idx.Target = graph.NodeID(tgt)
+	idx.Alpha = math.Float64frombits(alpha)
+	idx.RMax = math.Float64frombits(rmax)
+	idx.Pushes = int64(pushes)
+	idx.MaxResidual = math.Float64frombits(maxRes)
+	n := int(nodes)
+	if idx.Estimates, err = decodeVector(r, n); err != nil {
+		return nil, err
+	}
+	if idx.Residuals, err = decodeVector(r, n); err != nil {
+		return nil, err
+	}
+	if r.pos != r.limit {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrIndexCorrupt, r.limit-r.pos)
+	}
+	return idx, nil
+}
+
+func decodeVector(r *byteReader, n int) (*Vector, error) {
+	repr, err := r.u8()
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated vector", ErrIndexCorrupt)
+	}
+	nnz, err := r.u64()
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated vector", ErrIndexCorrupt)
+	}
+	if nnz > uint64(n) {
+		return nil, fmt.Errorf("%w: %d entries in a %d-node vector", ErrIndexCorrupt, nnz, n)
+	}
+	// Each entry is 12 bytes; a claimed count the buffer cannot hold
+	// is rejected before sizing the map by it.
+	if nnz*12 > uint64(r.remaining()) {
+		return nil, fmt.Errorf("%w: %d entries exceed remaining bytes", ErrIndexCorrupt, nnz)
+	}
+	var x *Vector
+	switch repr {
+	case reprDense:
+		x = &Vector{n: n, dense: make([]float64, n)}
+	case reprSparse:
+		x = &Vector{n: n, sparse: make(map[graph.NodeID]float64, nnz)}
+	default:
+		return nil, fmt.Errorf("%w: unknown vector representation %d", ErrIndexCorrupt, repr)
+	}
+	for i := uint64(0); i < nnz; i++ {
+		node, err1 := r.u32()
+		bits, err2 := r.u64()
+		if err := errors.Join(err1, err2); err != nil {
+			return nil, fmt.Errorf("%w: truncated vector entries", ErrIndexCorrupt)
+		}
+		if node >= uint32(n) {
+			return nil, fmt.Errorf("%w: node %d outside [0,%d)", ErrIndexCorrupt, node, n)
+		}
+		v := graph.NodeID(node)
+		if x.dense != nil {
+			x.dense[v] = math.Float64frombits(bits)
+		} else {
+			x.sparse[v] = math.Float64frombits(bits)
+		}
+	}
+	return x, nil
+}
+
+// --- little-endian helpers over bytes.Buffer / []byte ---
+
+func writeU16(buf *bytes.Buffer, x uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], x)
+	buf.Write(b[:])
+}
+
+func writeU32(buf *bytes.Buffer, x uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], x)
+	buf.Write(b[:])
+}
+
+func writeU64(buf *bytes.Buffer, x uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], x)
+	buf.Write(b[:])
+}
+
+// byteReader is a bounds-checked cursor over the artifact bytes;
+// limit excludes the checksum trailer once it has been validated.
+type byteReader struct {
+	data  []byte
+	pos   int
+	limit int
+}
+
+func (r *byteReader) remaining() int {
+	limit := r.limit
+	if limit == 0 {
+		limit = len(r.data)
+	}
+	return limit - r.pos
+}
+
+func (r *byteReader) read(dst []byte) error {
+	if r.remaining() < len(dst) {
+		return fmt.Errorf("%w: short read", ErrIndexCorrupt)
+	}
+	copy(dst, r.data[r.pos:])
+	r.pos += len(dst)
+	return nil
+}
+
+func (r *byteReader) u8() (uint8, error) {
+	var b [1]byte
+	err := r.read(b[:])
+	return b[0], err
+}
+
+func (r *byteReader) u16() (uint16, error) {
+	var b [2]byte
+	err := r.read(b[:])
+	return binary.LittleEndian.Uint16(b[:]), err
+}
+
+func (r *byteReader) u32() (uint32, error) {
+	var b [4]byte
+	err := r.read(b[:])
+	return binary.LittleEndian.Uint32(b[:]), err
+}
+
+func (r *byteReader) u64() (uint64, error) {
+	var b [8]byte
+	err := r.read(b[:])
+	return binary.LittleEndian.Uint64(b[:]), err
+}

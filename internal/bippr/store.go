@@ -1,0 +1,298 @@
+package bippr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// Tier reports where a target index came from.
+type Tier int
+
+const (
+	// TierComputed: the caller paid for the reverse push itself.
+	TierComputed Tier = iota
+	// TierMemory: served from the in-memory LRU (or by riding a
+	// concurrent caller's in-flight computation).
+	TierMemory
+	// TierDisk: deserialized from a persisted artifact — no reverse
+	// push ran anywhere.
+	TierDisk
+)
+
+// String names the tier for logs and tables.
+func (t Tier) String() string {
+	switch t {
+	case TierMemory:
+		return "memory"
+	case TierDisk:
+		return "disk"
+	default:
+		return "computed"
+	}
+}
+
+// StoreStats is a snapshot of an IndexStore's counters. Hits split by
+// tier so operators can tell a restart-warm disk cache from a hot
+// in-memory one.
+type StoreStats struct {
+	// MemoryHits counts queries served by the LRU or by riding a
+	// concurrent in-flight computation.
+	MemoryHits int64 `json:"memory_hits"`
+	// DiskHits counts queries served by deserializing a persisted
+	// index — the restart-warm path.
+	DiskHits int64 `json:"disk_hits"`
+	// Misses counts reverse pushes actually paid.
+	Misses int64 `json:"misses"`
+	// DiskWrites / DiskBytesWritten count persisted artifacts.
+	DiskWrites       int64 `json:"disk_writes"`
+	DiskBytesWritten int64 `json:"disk_bytes_written"`
+	// DiskErrors counts failed loads of an existing artifact
+	// (corruption, version skew) and failed saves. Each one is
+	// absorbed as a miss or a skipped write, never an error to the
+	// query.
+	DiskErrors int64 `json:"disk_errors"`
+	// MemoryEntries is the LRU's current size.
+	MemoryEntries int `json:"memory_entries"`
+}
+
+// IndexStore resolves (graph, target, alpha, rmax) to a reverse-push
+// target index, computing on miss with single-flight deduplication.
+// Implementations must be safe for concurrent use, and the returned
+// index is shared: callers must not mutate it.
+type IndexStore interface {
+	// GetOrCompute returns the index, where it came from, and any
+	// error. compute is invoked at most once per key across all
+	// concurrent callers.
+	GetOrCompute(ctx context.Context, g *graph.Graph, target graph.NodeID, alpha, rmax float64,
+		compute func() (*TargetIndex, error)) (*TargetIndex, Tier, error)
+	// Stats returns a snapshot of the store's counters.
+	Stats() StoreStats
+}
+
+// DiskTier is the persistence contract the tiered store writes
+// through, implemented by the platform's datastore. graphFP is a
+// structural graph fingerprint (see graph.Fingerprint) and key a
+// filesystem-safe index key; Load returns an error satisfying
+// os.IsNotExist semantics (any error is treated as a miss) when the
+// artifact does not exist.
+type DiskTier interface {
+	LoadIndex(graphFP, key string) ([]byte, error)
+	SaveIndex(graphFP, key string, data []byte) error
+}
+
+// MemoryStore is the single-tier IndexStore: the LRU index cache that
+// predates persistence, unchanged in behavior. It backs estimators
+// for one-shot CLI runs and tests, where disk round-trips buy
+// nothing.
+type MemoryStore struct {
+	cache *indexCache
+}
+
+// NewMemoryStore returns a memory-only IndexStore holding up to
+// capacity indexes (capacity <= 0 selects DefaultCacheSize).
+func NewMemoryStore(capacity int) *MemoryStore {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &MemoryStore{cache: newIndexCache(capacity)}
+}
+
+// GetOrCompute implements IndexStore.
+func (m *MemoryStore) GetOrCompute(ctx context.Context, g *graph.Graph, target graph.NodeID, alpha, rmax float64,
+	compute func() (*TargetIndex, error)) (*TargetIndex, Tier, error) {
+	key := indexKey{g: g, target: target, alpha: alpha, rmax: rmax}
+	idx, cached, err := m.cache.getOrCompute(ctx, key, compute)
+	tier := TierComputed
+	if cached {
+		tier = TierMemory
+	}
+	return idx, tier, err
+}
+
+// Stats implements IndexStore.
+func (m *MemoryStore) Stats() StoreStats {
+	hits, misses, size := m.cache.stats()
+	return StoreStats{MemoryHits: hits, Misses: misses, MemoryEntries: size}
+}
+
+// TieredStore is the two-tier IndexStore: the memory LRU in front of
+// persisted index artifacts. A miss in both tiers runs the reverse
+// push once (single-flight across tiers and callers), persists the
+// artifact, and populates the LRU — so a restarted server finds its
+// warm cache on disk and pays deserialization, not recomputation.
+//
+// Disk failures never fail a query: an unreadable, corrupt, or
+// version-skewed artifact is a miss (recompute and overwrite), and a
+// failed save only loses future reuse. Both are counted in
+// StoreStats.DiskErrors.
+type TieredStore struct {
+	cache *indexCache
+	disk  DiskTier
+
+	diskHits   atomic.Int64
+	misses     atomic.Int64
+	diskWrites atomic.Int64
+	diskBytes  atomic.Int64
+	diskErrors atomic.Int64
+
+	// fps memoizes graph.Fingerprint per immutable graph: the hash is
+	// O(N+M) and the pointer is the scheduler's dataset identity. The
+	// map is bounded (see fingerprint) so it cannot pin retired graphs
+	// — e.g. pre-re-upload versions of a dataset — in memory forever.
+	fpMu sync.Mutex
+	fps  map[*graph.Graph]string
+}
+
+// maxMemoizedFingerprints bounds the fingerprint memo. Live graphs
+// number at most one per dataset; past this size the map mostly holds
+// dead pointers, and dropping it wholesale both frees them and lets
+// the handful of live entries re-memoize on next use.
+const maxMemoizedFingerprints = 64
+
+// NewTieredStore builds a two-tier store: an LRU of capacity indexes
+// (<= 0 selects DefaultCacheSize) over the given disk tier. A nil
+// disk degrades to memory-only behavior.
+func NewTieredStore(capacity int, disk DiskTier) *TieredStore {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &TieredStore{
+		cache: newIndexCache(capacity),
+		disk:  disk,
+		fps:   make(map[*graph.Graph]string),
+	}
+}
+
+// IndexFileKey is the filesystem-safe artifact key of one target
+// index: the target id plus the exact float bits of alpha and rmax,
+// so distinct parameters can never collide.
+func IndexFileKey(target graph.NodeID, alpha, rmax float64) string {
+	return fmt.Sprintf("t%d-a%016x-r%016x", target, math.Float64bits(alpha), math.Float64bits(rmax))
+}
+
+func (t *TieredStore) fingerprint(g *graph.Graph) string {
+	t.fpMu.Lock()
+	fp, ok := t.fps[g]
+	t.fpMu.Unlock()
+	if ok {
+		return fp
+	}
+	// Hash outside the lock: the CSR walk is O(N+M) and must not
+	// stall unrelated graphs' queries. Concurrent first-touchers of
+	// one graph may compute it twice; the results are identical.
+	fp = graph.Fingerprint(g)
+	t.fpMu.Lock()
+	if len(t.fps) >= maxMemoizedFingerprints {
+		clear(t.fps)
+	}
+	t.fps[g] = fp
+	t.fpMu.Unlock()
+	return fp
+}
+
+// GetOrCompute implements IndexStore: memory LRU, then disk, then the
+// reverse push. The disk probe and the push both run under the same
+// single-flight slot, so concurrent misses share one disk read or one
+// computation.
+func (t *TieredStore) GetOrCompute(ctx context.Context, g *graph.Graph, target graph.NodeID, alpha, rmax float64,
+	compute func() (*TargetIndex, error)) (*TargetIndex, Tier, error) {
+	key := indexKey{g: g, target: target, alpha: alpha, rmax: rmax}
+	tier := TierComputed
+	idx, cached, err := t.cache.getOrCompute(ctx, key, func() (*TargetIndex, error) {
+		if idx := t.loadFromDisk(g, target, alpha, rmax); idx != nil {
+			tier = TierDisk
+			return idx, nil
+		}
+		idx, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		t.misses.Add(1)
+		t.saveToDisk(g, target, alpha, rmax, idx)
+		return idx, nil
+	})
+	if err != nil {
+		return nil, TierComputed, err
+	}
+	if cached {
+		tier = TierMemory
+	}
+	return idx, tier, nil
+}
+
+// loadFromDisk probes the disk tier; any failure — absent file,
+// truncation, checksum mismatch, version skew, or parameter/shape
+// mismatch against the request — returns nil and the caller
+// recomputes.
+func (t *TieredStore) loadFromDisk(g *graph.Graph, target graph.NodeID, alpha, rmax float64) *TargetIndex {
+	if t.disk == nil {
+		return nil
+	}
+	data, err := t.disk.LoadIndex(t.fingerprint(g), IndexFileKey(target, alpha, rmax))
+	if err != nil {
+		// Absent artifact = ordinary cold miss. Anything else (EACCES,
+		// EIO) means the disk tier is sick — still a miss, but counted
+		// so a dead tier is visible in the stats instead of masquerading
+		// as an eternally cold cache.
+		if !errors.Is(err, fs.ErrNotExist) {
+			t.diskErrors.Add(1)
+		}
+		return nil
+	}
+	// Sizing the decode by the requesting graph keeps a forged or
+	// damaged header from triggering a huge allocation.
+	idx, err := DecodeIndexSized(data, g.NumNodes())
+	if err != nil {
+		t.diskErrors.Add(1)
+		return nil
+	}
+	// The fingerprint and file key should make these impossible; they
+	// guard against a hand-edited or misplaced artifact.
+	if idx.Target != target || idx.Alpha != alpha || idx.RMax != rmax {
+		t.diskErrors.Add(1)
+		return nil
+	}
+	t.diskHits.Add(1)
+	return idx
+}
+
+// saveToDisk persists a freshly computed index, best-effort.
+func (t *TieredStore) saveToDisk(g *graph.Graph, target graph.NodeID, alpha, rmax float64, idx *TargetIndex) {
+	if t.disk == nil {
+		return
+	}
+	data, err := EncodeIndex(idx)
+	if err != nil {
+		t.diskErrors.Add(1)
+		return
+	}
+	if err := t.disk.SaveIndex(t.fingerprint(g), IndexFileKey(target, alpha, rmax), data); err != nil {
+		t.diskErrors.Add(1)
+		return
+	}
+	t.diskWrites.Add(1)
+	t.diskBytes.Add(int64(len(data)))
+}
+
+// Stats implements IndexStore. Misses counts successful computations
+// (the LRU's own miss counter also includes disk hits and failed
+// computes, so the store keeps its own).
+func (t *TieredStore) Stats() StoreStats {
+	hits, _, size := t.cache.stats()
+	return StoreStats{
+		MemoryHits:       hits,
+		DiskHits:         t.diskHits.Load(),
+		Misses:           t.misses.Load(),
+		DiskWrites:       t.diskWrites.Load(),
+		DiskBytesWritten: t.diskBytes.Load(),
+		DiskErrors:       t.diskErrors.Load(),
+		MemoryEntries:    size,
+	}
+}

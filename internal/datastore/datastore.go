@@ -9,20 +9,30 @@
 //	  datasets/<name>.labels      label sidecars
 //	  results/<task-id>.json      completed task results
 //	  logs/<task-id>.log          per-task execution logs
+//	  indexes/<graph-fp>/<key>.idx  persisted reverse-push target indexes
 //
-// All writes are atomic (temp file + rename) so a crashed writer never
-// leaves a partially visible artifact. A Store is safe for concurrent
-// use.
+// Index artifacts are opaque blobs to this package (the bippr codec
+// owns their format); they are grouped per structural graph
+// fingerprint so a re-uploaded dataset naturally orphans its
+// predecessor's indexes instead of serving them.
+//
+// All writes are atomic (temp file + fsync + rename + directory
+// fsync) so a crashed writer never leaves a partially visible
+// artifact and a completed write survives power loss. A Store is safe
+// for concurrent use.
 package datastore
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 
 	"github.com/cyclerank/cyclerank-go/internal/formats"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
@@ -36,7 +46,7 @@ type Store struct {
 
 // Open creates (if needed) and opens a store rooted at dir.
 func Open(dir string) (*Store, error) {
-	for _, sub := range []string{"datasets", "results", "logs"} {
+	for _, sub := range []string{"datasets", "results", "logs", "indexes"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("datastore: %w", err)
 		}
@@ -58,7 +68,13 @@ func validName(name string) error {
 	return nil
 }
 
-// atomicWrite writes data to path via a temp file and rename.
+// atomicWrite writes data to path via a temp file, fsync, rename, and
+// a final fsync of the containing directory. The rename makes the
+// artifact appear atomically; the file sync makes its *contents*
+// durable before it becomes visible; the directory sync makes the
+// rename itself durable, so a crash immediately after atomicWrite
+// returns cannot roll the directory entry back to the old (or no)
+// artifact.
 func atomicWrite(path string, write func(f *os.File) error) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
@@ -69,11 +85,31 @@ func atomicWrite(path string, write func(f *os.File) error) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("datastore: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("datastore: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("datastore: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a completed rename within it survives
+// a crash. Filesystems that reject directory fsync (some network and
+// FUSE mounts) degrade to the pre-sync durability rather than failing
+// the write.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("datastore: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("datastore: syncing %s: %w", dir, err)
 	}
 	return nil
 }
@@ -172,13 +208,14 @@ func (s *Store) ListDatasets() ([]string, error) {
 }
 
 // SaveResult stores an arbitrary JSON-encodable result document under
-// a task id.
+// a task id. It takes no store-wide lock: each write goes through its
+// own temp file and atomic rename (readers always see a complete
+// document), and only one executor owns a task id at a time — so one
+// task's fsync latency never stalls another's persistence.
 func (s *Store) SaveResult(taskID string, doc any) error {
 	if err := validName(taskID); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	path := filepath.Join(s.root, "results", taskID+".json")
 	return atomicWrite(path, func(f *os.File) error {
 		enc := json.NewEncoder(f)
@@ -247,6 +284,83 @@ func (s *Store) AppendLog(taskID, line string) error {
 		return fmt.Errorf("datastore: %w", err)
 	}
 	return nil
+}
+
+// SaveIndex persists one reverse-push index artifact under
+// indexes/<graphFP>/<key>.idx. The blob is opaque to the store (the
+// bippr codec owns the format). Writes are atomic and durable like
+// every other artifact, so a crash never leaves a torn index — at
+// worst a missing one, which the cache treats as a miss. This method
+// implements bippr.DiskTier.
+//
+// Like SaveResult, SaveIndex takes no store-wide lock: the temp file
+// + atomic rename protocol is self-contained, concurrent writers of
+// one key are already serialized by the index store's single-flight,
+// and distinct keys must not queue behind each other's fsyncs.
+func (s *Store) SaveIndex(graphFP, key string, data []byte) error {
+	if err := validName(graphFP); err != nil {
+		return err
+	}
+	if err := validName(key); err != nil {
+		return err
+	}
+	dir := filepath.Join(s.root, "indexes", graphFP)
+	if _, err := os.Stat(dir); err != nil {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("datastore: %w", err)
+		}
+		// The fingerprint directory is new: sync its parent so the
+		// directory entry itself survives a crash — atomicWrite below
+		// only syncs the file and the fingerprint directory.
+		if err := syncDir(filepath.Join(s.root, "indexes")); err != nil {
+			return err
+		}
+	}
+	return atomicWrite(filepath.Join(dir, key+".idx"), func(f *os.File) error {
+		if _, err := f.Write(data); err != nil {
+			return fmt.Errorf("datastore: writing index %s/%s: %w", graphFP, key, err)
+		}
+		return nil
+	})
+}
+
+// LoadIndex reads a persisted index artifact. A missing artifact
+// returns an error wrapping fs.ErrNotExist; callers treat any error
+// as a cache miss. This method implements bippr.DiskTier.
+func (s *Store) LoadIndex(graphFP, key string) ([]byte, error) {
+	if err := validName(graphFP); err != nil {
+		return nil, err
+	}
+	if err := validName(key); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.root, "indexes", graphFP, key+".idx"))
+	if err != nil {
+		return nil, fmt.Errorf("datastore: index %s/%s: %w", graphFP, key, err)
+	}
+	return data, nil
+}
+
+// IndexUsage reports how many index artifacts the store holds and
+// their total size in bytes — the on-disk side of the warm-cache
+// observability surfaced by the server's status endpoint.
+func (s *Store) IndexUsage() (files int, bytes int64, err error) {
+	err = filepath.WalkDir(filepath.Join(s.root, "indexes"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".idx") {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		files++
+		bytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("datastore: %w", err)
+	}
+	return files, bytes, nil
 }
 
 // ReadLog returns the task's full log, or an empty string when none

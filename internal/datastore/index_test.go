@@ -1,0 +1,111 @@
+package datastore
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	s := newStore(t)
+	blob := []byte("opaque index artifact bytes")
+	if err := s.SaveIndex("abcd1234", "t7-a0-r0", blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadIndex("abcd1234", "t7-a0-r0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("loaded %q, want %q", got, blob)
+	}
+	// Overwrite replaces.
+	if err := s.SaveIndex("abcd1234", "t7-a0-r0", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = s.LoadIndex("abcd1234", "t7-a0-r0"); string(got) != "v2" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+}
+
+func TestLoadIndexMissing(t *testing.T) {
+	s := newStore(t)
+	_, err := s.LoadIndex("abcd1234", "nope")
+	if err == nil {
+		t.Fatal("loading a missing index succeeded")
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing index error %v does not wrap fs.ErrNotExist", err)
+	}
+}
+
+func TestIndexNameValidation(t *testing.T) {
+	s := newStore(t)
+	for _, bad := range [][2]string{
+		{"../escape", "key"},
+		{"fp", "../escape"},
+		{"", "key"},
+		{"fp", ""},
+		{"a/b", "key"},
+		{"fp", "a\\b"},
+	} {
+		if err := s.SaveIndex(bad[0], bad[1], []byte("x")); err == nil {
+			t.Errorf("SaveIndex(%q, %q) accepted invalid name", bad[0], bad[1])
+		}
+		if _, err := s.LoadIndex(bad[0], bad[1]); err == nil {
+			t.Errorf("LoadIndex(%q, %q) accepted invalid name", bad[0], bad[1])
+		}
+	}
+}
+
+func TestIndexUsage(t *testing.T) {
+	s := newStore(t)
+	files, size, err := s.IndexUsage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 0 || size != 0 {
+		t.Fatalf("empty store reports %d files, %d bytes", files, size)
+	}
+	if err := s.SaveIndex("fp1", "k1", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveIndex("fp1", "k2", make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveIndex("fp2", "k1", make([]byte, 25)); err != nil {
+		t.Fatal(err)
+	}
+	files, size, err = s.IndexUsage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 3 || size != 175 {
+		t.Fatalf("IndexUsage = (%d files, %d bytes), want (3, 175)", files, size)
+	}
+}
+
+// TestAtomicWriteLeavesNoTemp: after a completed write the directory
+// holds only the artifact — no .tmp- residue to confuse the usage
+// accounting or a restore.
+func TestAtomicWriteLeavesNoTemp(t *testing.T) {
+	s := newStore(t)
+	if err := s.SaveIndex("fp", "key", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(s.Root(), "indexes", "fp")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "key.idx" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("index dir holds %v, want exactly [key.idx]", names)
+	}
+}

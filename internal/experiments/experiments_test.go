@@ -153,6 +153,24 @@ func TestKSweep(t *testing.T) {
 	}
 }
 
+func TestBiPPRPersist(t *testing.T) {
+	tab, err := BiPPRPersist(context.Background(), "enwiki-2013", "Freddie Mercury", 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 { // computed, disk, memory
+		t.Fatalf("rows = %d, want 3 tiers", len(tab.Rows))
+	}
+	for i, tier := range []string{"computed", "disk", "memory"} {
+		if tab.Rows[i][0] != tier {
+			t.Errorf("row %d tier %q, want %q", i, tab.Rows[i][0], tier)
+		}
+	}
+	if _, err := BiPPRPersist(context.Background(), "enwiki-2013", "nobody", 0); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
 func TestPrunedVsNaive(t *testing.T) {
 	if testing.Short() {
 		t.Skip("naive enumeration is slow")

@@ -1,0 +1,50 @@
+package graph
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable hex digest of the graph's structure:
+// node count, edge count, and the full out-CSR (which determines the
+// in-CSR). Labels are deliberately excluded, because derived
+// structural artifacts (reverse-push indexes) depend only on topology
+// and may be shared across identically-shaped datasets.
+//
+// The digest content-addresses on-disk artifacts derived from a graph
+// — e.g. the datastore's indexes/<fingerprint>/ directory — so a
+// re-uploaded dataset with different structure naturally misses every
+// artifact of its predecessor. Because those artifacts are *shared by
+// digest* and datasets are user-uploadable, the hash is SHA-256
+// (truncated to 128 bits), not a fast non-cryptographic hash: a
+// constructible collision would silently serve one graph's indexes
+// for another. The hash cost is dominated by the O(N+M) CSR walk
+// either way.
+//
+// Callers that need the fingerprint repeatedly should memoize per
+// *Graph (graphs are immutable).
+func Fingerprint(g *Graph) string {
+	h := sha256.New()
+	// Buffer the per-entry writes: hash.Hash.Write never errors, so
+	// the bufio error paths are unreachable.
+	w := bufio.NewWriterSize(h, 1<<16)
+	var b [8]byte
+	put64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(b[:], x)
+		w.Write(b[:])
+	}
+	put64(uint64(g.NumNodes()))
+	put64(uint64(g.numEdges))
+	for _, off := range g.outOff {
+		put64(uint64(off))
+	}
+	for _, v := range g.outAdj {
+		binary.LittleEndian.PutUint32(b[:4], uint32(v))
+		w.Write(b[:4])
+	}
+	w.Flush()
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,73 @@
+package graph
+
+import "testing"
+
+func fpGraph(t *testing.T, n int, edges [][2]int32) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFingerprintStable(t *testing.T) {
+	edges := [][2]int32{{0, 1}, {1, 2}, {2, 0}, {0, 2}}
+	a := fpGraph(t, 3, edges)
+	b := fpGraph(t, 3, edges)
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("identical graphs fingerprint differently")
+	}
+	// Edge insertion order cannot matter: the builder canonicalizes.
+	c := fpGraph(t, 3, [][2]int32{{0, 2}, {2, 0}, {1, 2}, {0, 1}})
+	if Fingerprint(a) != Fingerprint(c) {
+		t.Fatal("edge order changed the fingerprint")
+	}
+}
+
+func TestFingerprintDistinguishesStructure(t *testing.T) {
+	base := fpGraph(t, 3, [][2]int32{{0, 1}, {1, 2}})
+	for name, other := range map[string]*Graph{
+		"extra edge":    fpGraph(t, 3, [][2]int32{{0, 1}, {1, 2}, {2, 0}}),
+		"extra node":    fpGraph(t, 4, [][2]int32{{0, 1}, {1, 2}}),
+		"rewired":       fpGraph(t, 3, [][2]int32{{0, 1}, {2, 1}}),
+		"empty":         fpGraph(t, 3, nil),
+		"reversed edge": fpGraph(t, 3, [][2]int32{{1, 0}, {1, 2}}),
+	} {
+		if Fingerprint(base) == Fingerprint(other) {
+			t.Errorf("%s collides with the base graph", name)
+		}
+	}
+}
+
+func TestFingerprintIgnoresLabels(t *testing.T) {
+	lb := NewLabeledBuilder()
+	lb.AddLabeledEdge("x", "y")
+	lb.AddLabeledEdge("y", "z")
+	labeled, err := lb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := fpGraph(t, 3, [][2]int32{{0, 1}, {1, 2}})
+	// Same structure, different (or no) labels: derived structural
+	// artifacts are shareable, so the fingerprints must agree.
+	if Fingerprint(labeled) != Fingerprint(plain) {
+		t.Fatal("labels leaked into the structural fingerprint")
+	}
+}
+
+func TestFingerprintFormat(t *testing.T) {
+	fp := Fingerprint(fpGraph(t, 2, [][2]int32{{0, 1}}))
+	if len(fp) != 32 {
+		t.Fatalf("fingerprint %q is not 32 hex chars", fp)
+	}
+	for _, r := range fp {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			t.Fatalf("fingerprint %q contains non-hex %q", fp, r)
+		}
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
+	"github.com/cyclerank/cyclerank-go/internal/bippr"
 	"github.com/cyclerank/cyclerank-go/internal/core"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
 	"github.com/cyclerank/cyclerank-go/internal/ranking"
@@ -27,22 +29,57 @@ func (s *Server) registerExtensions(mux *http.ServeMux) {
 
 // statusResponse is the platform health/workload snapshot.
 type statusResponse struct {
-	Scheduler  task.Metrics `json:"scheduler"`
-	Datasets   int          `json:"datasets"`
-	Uploads    int          `json:"uploads"`
-	Algorithms int          `json:"algorithms"`
+	Scheduler  task.Metrics     `json:"scheduler"`
+	Datasets   int              `json:"datasets"`
+	Uploads    int              `json:"uploads"`
+	Algorithms int              `json:"algorithms"`
+	IndexStore indexStoreStatus `json:"index_store"`
+}
+
+// indexStoreStatus surfaces the target-index store's tiered counters
+// plus the persisted artifacts on disk, so warm-vs-cold behaviour —
+// in particular a restart finding its indexes — is observable from
+// the outside.
+type indexStoreStatus struct {
+	bippr.StoreStats
+	DiskFiles int   `json:"disk_files"`
+	DiskBytes int64 `json:"disk_bytes"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	uploads := len(s.uploaded)
 	s.mu.RUnlock()
+	idx := indexStoreStatus{StoreStats: s.indexStore.Stats()}
+	idx.DiskFiles, idx.DiskBytes = s.indexDiskUsage()
 	writeJSON(w, http.StatusOK, statusResponse{
 		Scheduler:  s.scheduler.Metrics(),
 		Datasets:   s.catalog.Len() + uploads,
 		Uploads:    uploads,
 		Algorithms: len(s.registry.Names()),
+		IndexStore: idx,
 	})
+}
+
+// indexUsageTTL bounds how often a status poll re-walks the indexes
+// tree: monitoring systems poll /api/status aggressively, and the
+// walk stats every artifact file.
+const indexUsageTTL = 10 * time.Second
+
+// indexDiskUsage returns the persisted-artifact usage, cached for
+// indexUsageTTL. Best-effort observability: a walk error reports the
+// last known values rather than failing the health endpoint.
+func (s *Server) indexDiskUsage() (files int, bytes int64) {
+	s.usageMu.Lock()
+	defer s.usageMu.Unlock()
+	if time.Since(s.usageAt) < indexUsageTTL {
+		return s.usageFiles, s.usageBytes
+	}
+	if files, bytes, err := s.store.IndexUsage(); err == nil {
+		s.usageFiles, s.usageBytes = files, bytes
+	}
+	s.usageAt = time.Now()
+	return s.usageFiles, s.usageBytes
 }
 
 func (s *Server) handleCancelTask(w http.ResponseWriter, r *http.Request) {
@@ -121,7 +158,10 @@ func (s *Server) handleAgreement(w http.ResponseWriter, r *http.Request) {
 	}
 	var completed []done
 	for _, t := range tasks {
-		if t.State != task.StateDone {
+		// Batch tasks carry per-subquery results, not one ranking; an
+		// empty batch Top compared pairwise would render as zero
+		// agreement instead of "not comparable".
+		if t.State != task.StateDone || t.IsBatch() {
 			continue
 		}
 		doc, err := s.scheduler.LoadResult(t.ID)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/bippr"
 	"github.com/cyclerank/cyclerank-go/internal/datasets"
 	"github.com/cyclerank/cyclerank-go/internal/datastore"
 	"github.com/cyclerank/cyclerank-go/internal/formats"
@@ -39,24 +40,42 @@ const maxUploadBytes = 64 << 20
 // Server is the API gateway. Create one with New and mount it as an
 // http.Handler.
 type Server struct {
-	registry  *algo.Registry
-	catalog   *datasets.Catalog
-	store     *datastore.Store
-	scheduler *task.Scheduler
-	mux       *http.ServeMux
+	registry   *algo.Registry
+	catalog    *datasets.Catalog
+	store      *datastore.Store
+	scheduler  *task.Scheduler
+	indexStore bippr.IndexStore
+	mux        *http.ServeMux
 
 	mu       sync.RWMutex
 	uploaded map[string]bool // datasets living in the datastore
+
+	// Cached indexes-tree usage for the status endpoint (see
+	// indexDiskUsage).
+	usageMu    sync.Mutex
+	usageAt    time.Time
+	usageFiles int
+	usageBytes int64
 }
 
 // Config configures a Server.
 type Config struct {
-	// Registry resolves algorithms; required.
+	// Registry resolves algorithms. Nil (the default for deployments)
+	// builds the built-in registry with its bidirectional estimator
+	// backed by the server's persistent two-tier index store, so
+	// reverse-push indexes survive restarts. Passing an explicit
+	// registry (tests, custom algorithm sets) keeps whatever caching
+	// its estimator was built with — the status endpoint's index-store
+	// stats then only reflect the server's own store, which such a
+	// registry does not use.
 	Registry *algo.Registry
 	// Catalog provides the pre-loaded datasets; required.
 	Catalog *datasets.Catalog
-	// Store persists uploads, results and logs; required.
+	// Store persists uploads, results, logs and indexes; required.
 	Store *datastore.Store
+	// IndexStore overrides the target-index store (default: a
+	// bippr.TieredStore over Store).
+	IndexStore bippr.IndexStore
 	// Workers sizes the executor pool (default 2).
 	Workers int
 	// TaskTimeout bounds a single task's execution; zero means no
@@ -66,14 +85,21 @@ type Config struct {
 
 // New builds the gateway and its scheduler.
 func New(cfg Config) (*Server, error) {
-	if cfg.Registry == nil || cfg.Catalog == nil || cfg.Store == nil {
-		return nil, fmt.Errorf("server: registry, catalog and store are required")
+	if cfg.Catalog == nil || cfg.Store == nil {
+		return nil, fmt.Errorf("server: catalog and store are required")
+	}
+	if cfg.IndexStore == nil {
+		cfg.IndexStore = bippr.NewTieredStore(bippr.DefaultCacheSize, cfg.Store)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = algo.NewBuiltinRegistryWith(bippr.NewEstimatorWithStore(cfg.IndexStore))
 	}
 	s := &Server{
-		registry: cfg.Registry,
-		catalog:  cfg.Catalog,
-		store:    cfg.Store,
-		uploaded: make(map[string]bool),
+		registry:   cfg.Registry,
+		catalog:    cfg.Catalog,
+		store:      cfg.Store,
+		indexStore: cfg.IndexStore,
+		uploaded:   make(map[string]bool),
 	}
 	// Uploads that survived a restart are rediscovered from the store.
 	if names, err := cfg.Store.ListDatasets(); err == nil {
@@ -279,8 +305,28 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, datasetStats{Name: name, Stats: graph.ComputeStats(g)})
 }
 
+// submitRequest accepts two submission shapes, combinable in one
+// request:
+//
+//   - tasks: independent (dataset, algorithm, params) triples, each
+//     its own scheduled task — the original API.
+//   - queries + dataset [+ algorithm]: a *batch* — many queries
+//     (multiple targets and/or sources) against one dataset, fused
+//     into a single scheduled task that loads the graph once and
+//     shares the reverse-push index store and walk worker pool across
+//     subqueries. Each query may name its own algorithm or inherit
+//     the top-level default.
 type submitRequest struct {
 	Tasks []task.Spec `json:"tasks"`
+
+	Dataset   string         `json:"dataset,omitempty"`
+	Algorithm string         `json:"algorithm,omitempty"`
+	Queries   []task.SubSpec `json:"queries,omitempty"`
+	// Params is accepted only to *reject* it: each batch query carries
+	// its own params, and silently dropping a top-level object a
+	// client expected to apply to every query would return plausible
+	// results computed with the wrong parameters.
+	Params algo.Params `json:"params,omitempty"`
 }
 
 type submitResponse struct {
@@ -298,6 +344,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for i, spec := range req.Tasks {
 		if err := builder.Add(spec); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("task %d: %w", i, err))
+			return
+		}
+	}
+	if len(req.Queries) > 0 {
+		if req.Params != (algo.Params{}) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("server: top-level params are not applied to batch queries; set params on each entry of the queries array"))
+			return
+		}
+		batch := task.Spec{
+			Dataset:   req.Dataset,
+			Algorithm: req.Algorithm,
+			Queries:   req.Queries,
+		}
+		if err := builder.Add(batch); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("batch: %w", err))
 			return
 		}
 	}
@@ -325,7 +387,11 @@ func (s *Server) taskView(id string, includeLog bool) (taskView, error) {
 		return taskView{}, err
 	}
 	view := taskView{Task: t}
-	if t.State == task.StateDone {
+	// Batch tasks persist per-subquery progress, so a batch has a
+	// readable (partial) result document while running — and keeps it
+	// if it later times out or is cancelled: the subresults completed
+	// before the interruption stay visible.
+	if t.State == task.StateDone || t.IsBatch() {
 		if doc, err := s.scheduler.LoadResult(id); err == nil {
 			view.Result = &doc
 		}

@@ -103,11 +103,29 @@ touching most of the graph:</p>
 ]}</code></pre>
 <p>Repeated queries against the same <code>(dataset, target, alpha,
 rmax)</code> reuse a cached reverse-push index, so only the first query
-pays the push cost. Instead of a flat <code>walks</code> count,
+pays the push cost — and indexes are persisted in the datastore, so
+even a restarted server serves them from disk instead of recomputing
+(<code>GET /api/status</code> reports memory hits, disk hits and misses).
+Instead of a flat <code>walks</code> count,
 <code>eps</code> requests an additive error and derives the walk count
 from it; <code>workers</code> shards the walks across a bounded pool —
 estimates are bit-identical for every pool size. The repository's
 <code>docs/API.md</code> documents every task parameter.</p>
+<h2>Batched queries</h2>
+<p>A <code>queries</code> array submits many queries against one dataset
+as a <em>single</em> batch task: the graph is loaded once, reverse-push
+indexes are shared across subqueries, and
+<code>GET /api/tasks/{id}</code> reports per-query progress
+(<code>query_states</code>, <code>queries_done</code>) with one result
+per subquery. Each entry may name its own <code>algorithm</code> or
+inherit the top-level default:</p>
+<pre><code>POST /api/tasks
+{"dataset": "enwiki-2018", "algorithm": "bippr-pair",
+ "queries": [
+   {"params": {"source": "Brian May", "target": "Freddie Mercury"}},
+   {"params": {"source": "Roger Taylor", "target": "Freddie Mercury"}},
+   {"algorithm": "ppr-target", "params": {"target": "Queen (band)"}}
+]}</code></pre>
 <p>The response carries a <code>comparison_id</code>; retrieve results at
 <code>/api/compare/{id}</code> or view them at <code>/compare/{id}</code>.</p>
 </body></html>{{end}}

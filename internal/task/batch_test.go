@@ -1,0 +1,318 @@
+package task
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/datastore"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+func TestBuilderBatchValidation(t *testing.T) {
+	b := NewBuilder(algo.NewBuiltinRegistry(), func(d string) bool { return d == "demo" })
+
+	ok := Spec{Dataset: "demo", Algorithm: algo.NamePPRTarget, Queries: []SubSpec{
+		{Params: algo.Params{Target: "ref"}},
+		{Params: algo.Params{Target: "a"}},
+		{Algorithm: algo.NameBiPPRPair, Params: algo.Params{Source: "a", Target: "ref"}},
+	}}
+	if err := b.Add(ok); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	// The default algorithm was resolved into each stored subquery.
+	stored := b.Specs()[0]
+	if stored.Queries[0].Algorithm != algo.NamePPRTarget || stored.Queries[2].Algorithm != algo.NameBiPPRPair {
+		t.Fatalf("algorithms not normalized: %+v", stored.Queries)
+	}
+
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"unknown dataset", Spec{Dataset: "nope", Queries: []SubSpec{{Algorithm: algo.NamePPR, Params: algo.Params{Source: "x"}}}}, "unknown dataset"},
+		{"no algorithm anywhere", Spec{Dataset: "demo", Queries: []SubSpec{{Params: algo.Params{Target: "ref"}}}}, "no default"},
+		{"unknown algorithm", Spec{Dataset: "demo", Queries: []SubSpec{{Algorithm: "nope", Params: algo.Params{}}}}, "unknown algorithm"},
+		{"missing target", Spec{Dataset: "demo", Algorithm: algo.NamePPRTarget, Queries: []SubSpec{{Params: algo.Params{}}}}, "requires a target"},
+		{"missing source", Spec{Dataset: "demo", Algorithm: algo.NameBiPPRPair, Queries: []SubSpec{{Params: algo.Params{Target: "ref"}}}}, "requires a source"},
+		{"bad params", Spec{Dataset: "demo", Algorithm: algo.NamePPRTarget, Queries: []SubSpec{
+			{Params: algo.Params{Target: "ref"}},
+			{Params: algo.Params{Target: "a", Alpha: -1}},
+		}}, "query 1"},
+		{"top-level params", Spec{Dataset: "demo", Algorithm: algo.NamePPRTarget,
+			Params:  algo.Params{Alpha: 0.5},
+			Queries: []SubSpec{{Params: algo.Params{Target: "ref"}}},
+		}, "per-query"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := b.Add(tc.spec)
+			if err == nil {
+				t.Fatal("invalid batch accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	over := Spec{Dataset: "demo", Algorithm: algo.NamePPRTarget}
+	for i := 0; i <= MaxBatchQueries; i++ {
+		over.Queries = append(over.Queries, SubSpec{Params: algo.Params{Target: "ref"}})
+	}
+	if err := b.Add(over); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized batch: %v", err)
+	}
+}
+
+// TestBatchMatchesSeparateSubmissions is the acceptance test: a
+// K-target batch loads the graph exactly once and yields per-subquery
+// results identical to K separate submissions.
+func TestBatchMatchesSeparateSubmissions(t *testing.T) {
+	g := testGraph(t)
+	targets := []string{"ref", "a", "b"}
+
+	newCountingScheduler := func(loads *atomic.Int64) *Scheduler {
+		t.Helper()
+		store, err := datastore.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewScheduler(SchedulerConfig{
+			Registry: algo.NewBuiltinRegistry(),
+			Store:    store,
+			Workers:  2,
+			Load: func(name string) (*graph.Graph, error) {
+				loads.Add(1)
+				return g, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+		})
+		return s
+	}
+
+	// Batch submission: one scheduled unit, one graph load.
+	var batchLoads atomic.Int64
+	batchSched := newCountingScheduler(&batchLoads)
+	batch := Spec{Dataset: "demo", Algorithm: algo.NamePPRTarget}
+	for _, tgt := range targets {
+		batch.Queries = append(batch.Queries, SubSpec{
+			Algorithm: algo.NamePPRTarget,
+			Params:    algo.Params{Target: tgt, RMax: 1e-6},
+		})
+	}
+	qs, ids, err := batchSched.Submit([]Spec{batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("batch produced %d task ids, want 1 scheduled unit", len(ids))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tasks, err := batchSched.WaitQuerySet(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks[0].State != StateDone {
+		t.Fatalf("batch task state %s (error %q)", tasks[0].State, tasks[0].Error)
+	}
+	if n := batchLoads.Load(); n != 1 {
+		t.Fatalf("batch of %d queries loaded the graph %d times, want exactly 1", len(targets), n)
+	}
+	if tasks[0].QueriesDone != len(targets) {
+		t.Fatalf("QueriesDone = %d, want %d", tasks[0].QueriesDone, len(targets))
+	}
+	for i, st := range tasks[0].QueryStates {
+		if st != StateDone {
+			t.Fatalf("query state[%d] = %s, want done", i, st)
+		}
+	}
+	batchDoc, err := batchSched.LoadResult(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batchDoc.Queries) != len(targets) {
+		t.Fatalf("batch result has %d subresults, want %d", len(batchDoc.Queries), len(targets))
+	}
+
+	// Reference: the same K queries as separate submissions.
+	var sepLoads atomic.Int64
+	sepSched := newCountingScheduler(&sepLoads)
+	var specs []Spec
+	for _, tgt := range targets {
+		specs = append(specs, Spec{
+			Dataset:   "demo",
+			Algorithm: algo.NamePPRTarget,
+			Params:    algo.Params{Target: tgt, RMax: 1e-6},
+		})
+	}
+	sqs, sids, err := sepSched.Submit(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sepSched.WaitQuerySet(ctx, sqs); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range targets {
+		sub := batchDoc.Queries[i]
+		sep, err := sepSched.LoadResult(sids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.State != StateDone {
+			t.Fatalf("subquery %d state %s (error %q)", i, sub.State, sub.Error)
+		}
+		if sub.Iterations != sep.Iterations || sub.Residual != sep.Residual {
+			t.Errorf("subquery %d effort (%d, %g) differs from separate (%d, %g)",
+				i, sub.Iterations, sub.Residual, sep.Iterations, sep.Residual)
+		}
+		if len(sub.Top) != len(sep.Top) {
+			t.Fatalf("subquery %d top has %d entries, separate %d", i, len(sub.Top), len(sep.Top))
+		}
+		for j := range sub.Top {
+			if sub.Top[j] != sep.Top[j] {
+				t.Errorf("subquery %d top[%d] = %+v, separate %+v", i, j, sub.Top[j], sep.Top[j])
+			}
+		}
+	}
+}
+
+// TestBatchSubqueryFailureIsolated: one failing subquery records its
+// error without taking down its siblings or the batch.
+func TestBatchSubqueryFailureIsolated(t *testing.T) {
+	s := newScheduler(t, 1)
+	batch := Spec{Dataset: "demo", Algorithm: algo.NamePPRTarget, Queries: []SubSpec{
+		{Algorithm: algo.NamePPRTarget, Params: algo.Params{Target: "ref"}},
+		// "ghost" passes Add-time validation (non-empty) but is not a
+		// node of the graph — a data-dependent runtime failure.
+		{Algorithm: algo.NamePPRTarget, Params: algo.Params{Target: "ghost"}},
+		{Algorithm: algo.NamePPRTarget, Params: algo.Params{Target: "b"}},
+	}}
+	qs, ids, err := s.Submit([]Spec{batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tasks, err := s.WaitQuerySet(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks[0].State != StateDone {
+		t.Fatalf("batch state %s, want done (subquery failures are per-query)", tasks[0].State)
+	}
+	doc, err := s.LoadResult(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStates := []State{StateDone, StateFailed, StateDone}
+	for i, want := range wantStates {
+		if doc.Queries[i].State != want {
+			t.Errorf("subquery %d state %s, want %s (error %q)", i, doc.Queries[i].State, want, doc.Queries[i].Error)
+		}
+	}
+	if !strings.Contains(doc.Queries[1].Error, "ghost") {
+		t.Errorf("failed subquery error %q does not name the missing node", doc.Queries[1].Error)
+	}
+	if len(doc.Queries[0].Top) == 0 || len(doc.Queries[2].Top) == 0 {
+		t.Error("successful siblings of a failed subquery have empty results")
+	}
+	if tasks[0].QueriesDone != 3 {
+		t.Errorf("QueriesDone = %d, want 3 (failed queries are still terminal)", tasks[0].QueriesDone)
+	}
+}
+
+// TestBatchSharesIndexAcrossSubqueries: bidirectional subqueries
+// against one target in one batch pay the reverse push once — the
+// second subquery's effort counter shows no push component beyond its
+// walks.
+func TestBatchSharesIndexAcrossSubqueries(t *testing.T) {
+	s := newScheduler(t, 1)
+	const walks = 64
+	batch := Spec{Dataset: "demo", Queries: []SubSpec{
+		{Algorithm: algo.NameBiPPRPair, Params: algo.Params{Source: "a", Target: "ref", Walks: walks}},
+		{Algorithm: algo.NameBiPPRPair, Params: algo.Params{Source: "b", Target: "ref", Walks: walks}},
+	}}
+	qs, ids, err := s.Submit([]Spec{batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := s.WaitQuerySet(ctx, qs); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := s.LoadResult(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, second := doc.Queries[0], doc.Queries[1]
+	if first.State != StateDone || second.State != StateDone {
+		t.Fatalf("states %s/%s, want done/done", first.State, second.State)
+	}
+	// Iterations = pushes + walks. The first subquery pays the push;
+	// the second rides the shared index and reports only its walks.
+	if first.Iterations <= walks {
+		t.Errorf("first subquery iterations %d should include push work beyond %d walks", first.Iterations, walks)
+	}
+	if second.Iterations != walks {
+		t.Errorf("second subquery iterations %d, want exactly %d walks (index shared)", second.Iterations, walks)
+	}
+}
+
+// TestBatchLoadFailureFinalizesQueryStates: a batch that dies before
+// executeBatch (dataset load failure) must not leave its subqueries
+// reporting "pending" forever.
+func TestBatchLoadFailureFinalizesQueryStates(t *testing.T) {
+	s := newScheduler(t, 1)
+	batch := Spec{Dataset: "gone", Algorithm: algo.NamePPRTarget, Queries: []SubSpec{
+		{Algorithm: algo.NamePPRTarget, Params: algo.Params{Target: "ref"}},
+		{Algorithm: algo.NamePPRTarget, Params: algo.Params{Target: "a"}},
+	}}
+	qs, _, err := s.Submit([]Spec{batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	tasks, err := s.WaitQuerySet(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks[0].State != StateFailed {
+		t.Fatalf("state %s, want failed", tasks[0].State)
+	}
+	for i, st := range tasks[0].QueryStates {
+		if !st.Terminal() {
+			t.Errorf("query state[%d] = %s, want terminal", i, st)
+		}
+	}
+	if tasks[0].QueriesDone != 2 {
+		t.Errorf("QueriesDone = %d, want 2 (all subqueries resolved)", tasks[0].QueriesDone)
+	}
+}
+
+func TestSubmitRejectsOversizedBatch(t *testing.T) {
+	s := newScheduler(t, 1)
+	spec := Spec{Dataset: "demo", Algorithm: algo.NamePPRTarget}
+	for i := 0; i <= MaxBatchQueries; i++ {
+		spec.Queries = append(spec.Queries, SubSpec{Algorithm: algo.NamePPRTarget, Params: algo.Params{Target: fmt.Sprintf("t%d", i)}})
+	}
+	if _, _, err := s.Submit([]Spec{spec}); err == nil {
+		t.Fatal("oversized batch accepted at submit")
+	}
+}

@@ -28,7 +28,10 @@ func NewBuilder(registry *algo.Registry, exists func(dataset string) bool) *Buil
 	return &Builder{registry: registry, exists: exists}
 }
 
-// Add validates and appends one task spec to the query set.
+// Add validates and appends one task spec to the query set. Batch
+// specs (Spec.Queries non-empty) validate every subquery with the
+// same front-loaded rules as a plain spec, and are normalized so each
+// stored SubSpec carries its resolved algorithm name.
 func (b *Builder) Add(s Spec) error {
 	if s.Dataset == "" {
 		return fmt.Errorf("task: spec has no dataset")
@@ -36,21 +39,64 @@ func (b *Builder) Add(s Spec) error {
 	if b.exists != nil && !b.exists(s.Dataset) {
 		return fmt.Errorf("task: unknown dataset %q", s.Dataset)
 	}
-	a, err := b.registry.Get(s.Algorithm)
-	if err != nil {
-		return fmt.Errorf("task: %w", err)
+	if s.IsBatch() {
+		return b.addBatch(s)
 	}
-	if a.NeedsSource() && s.Params.Source == "" {
-		return fmt.Errorf("task: algorithm %q requires a source node", s.Algorithm)
-	}
-	if algo.NeedsTarget(a) && s.Params.Target == "" {
-		return fmt.Errorf("task: algorithm %q requires a target node", s.Algorithm)
-	}
-	if err := s.Params.Validate(); err != nil {
+	if err := b.checkQuery(s.Algorithm, s.Params); err != nil {
 		return fmt.Errorf("task: %w", err)
 	}
 	b.specs = append(b.specs, s)
 	return nil
+}
+
+// addBatch validates a batch spec. The dataset has already been
+// checked; each subquery resolves its algorithm (falling back to the
+// batch default) and passes the same validation as a standalone spec.
+func (b *Builder) addBatch(s Spec) error {
+	if len(s.Queries) > MaxBatchQueries {
+		return fmt.Errorf("task: batch has %d queries, limit %d", len(s.Queries), MaxBatchQueries)
+	}
+	// Top-level params are rejected rather than silently ignored: a
+	// submitter who set them expects them to apply to every query,
+	// and would otherwise get plausible results computed with the
+	// defaults instead.
+	if s.Params != (algo.Params{}) {
+		return fmt.Errorf("task: batch params are per-query; set params on each entry of queries, not on the batch")
+	}
+	// Normalize into a copy: resolved algorithm names, detached from
+	// the caller's slice.
+	queries := make([]SubSpec, len(s.Queries))
+	for i, q := range s.Queries {
+		if q.Algorithm == "" {
+			q.Algorithm = s.Algorithm
+		}
+		if q.Algorithm == "" {
+			return fmt.Errorf("task: batch query %d names no algorithm and the batch has no default", i)
+		}
+		if err := b.checkQuery(q.Algorithm, q.Params); err != nil {
+			return fmt.Errorf("task: batch query %d: %w", i, err)
+		}
+		queries[i] = q
+	}
+	s.Queries = queries
+	b.specs = append(b.specs, s)
+	return nil
+}
+
+// checkQuery applies the front-loaded validation shared by plain
+// specs and batch subqueries; callers add the "task:" context.
+func (b *Builder) checkQuery(algorithm string, p algo.Params) error {
+	a, err := b.registry.Get(algorithm)
+	if err != nil {
+		return err
+	}
+	if a.NeedsSource() && p.Source == "" {
+		return fmt.Errorf("algorithm %q requires a source node", algorithm)
+	}
+	if algo.NeedsTarget(a) && p.Target == "" {
+		return fmt.Errorf("algorithm %q requires a target node", algorithm)
+	}
+	return p.Validate()
 }
 
 // Remove deletes the i-th spec from the query set (the UI's per-query

@@ -125,7 +125,7 @@ func (s *Scheduler) Submit(specs []Spec) (querySet string, taskIDs []string, err
 		if err != nil {
 			return "", nil, err
 		}
-		created[i] = &Task{
+		t := &Task{
 			ID:        id,
 			QuerySet:  querySet,
 			Dataset:   spec.Dataset,
@@ -134,6 +134,17 @@ func (s *Scheduler) Submit(specs []Spec) (querySet string, taskIDs []string, err
 			State:     StatePending,
 			Submitted: now,
 		}
+		if spec.IsBatch() {
+			if len(spec.Queries) > MaxBatchQueries {
+				return "", nil, fmt.Errorf("task: batch has %d queries, limit %d", len(spec.Queries), MaxBatchQueries)
+			}
+			t.Queries = append([]SubSpec(nil), spec.Queries...)
+			t.QueryStates = make([]State, len(t.Queries))
+			for j := range t.QueryStates {
+				t.QueryStates[j] = StatePending
+			}
+		}
+		created[i] = t
 	}
 
 	s.mu.Lock()
@@ -217,7 +228,27 @@ func (s *Scheduler) Cancel(taskID string) error {
 	// Pending: mark cancelled now; the executor skips it when popped.
 	t.State = StateCancelled
 	t.Finished = time.Now()
+	finalizeQueryStatesLocked(t)
 	return nil
+}
+
+// finalizeQueryStatesLocked resolves a batch task's non-terminal
+// subquery states to cancelled. Termination paths that bypass
+// executeBatch — cancelling a still-pending batch, a dataset load
+// failure — must not leave query_states reporting "pending" on a task
+// that will never run them. Idempotent; the caller must hold s.mu.
+func finalizeQueryStatesLocked(t *Task) {
+	if !t.IsBatch() {
+		return
+	}
+	states := append([]State(nil), t.QueryStates...)
+	for i, st := range states {
+		if !st.Terminal() {
+			states[i] = StateCancelled
+			t.QueriesDone++
+		}
+	}
+	t.QueryStates = states
 }
 
 // Shutdown stops the executor pool, waiting until in-flight tasks
@@ -265,6 +296,7 @@ func (s *Scheduler) failTask(id string, err error) {
 		t.State = StateFailed
 		t.Error = err.Error()
 		t.Finished = time.Now()
+		finalizeQueryStatesLocked(t)
 	}
 }
 
@@ -346,6 +378,10 @@ func (s *Scheduler) execute(ctx context.Context, worker int, id string) {
 		s.finish(id, err)
 		return
 	}
+	if snapshot.IsBatch() {
+		s.executeBatch(taskCtx, t, snapshot, g)
+		return
+	}
 	res, err := algo.Run(taskCtx, s.cfg.Registry, snapshot.Algorithm, g, snapshot.Params)
 	if err != nil {
 		switch {
@@ -394,6 +430,159 @@ func (s *Scheduler) execute(ctx context.Context, worker int, id string) {
 	s.mu.Unlock()
 }
 
+// batchProgressInterval throttles mid-batch result persistence: at
+// most one fsync'd snapshot per interval, so progress observability
+// never dominates the wall-clock of a batch of cheap cached queries.
+const batchProgressInterval = time.Second
+
+// executeBatch runs a batch task: the graph is already loaded (once,
+// for all subqueries), and each subquery executes in submission order
+// against the shared registry — so bidirectional subqueries against
+// one target share a single reverse push through the estimator's
+// index store, and their walk chunks flow through the same worker
+// pool. A subquery failure is recorded in its SubResult without
+// failing the batch; cancellation and timeout stop the batch and mark
+// the remaining subqueries cancelled. Progress snapshots of the
+// result document are persisted while the batch runs (throttled to
+// one per batchProgressInterval), so polls of a running batch already
+// see finished subresults.
+func (s *Scheduler) executeBatch(ctx context.Context, t *Task, snapshot Task, g *graph.Graph) {
+	id := snapshot.ID
+	subs := make([]SubResult, len(snapshot.Queries))
+	doc := Result{
+		GraphNodes: g.NumNodes(),
+		GraphEdges: g.NumEdges(),
+		Queries:    subs,
+	}
+	for i := range subs {
+		subs[i].Algorithm = snapshot.Queries[i].Algorithm
+		subs[i].Params = snapshot.Queries[i].Params
+		subs[i].State = StatePending
+	}
+
+	interrupted := false
+	var lastPersist time.Time // zero: the first subquery always persists
+	for i, q := range snapshot.Queries {
+		if ctx.Err() != nil {
+			for j := i; j < len(subs); j++ {
+				subs[j].State = StateCancelled
+				s.setQueryState(id, j, StateCancelled)
+			}
+			interrupted = true
+			break
+		}
+		s.setQueryState(id, i, StateRunning)
+		start := time.Now()
+		res, err := algo.Run(ctx, s.cfg.Registry, q.Algorithm, g, q.Params)
+		sub := &subs[i]
+		sub.DurationMS = time.Since(start).Milliseconds()
+		switch {
+		case err == nil:
+			sub.State = StateDone
+			sub.Top = res.Top(s.cfg.TopK)
+			sub.Iterations = res.Iterations
+			sub.Residual = res.Residual
+			sub.Cycles = res.CyclesFound
+		case ctx.Err() != nil:
+			sub.State = StateCancelled
+			sub.Error = err.Error()
+			interrupted = true
+		default:
+			sub.State = StateFailed
+			sub.Error = err.Error()
+		}
+		s.setQueryState(id, i, sub.State)
+		s.log(id, fmt.Sprintf("batch query %d/%d (%s %s): %s", i+1, len(subs), q.Algorithm, q.Params, sub.State))
+		// Progress persistence is best-effort — a poll mid-batch reads
+		// completed subresults; the authoritative write is the final
+		// one — and throttled: every persisted snapshot pays a full
+		// fsync'd document rewrite, which would dominate a large batch
+		// of cheap cached queries if written per subquery.
+		if now := time.Now(); now.Sub(lastPersist) >= batchProgressInterval {
+			s.persistBatchProgress(id, doc)
+			lastPersist = now
+		}
+	}
+
+	// Only an interruption that actually cost a subquery fails the
+	// batch: a deadline that fires after the last subquery completed
+	// must not retroactively turn a fully successful batch into a
+	// timeout (ctx.Err() alone cannot distinguish the two — context
+	// errors are sticky).
+	if interrupted {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.finish(id, fmt.Errorf("task: execution exceeded %s timeout after %d/%d batch queries",
+				s.cfg.TaskTimeout, doneCount(subs), len(subs)))
+		} else {
+			s.cancelled(id)
+		}
+		s.persistBatchProgress(id, doc)
+		return
+	}
+
+	// Same publish ordering as single tasks: the result document is
+	// durable before any observer can see StateDone.
+	finished := time.Now()
+	s.mu.Lock()
+	done := *t
+	s.mu.Unlock()
+	done.State = StateDone
+	done.Finished = finished
+	doc.Task = done
+
+	if err := s.cfg.Store.SaveResult(id, doc); err != nil {
+		s.failTask(id, err)
+		s.log(id, "persisting result failed: "+err.Error())
+		return
+	}
+	s.log(id, fmt.Sprintf("batch done in %s (%d/%d queries succeeded)", done.Duration(), doneCount(subs), len(subs)))
+
+	s.mu.Lock()
+	if !t.State.Terminal() {
+		t.State = StateDone
+		t.Finished = finished
+	}
+	s.mu.Unlock()
+}
+
+// doneCount counts successful subresults.
+func doneCount(subs []SubResult) int {
+	n := 0
+	for _, s := range subs {
+		if s.State == StateDone {
+			n++
+		}
+	}
+	return n
+}
+
+// setQueryState publishes one subquery's state transition. The states
+// slice is replaced, not mutated, so Task snapshots taken by Status
+// readers stay internally consistent without copying on every poll.
+func (s *Scheduler) setQueryState(id string, i int, st State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[id]
+	if !ok || i >= len(t.QueryStates) {
+		return
+	}
+	states := append([]State(nil), t.QueryStates...)
+	states[i] = st
+	t.QueryStates = states
+	if st.Terminal() {
+		t.QueriesDone++
+	}
+}
+
+// persistBatchProgress re-writes the batch's result document with the
+// current task snapshot, best-effort.
+func (s *Scheduler) persistBatchProgress(id string, doc Result) {
+	if t, err := s.Status(id); err == nil {
+		doc.Task = t
+	}
+	_ = s.cfg.Store.SaveResult(id, doc)
+}
+
 func (s *Scheduler) finish(id string, err error) {
 	s.failTask(id, err)
 	s.log(id, "failed: "+err.Error())
@@ -404,6 +593,7 @@ func (s *Scheduler) cancelled(id string) {
 	if t, ok := s.tasks[id]; ok && !t.State.Terminal() {
 		t.State = StateCancelled
 		t.Finished = time.Now()
+		finalizeQueryStatesLocked(t)
 	}
 	s.mu.Unlock()
 	s.log(id, "cancelled")

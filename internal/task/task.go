@@ -2,12 +2,16 @@
 // Builder, Scheduler, Executor pool and Status components from the
 // demo's architecture (Figure 1).
 //
-// A task is the triple (dataset, algorithm, parameters). Users group
-// tasks into query sets; each query set receives a unique comparison
-// id that serves as a permalink for retrieving all of its results.
-// The scheduler fetches datasets (with caching), off-loads computation
-// to a pool of executor goroutines, and persists results and logs to
-// the datastore, from which the status component answers polls.
+// A task is the triple (dataset, algorithm, parameters) — or a
+// *batch*: many (algorithm, parameters) queries against one dataset,
+// validated individually but scheduled, executed and reported as a
+// single unit that loads the graph once (see Spec.Queries). Users
+// group tasks into query sets; each query set receives a unique
+// comparison id that serves as a permalink for retrieving all of its
+// results. The scheduler fetches datasets (with caching), off-loads
+// computation to a pool of executor goroutines, and persists results
+// and logs to the datastore, from which the status component answers
+// polls.
 //
 // Invariants:
 //
@@ -57,15 +61,42 @@ func (s State) Terminal() bool {
 	return false
 }
 
+// SubSpec is one query of a batch task: an algorithm (empty inherits
+// the batch's default) plus its parameters.
+type SubSpec struct {
+	Algorithm string      `json:"algorithm,omitempty"`
+	Params    algo.Params `json:"params"`
+}
+
 // Spec is a user-submitted task description: the (dataset, algorithm,
-// parameters) triple.
+// parameters) triple — or, when Queries is non-empty, a *batch*: many
+// queries against one dataset executed as a single scheduled unit
+// that loads the graph once and shares every downstream cache (the
+// scheduler's graph cache, bippr's target-index store, its walk
+// worker pool). For a batch, the top-level Algorithm is the default
+// each SubSpec may omit, and the top-level Params must be zero — the
+// builder rejects a batch that sets them, because params are
+// per-query and silently ignoring them would run every query with
+// defaults the submitter did not choose.
 type Spec struct {
 	Dataset   string      `json:"dataset"`
 	Algorithm string      `json:"algorithm"`
 	Params    algo.Params `json:"params"`
+	Queries   []SubSpec   `json:"queries,omitempty"`
 }
 
-// Task is a scheduled Spec with execution metadata.
+// IsBatch reports whether the spec is a batch submission.
+func (s Spec) IsBatch() bool { return len(s.Queries) > 0 }
+
+// MaxBatchQueries caps the subqueries of one batch task, bounding the
+// work a single scheduled unit can pin on an executor.
+const MaxBatchQueries = 256
+
+// Task is a scheduled Spec with execution metadata. Batch tasks
+// additionally carry per-subquery progress: QueryStates[i] tracks
+// Queries[i] through pending → running → done/failed/cancelled, and
+// QueriesDone counts terminal subqueries — so a status poll shows how
+// far a running batch has advanced.
 type Task struct {
 	ID        string      `json:"id"`
 	QuerySet  string      `json:"query_set"`
@@ -77,7 +108,14 @@ type Task struct {
 	Submitted time.Time   `json:"submitted"`
 	Started   time.Time   `json:"started,omitempty"`
 	Finished  time.Time   `json:"finished,omitempty"`
+
+	Queries     []SubSpec `json:"queries,omitempty"`
+	QueryStates []State   `json:"query_states,omitempty"`
+	QueriesDone int       `json:"queries_done,omitempty"`
 }
+
+// IsBatch reports whether the task is a batch.
+func (t Task) IsBatch() bool { return len(t.Queries) > 0 }
 
 // Duration returns the task's execution time, zero until it finishes.
 func (t Task) Duration() time.Duration {
@@ -89,7 +127,11 @@ func (t Task) Duration() time.Duration {
 
 // Result is the persisted outcome of a completed task: metadata plus
 // the top-ranked entries (the full score vector would be prohibitive
-// for large graphs; the demo's tables only ever show the top).
+// for large graphs; the demo's tables only ever show the top). For a
+// batch task, Top is empty and Queries carries one SubResult per
+// subquery; progress snapshots of the document are persisted while
+// the batch runs (throttled, see batchProgressInterval), so polls of
+// a running batch already see completed subresults.
 type Result struct {
 	Task       Task            `json:"task"`
 	Top        []ranking.Entry `json:"top"`
@@ -98,6 +140,22 @@ type Result struct {
 	Cycles     int64           `json:"cycles,omitempty"`
 	GraphNodes int             `json:"graph_nodes"`
 	GraphEdges int64           `json:"graph_edges"`
+	Queries    []SubResult     `json:"queries,omitempty"`
+}
+
+// SubResult is the outcome of one batch subquery. A failed subquery
+// records its error here without failing the batch: sibling queries
+// still complete and report.
+type SubResult struct {
+	Algorithm  string          `json:"algorithm"`
+	Params     algo.Params     `json:"params"`
+	State      State           `json:"state"`
+	Error      string          `json:"error,omitempty"`
+	Top        []ranking.Entry `json:"top,omitempty"`
+	Iterations int             `json:"iterations,omitempty"`
+	Residual   float64         `json:"residual,omitempty"`
+	Cycles     int64           `json:"cycles,omitempty"`
+	DurationMS int64           `json:"duration_ms"`
 }
 
 // NewID generates a 128-bit random identifier formatted like the
