@@ -5,7 +5,7 @@ GOFMT ?= gofmt
 # numbers worth tracking.
 BENCHTIME ?= 1x
 
-.PHONY: build test test-race bench bench-json vet docs-check clean
+.PHONY: build test test-race bench bench-json bench-compare vet docs-check clean
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,10 @@ test: vet
 	$(GO) test ./...
 
 # test-race covers the packages with real concurrency: the index
-# store's single-flight, the walk worker pool, the scheduler, and the
-# HTTP layer.
+# store's single-flight, the walk worker pool, the walk-endpoint
+# cache (singleflight recording), the scheduler and its intra-batch
+# subquery pool (concurrent submit + mid-batch cancel), and the HTTP
+# layer.
 test-race:
 	$(GO) test -race ./internal/bippr/ ./internal/task/ ./internal/server/
 
@@ -36,6 +38,14 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_bippr.json < $$out || { rm -f $$out; exit 1; }; \
 	rm -f $$out
 	@echo wrote BENCH_bippr.json
+
+# bench-compare diffs two bench-json reports: OLD/NEW default to the
+# CI artifact names; exits 1 when any benchmark regressed past 2x
+# ns/op (CI runs it continue-on-error so it informs, never gates).
+OLD ?= BENCH_prev.json
+NEW ?= BENCH_bippr.json
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
 # docs-check gates the documentation: every relative markdown link in
 # README.md and docs/ must resolve, and the tree must be gofmt-clean.

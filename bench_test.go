@@ -304,6 +304,47 @@ func BenchmarkBiPPRPair(b *testing.B) {
 	}
 }
 
+// BenchmarkBiPPRWalkReuse measures the walk-endpoint cache for a
+// warm-source pair query against a *new* target (its index is warm
+// too, so both rows isolate the walk term): "fresh-walks" simulates
+// the walks per query, "reused-endpoints" re-weights the source's
+// recorded endpoints. Estimates are bit-identical (test-enforced by
+// TestEndpointReuseMatchesFreshWalks); only the walk simulation is
+// skipped.
+func BenchmarkBiPPRWalkReuse(b *testing.B) {
+	g := loadGraph(b, "enwiki-2018")
+	src := mustNode(b, g, "Brian May")
+	warm := mustNode(b, g, "Freddie Mercury")
+	tgt := mustNode(b, g, "Queen (band)")
+	fresh := bippr.Params{Alpha: 0.85, RMax: 1e-4, Walks: 50000, Seed: 1}
+	reuse := fresh
+	reuse.ReuseEndpoints = true
+
+	est := bippr.NewEstimator(0)
+	// Warm both target indexes and the source's endpoint recording.
+	if _, err := est.Pair(context.Background(), g, src, warm, reuse); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := est.Pair(context.Background(), g, src, tgt, fresh); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("fresh-walks", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := est.Pair(context.Background(), g, src, tgt, fresh); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused-endpoints", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := est.Pair(context.Background(), g, src, tgt, reuse); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkBiPPRPersist measures the two warm tiers of the persistent
 // index store for a pair query: "warm-disk" is the restarted-server
 // scenario (a fresh estimator finds the artifact in the datastore and

@@ -1,13 +1,19 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // JSON benchmark report, the machine-readable artifact CI archives to
-// track the performance trajectory across commits.
+// track the performance trajectory across commits — and compares two
+// such reports, flagging regressions.
 //
 // Usage:
 //
 //	go test -run NONE -bench BiPPR -benchmem . | benchjson -out BENCH_bippr.json
+//	benchjson -compare old.json new.json            # exit 1 on >2x ns/op regression
+//	benchjson -compare -threshold 1.5 old.json new.json
 //
 // Non-benchmark lines (PASS, ok, cpu info) are ignored, so the raw
-// test output can be piped through unfiltered.
+// test output can be piped through unfiltered. Compare mode matches
+// benchmarks by name; entries present in only one report are listed
+// but never flagged. CI runs the comparison non-blocking (shared
+// runners are noisy), so a regression informs rather than gates.
 package main
 
 import (
@@ -18,7 +24,9 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
+	"text/tabwriter"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -45,7 +53,34 @@ var benchLine = regexp.MustCompile(
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	compareMode := flag.Bool("compare", false, "compare two reports: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 2.0, "compare mode: flag ns/op ratios above this as regressions")
 	flag.Parse()
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files: old.json new.json")
+			os.Exit(2)
+		}
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		regressed, err := runCompare(w, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -105,4 +140,108 @@ func parse(in io.Reader) (*Report, error) {
 		return nil, err
 	}
 	return report, nil
+}
+
+// Comparison is one benchmark matched across two reports. Ratio is
+// new/old ns-per-op: above 1 is slower, above the threshold a flagged
+// regression.
+type Comparison struct {
+	Name   string
+	OldNs  float64
+	NewNs  float64
+	Ratio  float64
+	Slower bool // ratio exceeds the threshold
+}
+
+// compareReports matches benchmarks by name and computes ns/op ratios,
+// sorted by name. onlyOld/onlyNew collect entries without a
+// counterpart (renamed, added, or removed benchmarks) — reported, but
+// never flagged: a disappearing benchmark is a review concern, not a
+// perf regression.
+func compareReports(old, new *Report, threshold float64) (matched []Comparison, onlyOld, onlyNew []string) {
+	oldByName := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldByName[b.Name] = b
+	}
+	seen := make(map[string]bool, len(new.Benchmarks))
+	for _, b := range new.Benchmarks {
+		prev, ok := oldByName[b.Name]
+		if !ok {
+			onlyNew = append(onlyNew, b.Name)
+			continue
+		}
+		seen[b.Name] = true
+		c := Comparison{Name: b.Name, OldNs: prev.NsPerOp, NewNs: b.NsPerOp}
+		if prev.NsPerOp > 0 {
+			c.Ratio = b.NsPerOp / prev.NsPerOp
+			c.Slower = c.Ratio > threshold
+		}
+		matched = append(matched, c)
+	}
+	for _, b := range old.Benchmarks {
+		if !seen[b.Name] {
+			onlyOld = append(onlyOld, b.Name)
+		}
+	}
+	sort.Slice(matched, func(i, j int) bool { return matched[i].Name < matched[j].Name })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return matched, onlyOld, onlyNew
+}
+
+// loadReport reads one emitted JSON report.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// runCompare renders the comparison of two report files and returns
+// how many benchmarks regressed past the threshold.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (regressed int, err error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return 0, err
+	}
+	matched, onlyOld, onlyNew := compareReports(oldRep, newRep, threshold)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tratio\t")
+	for _, c := range matched {
+		flag := ""
+		if c.Slower {
+			flag = "REGRESSION"
+			regressed++
+		}
+		// A zero old ns/op (empty or partial baseline) has no ratio;
+		// "-" keeps it from reading as an infinite speedup.
+		ratio := "-"
+		if c.OldNs > 0 {
+			ratio = fmt.Sprintf("%.2fx", c.Ratio)
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\n", c.Name, c.OldNs, c.NewNs, ratio, flag)
+	}
+	if err := tw.Flush(); err != nil {
+		return 0, err
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(w, "only in %s: %s\n", oldPath, name)
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(w, "only in %s: %s\n", newPath, name)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) regressed past %.1fx ns/op\n", regressed, threshold)
+	}
+	return regressed, nil
 }

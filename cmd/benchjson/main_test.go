@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -47,5 +50,123 @@ func TestParseEmptyInput(t *testing.T) {
 	}
 	if len(report.Benchmarks) != 0 {
 		t.Fatalf("expected empty report, got %+v", report.Benchmarks)
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	old := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+		{Name: "BenchmarkZeroOld", NsPerOp: 0},
+	}}
+	new := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkB", NsPerOp: 2500}, // 2.5x: regression at 2.0
+		{Name: "BenchmarkA", NsPerOp: 150},  // 1.5x: noise, not flagged
+		{Name: "BenchmarkNew", NsPerOp: 7},
+		{Name: "BenchmarkZeroOld", NsPerOp: 9}, // old 0 ns/op: no ratio, never flagged
+	}}
+	matched, onlyOld, onlyNew := compareReports(old, new, 2.0)
+	if len(matched) != 3 {
+		t.Fatalf("matched %d benchmarks, want 3: %+v", len(matched), matched)
+	}
+	// Sorted by name: A, B, ZeroOld.
+	a, b, z := matched[0], matched[1], matched[2]
+	if a.Name != "BenchmarkA" || a.Ratio != 1.5 || a.Slower {
+		t.Errorf("A compared wrong: %+v", a)
+	}
+	if b.Name != "BenchmarkB" || b.Ratio != 2.5 || !b.Slower {
+		t.Errorf("B compared wrong: %+v", b)
+	}
+	if z.Name != "BenchmarkZeroOld" || z.Ratio != 0 || z.Slower {
+		t.Errorf("zero-old benchmark must not be flagged: %+v", z)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
+		t.Errorf("onlyOld = %v, want [BenchmarkGone]", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Errorf("onlyNew = %v, want [BenchmarkNew]", onlyNew)
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	old := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 100}}}
+	// Exactly at the threshold is not a regression — only strictly
+	// above flags, so a clean 2x boundary run does not flap.
+	new := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 200}}}
+	matched, _, _ := compareReports(old, new, 2.0)
+	if matched[0].Slower {
+		t.Errorf("ratio exactly at threshold flagged: %+v", matched[0])
+	}
+	// A speedup never flags.
+	faster := &Report{Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 10}}}
+	matched, _, _ = compareReports(old, faster, 2.0)
+	if matched[0].Slower || matched[0].Ratio != 0.1 {
+		t.Errorf("speedup compared wrong: %+v", matched[0])
+	}
+}
+
+// TestRunCompare exercises the file-level entry point end to end:
+// report files in, rendered table + regression count out.
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, r Report) string {
+		t.Helper()
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFast", NsPerOp: 100},
+		{Name: "BenchmarkNoBase", NsPerOp: 0},
+		{Name: "BenchmarkSlow", NsPerOp: 100},
+	}})
+	newPath := write("new.json", Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFast", NsPerOp: 90},
+		{Name: "BenchmarkNoBase", NsPerOp: 5},
+		{Name: "BenchmarkSlow", NsPerOp: 500},
+	}})
+
+	var out strings.Builder
+	regressed, err := runCompare(&out, oldPath, newPath, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed != 1 {
+		t.Fatalf("regressed = %d, want 1\noutput:\n%s", regressed, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"BenchmarkSlow", "5.00x", "REGRESSION", "1 benchmark(s) regressed"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// Exactly one flag: neither the speedup row nor the baseline-less
+	// row may be marked.
+	if got := strings.Count(text, "REGRESSION"); got != 1 {
+		t.Errorf("REGRESSION flagged %d times, want exactly 1:\n%s", got, text)
+	}
+	// A zero-ns/op baseline renders "-", not a 0.00x pseudo-speedup.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "BenchmarkNoBase") && !strings.Contains(line, "-") {
+			t.Errorf("baseline-less row missing \"-\": %q", line)
+		}
+	}
+
+	if _, err := runCompare(&out, filepath.Join(dir, "missing.json"), newPath, 2.0); err == nil {
+		t.Error("missing old report did not error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCompare(&out, oldPath, bad, 2.0); err == nil {
+		t.Error("corrupt new report did not error")
 	}
 }

@@ -34,7 +34,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("crbench", flag.ContinueOnError)
 	var (
 		table    = fs.Int("table", 0, "table to regenerate (1-3 from the paper, 4 = target-relevance extension); 0 = all")
-		ablation = fs.String("ablation", "", "ablation to run: k-sweep, pruned-vs-naive, ppr-engines, scoring, scale, agreement, weighted, alpha-sweep, bippr, bippr-sharding, bippr-persist, all")
+		ablation = fs.String("ablation", "", "ablation to run: k-sweep, pruned-vs-naive, ppr-engines, scoring, scale, agreement, weighted, alpha-sweep, bippr, bippr-sharding, bippr-persist, walk-reuse, all")
 		format   = fs.String("format", "text", "output format: text, markdown, csv")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -104,8 +104,12 @@ func run(args []string, out io.Writer) error {
 		"bippr-persist": func() (*experiments.Table, error) {
 			return experiments.BiPPRPersist(ctx, "enwiki-2018", "Freddie Mercury", 0)
 		},
+		"walk-reuse": func() (*experiments.Table, error) {
+			return experiments.WalkReuse(ctx, "enwiki-2018", "Brian May",
+				[]string{"Freddie Mercury", "Queen (band)", "Roger Taylor"}, 0)
+		},
 	}
-	ablationOrder := []string{"k-sweep", "pruned-vs-naive", "ppr-engines", "scoring", "scale", "agreement", "weighted", "alpha-sweep", "bippr", "bippr-sharding", "bippr-persist"}
+	ablationOrder := []string{"k-sweep", "pruned-vs-naive", "ppr-engines", "scoring", "scale", "agreement", "weighted", "alpha-sweep", "bippr", "bippr-sharding", "bippr-persist", "walk-reuse"}
 
 	switch {
 	case *ablation != "":

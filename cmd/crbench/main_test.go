@@ -67,6 +67,21 @@ func TestAgreementAblation(t *testing.T) {
 	}
 }
 
+// TestWalkReuseAblation exercises the endpoint-reuse table on a small
+// catalog graph; the generator itself errors if a reused estimate ever
+// differs from its fresh-walk twin.
+func TestWalkReuseAblation(t *testing.T) {
+	out, err := runBench(t, "-ablation", "walk-reuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ablation-walk-reuse", "reused endpoints", "fresh walks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
 func TestErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-table", "9"},

@@ -10,6 +10,7 @@
 //	cyclerank -algo ppr-target -dataset enwiki-2018 -targets "Freddie Mercury,Brian May,Queen (band)"
 //	cyclerank -algo bippr-pair -dataset enwiki-2018 -source "Brian May" -target "Freddie Mercury"
 //	cyclerank -algo bippr-pair -dataset enwiki-2018 -source "Brian May" -target "Freddie Mercury" -eps 1e-6 -workers 8
+//	cyclerank -algo bippr-pair -dataset enwiki-2018 -source "Brian May" -targets "Freddie Mercury,Queen (band)" -walk-reuse
 //	cyclerank -list-datasets
 //	cyclerank -list-algorithms
 //
@@ -62,6 +63,7 @@ func run(args []string, out io.Writer) error {
 		walks     = fs.Int("walks", 0, "random-walk count for ppr-mc and bippr-pair (default 10000)")
 		eps       = fs.Float64("eps", 0, "bippr-pair requested additive error; overrides -walks with an adaptive count")
 		workers   = fs.Int("workers", 0, "bippr-pair walk worker pool size (default 1; results are bit-identical for any value)")
+		walkReuse = fs.Bool("walk-reuse", false, "bippr-pair: reuse recorded walk endpoints across targets of one source (bit-identical results; pairs well with -targets)")
 		seed      = fs.Int64("seed", 0, "random-walk RNG seed (default 1)")
 		top       = fs.Int("top", 10, "how many results to print")
 		stats     = fs.Bool("stats", false, "print graph statistics before results")
@@ -121,6 +123,7 @@ func run(args []string, out io.Writer) error {
 		K: *k, Scoring: *scoring, Alpha: *alpha,
 		RMax: *rmax, Walks: *walks, Eps: *eps,
 		Workers: *workers, Seed: *seed,
+		WalkReuse: *walkReuse,
 	}
 
 	if *algoList != "" {

@@ -117,6 +117,31 @@ func TestMultiTargetMode(t *testing.T) {
 	}
 }
 
+// TestMultiTargetWalkReuse: -walk-reuse with -targets is the CLI face
+// of the endpoint cache — the output must match the fresh-walk run
+// exactly (reuse is bit-identical by construction).
+func TestMultiTargetWalkReuse(t *testing.T) {
+	args := []string{
+		"-dataset", "enwiki-2013",
+		"-algo", "bippr-pair",
+		"-source", "Brian May",
+		"-targets", "Freddie Mercury,Queen (band)",
+		"-walks", "500",
+		"-top", "3",
+	}
+	fresh, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := runCLI(t, append(args, "-walk-reuse")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != reused {
+		t.Errorf("-walk-reuse changed the output:\nfresh:\n%s\nreused:\n%s", fresh, reused)
+	}
+}
+
 func TestMultiTargetModeErrors(t *testing.T) {
 	if _, err := runCLI(t, "-dataset", "enwiki-2013", "-algo", "ppr-target",
 		"-target", "Brian May", "-targets", "Freddie Mercury"); err == nil ||

@@ -58,6 +58,11 @@ type Params struct {
 	// (bounded by GOMAXPROCS; default 1). Estimates are bit-identical
 	// for every value — sharding only changes latency.
 	Workers int `json:"workers,omitempty"`
+	// WalkReuse opts a bippr-pair query into the walk-endpoint cache:
+	// repeated queries from one source (against different targets)
+	// re-weight recorded walk endpoints instead of re-walking.
+	// Estimates are bit-identical either way. Default off.
+	WalkReuse bool `json:"walk_reuse,omitempty"`
 }
 
 // String renders the parameters compactly for logs and task listings.
@@ -86,6 +91,9 @@ func (p Params) String() string {
 	}
 	if p.Workers != 0 {
 		s += fmt.Sprintf("workers=%d ", p.Workers)
+	}
+	if p.WalkReuse {
+		s += "walk-reuse "
 	}
 	if s == "" {
 		return "defaults"

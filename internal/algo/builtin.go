@@ -241,12 +241,13 @@ func BuiltinsWith(est *bippr.Estimator) []Algorithm {
 // fields fall through to the bippr defaults.
 func bipprParams(p Params) bippr.Params {
 	return bippr.Params{
-		Alpha:   p.Alpha,
-		RMax:    p.RMax,
-		Walks:   p.Walks,
-		Eps:     p.Eps,
-		Seed:    p.Seed,
-		Workers: p.Workers,
+		Alpha:          p.Alpha,
+		RMax:           p.RMax,
+		Walks:          p.Walks,
+		Eps:            p.Eps,
+		Seed:           p.Seed,
+		Workers:        p.Workers,
+		ReuseEndpoints: p.WalkReuse,
 	}
 }
 

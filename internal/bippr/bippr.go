@@ -45,6 +45,14 @@
 // results (Params.Workers), and the walk count can be derived from a
 // requested additive error instead of a flat default (Params.Eps,
 // WalksForError).
+//
+// The walk side has its own cross-request cache: walk endpoints depend
+// only on the source (the target enters purely through the residual
+// weights), so an EndpointCache records one walk pass per (graph
+// fingerprint, source, seed, walk parameters) and later queries
+// against new targets re-weight the recording instead of re-walking —
+// bit-identically, because fresh and recorded chunks fold through the
+// same sorted-count summation (Params.ReuseEndpoints).
 package bippr
 
 import (
@@ -73,6 +81,9 @@ const (
 	DefaultMaxSteps = 100
 	// DefaultCacheSize is the Estimator's target-index LRU capacity.
 	DefaultCacheSize = 32
+	// DefaultEndpointCacheSize is the Estimator's walk-endpoint LRU
+	// capacity: recorded walk passes, each O(distinct endpoints).
+	DefaultEndpointCacheSize = 64
 	// DefaultWorkers is the walk worker-pool size. Serial by default:
 	// a busy server already runs one task per executor goroutine, so
 	// walk-level parallelism is an explicit opt-in (Params.Workers).
@@ -150,6 +161,13 @@ type Params struct {
 	// estimates are bit-identical for every value. Bounded by
 	// GOMAXPROCS; default 1 (serial).
 	Workers int
+	// ReuseEndpoints opts a pair query into the walk-endpoint cache:
+	// the first query from a source records its walk endpoints, and
+	// later queries from the same (source, alpha, seed, maxSteps,
+	// walks) — typically against *different targets* — re-weight the
+	// recording instead of re-walking. Estimates are bit-identical
+	// either way; reuse only changes latency and memory. Default off.
+	ReuseEndpoints bool
 }
 
 // withDefaults fills zero fields.
@@ -212,10 +230,13 @@ type Estimate struct {
 	// Pushes is the reverse-push operation count behind the target
 	// index (0 when the index came from the cache).
 	Pushes int64
-	// Walks is the number of forward walks simulated.
+	// Walks is the number of forward walks the estimate is based on.
 	Walks int
 	// FromCache reports whether the target index was reused.
 	FromCache bool
+	// EndpointsReused reports whether the walk term was re-weighted
+	// from recorded endpoints instead of simulating walks.
+	EndpointsReused bool
 }
 
 // Estimator answers target and pair queries, amortizing reverse
@@ -223,30 +244,52 @@ type Estimate struct {
 // in-memory LRU, optionally the two-tier persistent store that also
 // survives restarts. It is safe for concurrent use.
 type Estimator struct {
-	store IndexStore
+	store     IndexStore
+	endpoints *EndpointCache
 }
 
 // NewEstimator returns an Estimator over a memory-only IndexStore
 // holding up to capacity target indexes (capacity <= 0 selects
-// DefaultCacheSize).
+// DefaultCacheSize), with a default-sized walk-endpoint cache.
 func NewEstimator(capacity int) *Estimator {
-	return &Estimator{store: NewMemoryStore(capacity)}
+	return &Estimator{
+		store:     NewMemoryStore(capacity),
+		endpoints: NewEndpointCache(DefaultEndpointCacheSize),
+	}
 }
 
 // NewEstimatorWithStore returns an Estimator over an explicit
 // IndexStore — the path serving layers use to share one persistent
-// two-tier store between the estimator and their stats endpoints.
+// two-tier store between the estimator and their stats endpoints. The
+// walk-endpoint cache is default-sized; use NewEstimatorWithCaches to
+// share that handle too.
 func NewEstimatorWithStore(store IndexStore) *Estimator {
+	return NewEstimatorWithCaches(store, nil)
+}
+
+// NewEstimatorWithCaches returns an Estimator over an explicit
+// IndexStore and EndpointCache, so serving layers can surface both
+// caches' stats. Nil selects the defaults for either.
+func NewEstimatorWithCaches(store IndexStore, endpoints *EndpointCache) *Estimator {
 	if store == nil {
-		return NewEstimator(0)
+		store = NewMemoryStore(0)
 	}
-	return &Estimator{store: store}
+	if endpoints == nil {
+		endpoints = NewEndpointCache(DefaultEndpointCacheSize)
+	}
+	return &Estimator{store: store, endpoints: endpoints}
 }
 
 // StoreStats returns a snapshot of the underlying IndexStore's
 // counters, split by tier.
 func (e *Estimator) StoreStats() StoreStats {
 	return e.store.Stats()
+}
+
+// EndpointStats returns a snapshot of the walk-endpoint cache's
+// counters.
+func (e *Estimator) EndpointStats() EndpointStats {
+	return e.endpoints.Stats()
 }
 
 // CacheStats reports the estimator's aggregate hit/miss counters and
@@ -296,7 +339,7 @@ func (e *Estimator) Pair(ctx context.Context, g *graph.Graph, source, target gra
 	if err != nil {
 		return Estimate{}, err
 	}
-	est, err := pairFromIndex(ctx, g, source, idx, p)
+	est, err := e.pairWalks(ctx, g, source, idx, p)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -305,6 +348,36 @@ func (e *Estimator) Pair(ctx context.Context, g *graph.Graph, source, target gra
 		est.Pushes = 0
 	}
 	return est, nil
+}
+
+// pairWalks combines a target index with the walk term, going through
+// the walk-endpoint cache when the query opted in: a cache hit
+// re-weights the recorded endpoints for this index's residuals
+// instead of simulating walks, and a miss records the pass for the
+// next query from this source. Estimates are bit-identical to
+// pairFromIndex either way — EndpointSet.EstimateSum folds the same
+// sorted per-chunk counts, in the same order, that a fresh
+// WalkEstimator.EstimateSum run would produce.
+func (e *Estimator) pairWalks(ctx context.Context, g *graph.Graph, source graph.NodeID, idx *TargetIndex, p Params) (Estimate, error) {
+	if !p.ReuseEndpoints {
+		return pairFromIndex(ctx, g, source, idx, p)
+	}
+	value := idx.Estimates.Get(source)
+	walks := 0
+	reused := false
+	if idx.MaxResidual > 0 && p.Walks > 0 {
+		set, cached, err := e.endpoints.GetOrRecord(ctx, g, source, p, func() (*EndpointSet, error) {
+			w := NewWalkEstimator(g, p.Alpha, p.Seed, p.MaxSteps)
+			return w.Endpoints(ctx, source, p.Walks, p.Workers)
+		})
+		if err != nil {
+			return Estimate{}, err
+		}
+		value += set.EstimateSum(idx.Residuals)
+		walks = p.Walks
+		reused = cached
+	}
+	return Estimate{Value: value, Pushes: idx.Pushes, Walks: walks, EndpointsReused: reused}, nil
 }
 
 // TargetRank ranks every node of g by its relevance to target: the

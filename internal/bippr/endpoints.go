@@ -1,0 +1,240 @@
+package bippr
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// EndpointCount is one recorded walk endpoint: the node plus how many
+// walks of a chunk stopped there. Chunks store their endpoints as
+// sorted EndpointCount slices — the canonical summary both the
+// fresh-walk and the reuse path fold with weighChunk.
+type EndpointCount struct {
+	Node  graph.NodeID
+	Count int32
+}
+
+// EndpointSet is the recorded outcome of one walk pass: per-chunk
+// sorted endpoint counts for a fixed (graph, alpha, seed, maxSteps,
+// source, walks). Re-weighting the set against any target index's
+// residual vector yields the walk correction term bit-identically to
+// re-simulating the walks, because both paths fold the same sorted
+// counts chunk by chunk and reduce partial sums in chunk order.
+//
+// A set shared through the EndpointCache is immutable; callers must
+// not modify it.
+type EndpointSet struct {
+	// Walks is the walk count the set was recorded with (the estimate
+	// divisor).
+	Walks  int
+	chunks [][]EndpointCount
+}
+
+// EstimateSum re-weights the recorded endpoints:
+// (1/walks)·Σ count·weight(node), folded per chunk and reduced in
+// chunk order — exactly the float operations WalkEstimator.EstimateSum
+// performs when it simulates the walks afresh.
+func (s *EndpointSet) EstimateSum(weight *Vector) float64 {
+	var sum float64
+	for _, chunk := range s.chunks {
+		sum += weighChunk(chunk, weight)
+	}
+	return sum / float64(s.Walks)
+}
+
+// NonZeros returns the total number of stored (node, count) pairs —
+// the set's memory footprint in entries.
+func (s *EndpointSet) NonZeros() int {
+	n := 0
+	for _, chunk := range s.chunks {
+		n += len(chunk)
+	}
+	return n
+}
+
+// endpointKey identifies one recorded walk pass. The graph enters by
+// structural fingerprint, not pointer: endpoint samples depend only on
+// the out-CSR, so a re-uploaded dataset with identical structure keeps
+// its recordings while any structural change lands in a fresh key and
+// the stale entries age out of the LRU. All walk parameters that shape
+// the sample — alpha, seed, step cap, walk count — are part of the
+// key, so distinct parameters can never alias.
+type endpointKey struct {
+	fp       string
+	source   graph.NodeID
+	alpha    float64
+	seed     int64
+	maxSteps int
+	walks    int
+}
+
+// EndpointStats is a snapshot of an EndpointCache's counters.
+type EndpointStats struct {
+	// Hits counts queries that re-weighted recorded endpoints (or rode
+	// a concurrent recording) instead of simulating walks.
+	Hits int64 `json:"hits"`
+	// Misses counts walk passes actually simulated and recorded.
+	Misses int64 `json:"misses"`
+	// Entries is the cache's current size in recorded passes.
+	Entries int `json:"entries"`
+	// Pairs is the total stored (node, count) pairs across all
+	// recordings — the cache's memory footprint (~8 bytes per pair).
+	Pairs int64 `json:"pairs"`
+	// WalksAvoided totals the walks hits did not have to simulate.
+	WalksAvoided int64 `json:"walks_avoided"`
+}
+
+// maxEndpointPairs bounds the cache's TOTAL stored (node, count)
+// pairs (~8 bytes each, so ~32 MiB at the default). The entry-count
+// LRU alone cannot bound memory: one recording is O(min(walks, N))
+// pairs, so 64 warm sources on a large graph with eps-derived walk
+// counts would otherwise pin gigabytes. Eviction keeps at least the
+// most recent recording even when it alone exceeds the budget — it
+// was just paid for and is about to be used. A variable, not a const,
+// so tests can tighten it.
+var maxEndpointPairs = int64(1) << 22
+
+// endpointInflight is one in-progress recording; waiters block on done.
+type endpointInflight struct {
+	done chan struct{}
+	set  *EndpointSet
+	err  error
+}
+
+// EndpointCache is a concurrency-safe LRU of recorded walk endpoints
+// with single-flight recording: concurrent queries from the same
+// source share one walk pass, and later queries against *different
+// targets* re-weight the recorded endpoints instead of re-walking —
+// the cross-request walk reuse the bidirectional split makes possible
+// (the walk side depends on the source only; the target enters purely
+// through the residual weights).
+type EndpointCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *endpointEntry
+	entries  map[endpointKey]*list.Element
+	inflight map[endpointKey]*endpointInflight
+
+	hits, misses, walksAvoided int64
+	pairs                      int64 // Σ NonZeros over entries; guarded by mu
+}
+
+type endpointEntry struct {
+	key endpointKey
+	set *EndpointSet
+}
+
+// NewEndpointCache returns an endpoint cache holding up to capacity
+// recorded walk passes (capacity <= 0 selects DefaultEndpointCacheSize).
+func NewEndpointCache(capacity int) *EndpointCache {
+	if capacity <= 0 {
+		capacity = DefaultEndpointCacheSize
+	}
+	return &EndpointCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[endpointKey]*list.Element, capacity),
+		inflight: make(map[endpointKey]*endpointInflight),
+	}
+}
+
+// GetOrRecord returns the recorded endpoint set for (g, source, p),
+// simulating and recording the walks with record on miss. record is
+// invoked at most once per key across concurrent callers; cached is
+// true when this caller did not pay for the walk pass itself. Waiters
+// honor their own ctx, and a waiter whose recording peer fails retries
+// the recording itself rather than inheriting the peer's error. p must
+// already have defaults applied.
+func (c *EndpointCache) GetOrRecord(ctx context.Context, g *graph.Graph, source graph.NodeID, p Params,
+	record func() (*EndpointSet, error)) (set *EndpointSet, cached bool, err error) {
+	key := endpointKey{
+		fp:       sharedFingerprints.get(g),
+		source:   source,
+		alpha:    p.Alpha,
+		seed:     p.Seed,
+		maxSteps: p.MaxSteps,
+		walks:    p.Walks,
+	}
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.hits++
+			c.walksAvoided += int64(key.walks)
+			c.order.MoveToFront(el)
+			c.mu.Unlock()
+			return el.Value.(*endpointEntry).set, true, nil
+		}
+		if call, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return nil, false, fmt.Errorf("bippr: waiting for shared walk pass: %w", ctx.Err())
+			}
+			if call.err == nil {
+				c.mu.Lock()
+				c.hits++
+				c.walksAvoided += int64(key.walks)
+				c.mu.Unlock()
+				return call.set, true, nil
+			}
+			continue // peer failed; try recording ourselves
+		}
+		c.misses++
+		call := &endpointInflight{done: make(chan struct{})}
+		c.inflight[key] = call
+		c.mu.Unlock()
+
+		call.set, call.err = record()
+		// Retire the inflight entry and publish in one critical section
+		// so no concurrent caller can observe the key as neither cached
+		// nor inflight and start a duplicate walk pass.
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if call.err == nil {
+			c.putLocked(key, call.set)
+		}
+		c.mu.Unlock()
+		close(call.done)
+		return call.set, false, call.err
+	}
+}
+
+// putLocked inserts a set, evicting least-recently-used entries while
+// the cache is over its entry capacity OR its total-pairs budget
+// (maxEndpointPairs). The caller must hold c.mu.
+func (c *EndpointCache) putLocked(key endpointKey, set *EndpointSet) {
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*endpointEntry)
+		c.pairs += int64(set.NonZeros()) - int64(e.set.NonZeros())
+		e.set = set
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[key] = c.order.PushFront(&endpointEntry{key: key, set: set})
+		c.pairs += int64(set.NonZeros())
+	}
+	for (c.order.Len() > c.capacity || c.pairs > maxEndpointPairs) && c.order.Len() > 1 {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		e := oldest.Value.(*endpointEntry)
+		delete(c.entries, e.key)
+		c.pairs -= int64(e.set.NonZeros())
+	}
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *EndpointCache) Stats() EndpointStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return EndpointStats{
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Entries:      c.order.Len(),
+		Pairs:        c.pairs,
+		WalksAvoided: c.walksAvoided,
+	}
+}

@@ -141,20 +141,56 @@ type TieredStore struct {
 	diskWrites atomic.Int64
 	diskBytes  atomic.Int64
 	diskErrors atomic.Int64
-
-	// fps memoizes graph.Fingerprint per immutable graph: the hash is
-	// O(N+M) and the pointer is the scheduler's dataset identity. The
-	// map is bounded (see fingerprint) so it cannot pin retired graphs
-	// — e.g. pre-re-upload versions of a dataset — in memory forever.
-	fpMu sync.Mutex
-	fps  map[*graph.Graph]string
 }
 
-// maxMemoizedFingerprints bounds the fingerprint memo. Live graphs
+// maxMemoizedFingerprints bounds a fingerprint memo. Live graphs
 // number at most one per dataset; past this size the map mostly holds
 // dead pointers, and dropping it wholesale both frees them and lets
 // the handful of live entries re-memoize on next use.
 const maxMemoizedFingerprints = 64
+
+// fingerprintMemo memoizes graph.Fingerprint per immutable graph: the
+// hash is O(N+M) and the pointer is the scheduler's dataset identity.
+// The map is bounded (maxMemoizedFingerprints) so it cannot pin
+// retired graphs — e.g. pre-re-upload versions of a dataset — in
+// memory forever.
+type fingerprintMemo struct {
+	mu  sync.Mutex
+	fps map[*graph.Graph]string
+}
+
+func newFingerprintMemo() *fingerprintMemo {
+	return &fingerprintMemo{fps: make(map[*graph.Graph]string)}
+}
+
+// sharedFingerprints is the package-wide memo every fingerprint-keyed
+// cache (the tiered index store, the endpoint cache) resolves through:
+// a fingerprint is a pure function of an immutable graph, so one
+// bounded memo is canonical — an estimator whose index store and
+// endpoint cache both touch a graph hashes its CSR once, not once per
+// cache.
+var sharedFingerprints = newFingerprintMemo()
+
+// get resolves the memoized structural fingerprint of g.
+func (m *fingerprintMemo) get(g *graph.Graph) string {
+	m.mu.Lock()
+	fp, ok := m.fps[g]
+	m.mu.Unlock()
+	if ok {
+		return fp
+	}
+	// Hash outside the lock: the CSR walk is O(N+M) and must not
+	// stall unrelated graphs' queries. Concurrent first-touchers of
+	// one graph may compute it twice; the results are identical.
+	fp = graph.Fingerprint(g)
+	m.mu.Lock()
+	if len(m.fps) >= maxMemoizedFingerprints {
+		clear(m.fps)
+	}
+	m.fps[g] = fp
+	m.mu.Unlock()
+	return fp
+}
 
 // NewTieredStore builds a two-tier store: an LRU of capacity indexes
 // (<= 0 selects DefaultCacheSize) over the given disk tier. A nil
@@ -166,7 +202,6 @@ func NewTieredStore(capacity int, disk DiskTier) *TieredStore {
 	return &TieredStore{
 		cache: newIndexCache(capacity),
 		disk:  disk,
-		fps:   make(map[*graph.Graph]string),
 	}
 }
 
@@ -178,23 +213,7 @@ func IndexFileKey(target graph.NodeID, alpha, rmax float64) string {
 }
 
 func (t *TieredStore) fingerprint(g *graph.Graph) string {
-	t.fpMu.Lock()
-	fp, ok := t.fps[g]
-	t.fpMu.Unlock()
-	if ok {
-		return fp
-	}
-	// Hash outside the lock: the CSR walk is O(N+M) and must not
-	// stall unrelated graphs' queries. Concurrent first-touchers of
-	// one graph may compute it twice; the results are identical.
-	fp = graph.Fingerprint(g)
-	t.fpMu.Lock()
-	if len(t.fps) >= maxMemoizedFingerprints {
-		clear(t.fps)
-	}
-	t.fps[g] = fp
-	t.fpMu.Unlock()
-	return fp
+	return sharedFingerprints.get(g)
 }
 
 // GetOrCompute implements IndexStore: memory LRU, then disk, then the

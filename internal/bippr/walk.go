@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -84,16 +85,61 @@ func (w *WalkEstimator) endpoint(rng *rand.Rand, source graph.NodeID) (end graph
 	return v, true
 }
 
-// chunkSum runs the walks of one chunk and returns Σ weight(endpoint).
-func (w *WalkEstimator) chunkSum(source graph.NodeID, chunk, count int, weight *Vector) float64 {
+// endpointScratch is one worker's reusable buffers for summarizing a
+// chunk: the raw endpoint list and its run-length-encoded counts.
+// Reusing them across a worker's chunks keeps the fresh-walk hot path
+// (reuse off, the default) free of per-chunk allocations.
+type endpointScratch struct {
+	ends   []graph.NodeID
+	counts []EndpointCount
+}
+
+// chunkEndpointsInto simulates the walks of one chunk and returns its
+// endpoint counts, sorted by node id, built in sc's reusable buffers —
+// the result is only valid until the next call with the same scratch
+// (recording callers must clone it). Absorbed walks carry no endpoint
+// and do not appear. The sorted-count form is the chunk's canonical
+// summary: both the fresh-walk path and the endpoint-reuse path fold
+// it with weighChunk, so a recorded chunk re-weighted for a new
+// target performs float operations identical to re-walking.
+func (w *WalkEstimator) chunkEndpointsInto(sc *endpointScratch, source graph.NodeID, chunk, count int) []EndpointCount {
 	rng := w.chunkRNG(source, chunk)
-	var sum float64
+	ends := sc.ends[:0]
 	for i := 0; i < count; i++ {
 		if end, ok := w.endpoint(rng, source); ok {
-			sum += weight.Get(end)
+			ends = append(ends, end)
 		}
 	}
+	slices.Sort(ends)
+	out := sc.counts[:0]
+	for _, e := range ends {
+		if n := len(out); n > 0 && out[n-1].Node == e {
+			out[n-1].Count++
+		} else {
+			out = append(out, EndpointCount{Node: e, Count: 1})
+		}
+	}
+	sc.ends, sc.counts = ends, out
+	return out
+}
+
+// weighChunk folds one chunk's sorted endpoint counts with a weight
+// vector: Σ count·weight(node), accumulated in ascending node order.
+// Every consumer of a chunk — fresh walks, recorded endpoints — sums
+// through this one function, which is what makes re-weighted estimates
+// bit-identical to fresh-walk estimates.
+func weighChunk(endpoints []EndpointCount, weight *Vector) float64 {
+	var sum float64
+	for _, e := range endpoints {
+		sum += float64(e.Count) * weight.Get(e.Node)
+	}
 	return sum
+}
+
+// chunkSum runs the walks of one chunk and returns Σ count·weight over
+// its endpoints.
+func (w *WalkEstimator) chunkSum(sc *endpointScratch, source graph.NodeID, chunk, count int, weight *Vector) float64 {
+	return weighChunk(w.chunkEndpointsInto(sc, source, chunk, count), weight)
 }
 
 // numChunks returns how many walkChunk-sized chunks cover walks.
@@ -150,17 +196,9 @@ func EffectiveWorkers(workers, walks int) int {
 // deterministically seeded chunks (see walkChunk) whose partial sums
 // are reduced in chunk order no matter which worker produced them.
 func (w *WalkEstimator) EstimateSum(ctx context.Context, source graph.NodeID, walks int, weight *Vector, workers int) (float64, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if walks <= 0 {
-		return 0, fmt.Errorf("bippr: walks=%d must be positive", walks)
-	}
-	if walks > MaxWalks {
-		return 0, fmt.Errorf("bippr: walks=%d exceeds the cap %d", walks, MaxWalks)
-	}
-	if !w.g.ValidNode(source) {
-		return 0, fmt.Errorf("bippr: walk source %d not in graph (N=%d)", source, w.g.NumNodes())
+	ctx, err := w.validateWalkArgs(ctx, source, walks)
+	if err != nil {
+		return 0, err
 	}
 	if weight.NumNodes() != w.g.NumNodes() {
 		return 0, fmt.Errorf("bippr: weight vector spans %d nodes, graph has %d", weight.NumNodes(), w.g.NumNodes())
@@ -168,45 +206,13 @@ func (w *WalkEstimator) EstimateSum(ctx context.Context, source graph.NodeID, wa
 
 	chunks := numChunks(walks)
 	partial := make([]float64, chunks)
-
-	if workers = clampWorkers(workers, chunks); workers == 1 {
-		for c := 0; c < chunks; c++ {
-			select {
-			case <-ctx.Done():
-				return 0, fmt.Errorf("bippr: walks cancelled: %w", ctx.Err())
-			default:
-			}
-			partial[c] = w.chunkSum(source, c, chunkCount(walks, c), weight)
-		}
-	} else {
-		var (
-			next      atomic.Int64
-			wg        sync.WaitGroup
-			cancelled atomic.Bool
-		)
-		for i := 0; i < workers; i++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					c := int(next.Add(1)) - 1
-					if c >= chunks {
-						return
-					}
-					select {
-					case <-ctx.Done():
-						cancelled.Store(true)
-						return
-					default:
-					}
-					partial[c] = w.chunkSum(source, c, chunkCount(walks, c), weight)
-				}
-			}()
-		}
-		wg.Wait()
-		if cancelled.Load() {
-			return 0, fmt.Errorf("bippr: walks cancelled: %w", ctx.Err())
-		}
+	workers = clampWorkers(workers, chunks)
+	scratch := make([]endpointScratch, workers)
+	err = forEachChunk(ctx, chunks, workers, func(worker, c int) {
+		partial[c] = w.chunkSum(&scratch[worker], source, c, chunkCount(walks, c), weight)
+	})
+	if err != nil {
+		return 0, err
 	}
 
 	// Deterministic reduction: chunk order, independent of workers.
@@ -215,6 +221,104 @@ func (w *WalkEstimator) EstimateSum(ctx context.Context, source graph.NodeID, wa
 		sum += p
 	}
 	return sum / float64(walks), nil
+}
+
+// Endpoints simulates walks forward walks from source and records
+// their endpoints as per-chunk sorted counts — the reusable half of a
+// pair query. The returned set depends only on (graph, alpha, seed,
+// maxSteps, source, walks): re-weighting it for any target index
+// yields estimates bit-identical to fresh walks (EndpointSet.
+// EstimateSum folds chunks exactly like EstimateSum does). workers
+// shards the recording like EstimateSum; the recorded set is
+// identical for every pool size.
+func (w *WalkEstimator) Endpoints(ctx context.Context, source graph.NodeID, walks, workers int) (*EndpointSet, error) {
+	ctx, err := w.validateWalkArgs(ctx, source, walks)
+	if err != nil {
+		return nil, err
+	}
+
+	chunks := numChunks(walks)
+	set := &EndpointSet{Walks: walks, chunks: make([][]EndpointCount, chunks)}
+	workers = clampWorkers(workers, chunks)
+	scratch := make([]endpointScratch, workers)
+	err = forEachChunk(ctx, chunks, workers, func(worker, c int) {
+		// The recorded set outlives the pass; clone out of the scratch.
+		set.chunks[c] = slices.Clone(w.chunkEndpointsInto(&scratch[worker], source, c, chunkCount(walks, c)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// validateWalkArgs is the shared guard of every walk pass — fresh
+// (EstimateSum) and recording (Endpoints) alike, so the two paths of
+// the bit-identity contract cannot drift on what they accept.
+func (w *WalkEstimator) validateWalkArgs(ctx context.Context, source graph.NodeID, walks int) (context.Context, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if walks <= 0 {
+		return ctx, fmt.Errorf("bippr: walks=%d must be positive", walks)
+	}
+	if walks > MaxWalks {
+		return ctx, fmt.Errorf("bippr: walks=%d exceeds the cap %d", walks, MaxWalks)
+	}
+	if !w.g.ValidNode(source) {
+		return ctx, fmt.Errorf("bippr: walk source %d not in graph (N=%d)", source, w.g.NumNodes())
+	}
+	return ctx, nil
+}
+
+// forEachChunk runs fn for every chunk index in [0, chunks) — serially
+// when the (already clamped) pool is one worker, otherwise across a
+// pool that claims indices from a shared counter. fn receives its
+// worker's index in [0, workers) for per-worker scratch, and each
+// chunk index is processed by exactly one worker, so fn may write its
+// slot without locking. The walk paths (EstimateSum, Endpoints) share
+// this scaffolding so the cancellation and claiming semantics cannot
+// drift between them.
+func forEachChunk(ctx context.Context, chunks, workers int, fn func(worker, c int)) error {
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("bippr: walks cancelled: %w", ctx.Err())
+			default:
+			}
+			fn(0, c)
+		}
+		return nil
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		cancelled atomic.Bool
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				select {
+				case <-ctx.Done():
+					cancelled.Store(true)
+					return
+				default:
+				}
+				fn(worker, c)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if cancelled.Load() {
+		return fmt.Errorf("bippr: walks cancelled: %w", ctx.Err())
+	}
+	return nil
 }
 
 // Distribution estimates the endpoint distribution π(source,·) from

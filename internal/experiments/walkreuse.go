@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/bippr"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// WalkReuse quantifies the walk-endpoint cache: pair queries from a
+// *warm source* against new targets re-weight the source's recorded
+// walk endpoints instead of re-simulating the walks. Every target's
+// reverse-push index is warmed up front, so the fresh/reused pairs of
+// rows isolate exactly the walk phase — the half of a cached pair
+// query that dominates once indexes are shared (Lofgren's split). The
+// estimate column is the point of the table as much as the timings:
+// it is identical between the fresh and reused row of each target,
+// because recorded chunks fold through the same sorted-count summation
+// fresh walks use (the function errors out if they ever differ).
+func WalkReuse(ctx context.Context, dataset, source string, targets []string, walks int) (*Table, error) {
+	g, err := loadDataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	src, ok := g.NodeByLabel(source)
+	if !ok {
+		return nil, fmt.Errorf("experiments: source %q not in %s", source, dataset)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("experiments: walk-reuse needs at least one target")
+	}
+	if walks == 0 {
+		walks = 200000
+	}
+	tgts := make([]graph.NodeID, len(targets))
+	for i, label := range targets {
+		id, ok := g.NodeByLabel(label)
+		if !ok {
+			return nil, fmt.Errorf("experiments: target %q not in %s", label, dataset)
+		}
+		tgts[i] = id
+	}
+
+	est := bippr.NewEstimator(0)
+	fresh := bippr.Params{RMax: 1e-4, Walks: walks}
+	reuse := fresh
+	reuse.ReuseEndpoints = true
+
+	// Warm every target index: the push cost is identical on both
+	// sides of the comparison, so paying it outside the timings leaves
+	// walk work as the only difference between rows.
+	for i, id := range tgts {
+		if _, err := est.Index(ctx, g, id, fresh); err != nil {
+			return nil, fmt.Errorf("experiments: warming index %q: %w", targets[i], err)
+		}
+	}
+	// Warm the source: the first reuse query simulates the walks once
+	// and records their endpoints.
+	warmDur, err := timed(func() error {
+		_, err := est.Pair(ctx, g, src, tgts[0], reuse)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID: "ablation-walk-reuse",
+		Title: fmt.Sprintf("Walk-endpoint reuse for source %q on %s (%d walks, rmax=1e-4, indexes warm; recording pass %s)",
+			source, dataset, walks, warmDur.Round(time.Microsecond)),
+		Headers: []string{"target", "mode", "estimate", "time", "speedup"},
+	}
+	for i, id := range tgts {
+		var freshEst, reusedEst bippr.Estimate
+		freshDur, err := timed(func() error {
+			var err error
+			freshEst, err = est.Pair(ctx, g, src, id, fresh)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		reuseDur, err := timed(func() error {
+			var err error
+			reusedEst, err = est.Pair(ctx, g, src, id, reuse)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if reusedEst.Value != freshEst.Value {
+			return nil, fmt.Errorf("experiments: target %q: reused estimate %v != fresh %v — reuse must be bit-identical",
+				targets[i], reusedEst.Value, freshEst.Value)
+		}
+		if !reusedEst.EndpointsReused {
+			return nil, fmt.Errorf("experiments: target %q did not hit the endpoint cache", targets[i])
+		}
+		speedup := "-"
+		if reuseDur > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(freshDur)/float64(reuseDur))
+		}
+		t.Rows = append(t.Rows,
+			[]string{targets[i], "fresh walks", fmt.Sprintf("%.6g", freshEst.Value), freshDur.Round(time.Microsecond).String(), "1.0x"},
+			[]string{targets[i], "reused endpoints", fmt.Sprintf("%.6g", reusedEst.Value), reuseDur.Round(time.Microsecond).String(), speedup},
+		)
+	}
+	return t, nil
+}

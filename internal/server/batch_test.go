@@ -148,6 +148,70 @@ func TestBatchSubmissionValidation(t *testing.T) {
 	}
 }
 
+// TestBatchParallelismAndWalkReuseEndToEnd drives the new knobs
+// through the HTTP API: a parallelism'd batch of walk_reuse pair
+// queries from one source completes with one recorded walk pass, the
+// task view echoes the parallelism, and /api/status surfaces the
+// endpoint-cache counters.
+func TestBatchParallelismAndWalkReuseEndToEnd(t *testing.T) {
+	_, ts := newPersistentServer(t, t.TempDir())
+
+	out, status := postTasks(t, ts.URL, `{
+		"dataset": "complete-50", "algorithm": "bippr-pair", "parallelism": 1,
+		"queries": [
+			{"params": {"source": "2", "target": "0", "walks": 512, "walk_reuse": true}},
+			{"params": {"source": "2", "target": "1", "walks": 512, "walk_reuse": true}},
+			{"params": {"source": "2", "target": "3", "walks": 512, "walk_reuse": true}}
+		]
+	}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d", status)
+	}
+	view := waitTask(t, ts.URL, out.TaskIDs[0])
+	if view.Task.State != task.StateDone {
+		t.Fatalf("batch state %s (error %q)", view.Task.State, view.Task.Error)
+	}
+	if view.Task.Parallelism != 1 {
+		t.Errorf("task parallelism = %d, want the submitted 1", view.Task.Parallelism)
+	}
+	for i, sub := range view.Result.Queries {
+		if sub.State != task.StateDone {
+			t.Errorf("subresult %d state %s (error %q)", i, sub.State, sub.Error)
+		}
+	}
+
+	var st statusResponse
+	getJSON(t, ts.URL+"/api/status", &st)
+	// Sequential batch: the first pair query records the source's walk
+	// pass, the two later targets re-weight it.
+	if st.EndpointCache.Misses != 1 {
+		t.Errorf("endpoint misses = %d, want 1 (one walk pass for the shared source)", st.EndpointCache.Misses)
+	}
+	if st.EndpointCache.Hits != 2 {
+		t.Errorf("endpoint hits = %d, want 2", st.EndpointCache.Hits)
+	}
+	if st.EndpointCache.WalksAvoided != 2*512 {
+		t.Errorf("walks avoided = %d, want %d", st.EndpointCache.WalksAvoided, 2*512)
+	}
+
+	// Invalid parallelism is rejected at submission.
+	if _, status := postTasks(t, ts.URL, `{
+		"dataset": "complete-50", "algorithm": "ppr-target", "parallelism": -2,
+		"queries": [{"params": {"target": "0"}}]
+	}`); status != http.StatusBadRequest {
+		t.Errorf("negative parallelism: status %d, want 400", status)
+	}
+	// Top-level parallelism without a top-level queries array would be
+	// silently dropped (it does not reach tasks-array batches); the
+	// handler rejects it instead, like stray top-level params.
+	if _, status := postTasks(t, ts.URL, `{
+		"parallelism": 2,
+		"tasks": [{"dataset": "complete-50", "algorithm": "pagerank", "params": {}}]
+	}`); status != http.StatusBadRequest {
+		t.Errorf("top-level parallelism without queries: status %d, want 400", status)
+	}
+}
+
 // TestIndexPersistenceAcrossServerRestart is the acceptance
 // integration test at the platform level: a target query before a
 // restart leaves an artifact; the restarted server serves the same

@@ -34,6 +34,10 @@ type statusResponse struct {
 	Uploads    int              `json:"uploads"`
 	Algorithms int              `json:"algorithms"`
 	IndexStore indexStoreStatus `json:"index_store"`
+	// EndpointCache surfaces the walk-endpoint reuse counters: hits
+	// are queries that re-weighted a recorded walk pass instead of
+	// simulating walks (walks_avoided totals what they skipped).
+	EndpointCache bippr.EndpointStats `json:"endpoint_cache"`
 }
 
 // indexStoreStatus surfaces the target-index store's tiered counters
@@ -53,11 +57,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	idx := indexStoreStatus{StoreStats: s.indexStore.Stats()}
 	idx.DiskFiles, idx.DiskBytes = s.indexDiskUsage()
 	writeJSON(w, http.StatusOK, statusResponse{
-		Scheduler:  s.scheduler.Metrics(),
-		Datasets:   s.catalog.Len() + uploads,
-		Uploads:    uploads,
-		Algorithms: len(s.registry.Names()),
-		IndexStore: idx,
+		Scheduler:     s.scheduler.Metrics(),
+		Datasets:      s.catalog.Len() + uploads,
+		Uploads:       uploads,
+		Algorithms:    len(s.registry.Names()),
+		IndexStore:    idx,
+		EndpointCache: s.endpoints.Stats(),
 	})
 }
 

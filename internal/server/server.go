@@ -45,6 +45,7 @@ type Server struct {
 	store      *datastore.Store
 	scheduler  *task.Scheduler
 	indexStore bippr.IndexStore
+	endpoints  *bippr.EndpointCache
 	mux        *http.ServeMux
 
 	mu       sync.RWMutex
@@ -76,6 +77,12 @@ type Config struct {
 	// IndexStore overrides the target-index store (default: a
 	// bippr.TieredStore over Store).
 	IndexStore bippr.IndexStore
+	// EndpointCache overrides the walk-endpoint cache behind queries
+	// that set walk_reuse (default: a fresh default-sized cache). Like
+	// IndexStore, it only reaches queries when Registry is nil — an
+	// explicit registry keeps whatever caching its estimator was built
+	// with, and the status endpoint then reports this cache as idle.
+	EndpointCache *bippr.EndpointCache
 	// Workers sizes the executor pool (default 2).
 	Workers int
 	// TaskTimeout bounds a single task's execution; zero means no
@@ -91,14 +98,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.IndexStore == nil {
 		cfg.IndexStore = bippr.NewTieredStore(bippr.DefaultCacheSize, cfg.Store)
 	}
+	if cfg.EndpointCache == nil {
+		cfg.EndpointCache = bippr.NewEndpointCache(bippr.DefaultEndpointCacheSize)
+	}
 	if cfg.Registry == nil {
-		cfg.Registry = algo.NewBuiltinRegistryWith(bippr.NewEstimatorWithStore(cfg.IndexStore))
+		cfg.Registry = algo.NewBuiltinRegistryWith(
+			bippr.NewEstimatorWithCaches(cfg.IndexStore, cfg.EndpointCache))
 	}
 	s := &Server{
 		registry:   cfg.Registry,
 		catalog:    cfg.Catalog,
 		store:      cfg.Store,
 		indexStore: cfg.IndexStore,
+		endpoints:  cfg.EndpointCache,
 		uploaded:   make(map[string]bool),
 	}
 	// Uploads that survived a restart are rediscovered from the store.
@@ -322,6 +334,10 @@ type submitRequest struct {
 	Dataset   string         `json:"dataset,omitempty"`
 	Algorithm string         `json:"algorithm,omitempty"`
 	Queries   []task.SubSpec `json:"queries,omitempty"`
+	// Parallelism bounds how many of the batch's subqueries run
+	// concurrently (0 = GOMAXPROCS, capped by batch size; results are
+	// bit-identical at every value).
+	Parallelism int `json:"parallelism,omitempty"`
 	// Params is accepted only to *reject* it: each batch query carries
 	// its own params, and silently dropping a top-level object a
 	// client expected to apply to every query would return plausible
@@ -347,6 +363,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Top-level parallelism only shapes the top-level queries batch;
+	// accepting it without one would silently run any tasks-array
+	// batches at the default width the client did not choose (same
+	// rationale as the Params rejection below).
+	if req.Parallelism != 0 && len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("server: top-level parallelism requires a top-level queries array; for batches inside tasks, set parallelism on the batch entry itself"))
+		return
+	}
 	if len(req.Queries) > 0 {
 		if req.Params != (algo.Params{}) {
 			writeError(w, http.StatusBadRequest,
@@ -354,9 +379,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		batch := task.Spec{
-			Dataset:   req.Dataset,
-			Algorithm: req.Algorithm,
-			Queries:   req.Queries,
+			Dataset:     req.Dataset,
+			Algorithm:   req.Algorithm,
+			Queries:     req.Queries,
+			Parallelism: req.Parallelism,
 		}
 		if err := builder.Add(batch); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("batch: %w", err))

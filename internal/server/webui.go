@@ -120,13 +120,20 @@ indexes are shared across subqueries, and
 per subquery. Each entry may name its own <code>algorithm</code> or
 inherit the top-level default:</p>
 <pre><code>POST /api/tasks
-{"dataset": "enwiki-2018", "algorithm": "bippr-pair",
+{"dataset": "enwiki-2018", "algorithm": "bippr-pair", "parallelism": 4,
  "queries": [
    {"params": {"source": "Brian May", "target": "Freddie Mercury"}},
-   {"params": {"source": "Roger Taylor", "target": "Freddie Mercury"}},
+   {"params": {"source": "Brian May", "target": "Queen (band)", "walk_reuse": true}},
    {"algorithm": "ppr-target", "params": {"target": "Queen (band)"}}
 ]}</code></pre>
-<p>The response carries a <code>comparison_id</code>; retrieve results at
+<p>A top-level <code>parallelism</code> fans the batch's independent
+subqueries across a bounded pool (0 = one worker per CPU, capped by the
+batch size) — results are bit-identical at every value. Per-query
+<code>walk_reuse</code> lets repeated <code>bippr-pair</code> queries
+from one source re-weight recorded walk endpoints for new targets
+instead of re-walking (<code>GET /api/status</code> reports
+<code>endpoint_cache</code> hits, misses and walks avoided).
+The response carries a <code>comparison_id</code>; retrieve results at
 <code>/api/compare/{id}</code> or view them at <code>/compare/{id}</code>.</p>
 </body></html>{{end}}
 `))

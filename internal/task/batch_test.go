@@ -243,7 +243,11 @@ func TestBatchSubqueryFailureIsolated(t *testing.T) {
 func TestBatchSharesIndexAcrossSubqueries(t *testing.T) {
 	s := newScheduler(t, 1)
 	const walks = 64
-	batch := Spec{Dataset: "demo", Queries: []SubSpec{
+	// Sequential on purpose: which subquery pays the push is only
+	// deterministic when they run in order (under parallelism the
+	// singleflight winner is timing-dependent — values stay identical,
+	// effort counters move).
+	batch := Spec{Dataset: "demo", Parallelism: 1, Queries: []SubSpec{
 		{Algorithm: algo.NameBiPPRPair, Params: algo.Params{Source: "a", Target: "ref", Walks: walks}},
 		{Algorithm: algo.NameBiPPRPair, Params: algo.Params{Source: "b", Target: "ref", Walks: walks}},
 	}}

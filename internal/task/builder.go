@@ -42,6 +42,12 @@ func (b *Builder) Add(s Spec) error {
 	if s.IsBatch() {
 		return b.addBatch(s)
 	}
+	// Parallelism only shapes a batch's intra-task pool; accepting it
+	// on a plain spec would silently promise concurrency that does not
+	// exist.
+	if s.Parallelism != 0 {
+		return fmt.Errorf("task: parallelism applies to batch submissions (queries), not single tasks")
+	}
 	if err := b.checkQuery(s.Algorithm, s.Params); err != nil {
 		return fmt.Errorf("task: %w", err)
 	}
@@ -55,6 +61,9 @@ func (b *Builder) Add(s Spec) error {
 func (b *Builder) addBatch(s Spec) error {
 	if len(s.Queries) > MaxBatchQueries {
 		return fmt.Errorf("task: batch has %d queries, limit %d", len(s.Queries), MaxBatchQueries)
+	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("task: parallelism=%d must not be negative", s.Parallelism)
 	}
 	// Top-level params are rejected rather than silently ignored: a
 	// submitter who set them expects them to apply to every query,

@@ -1,0 +1,332 @@
+package task
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/datastore"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/ranking"
+)
+
+// allowProcs lifts GOMAXPROCS for the duration of a test so the
+// intra-batch pool's concurrent branch runs even on single-CPU CI
+// machines (clampParallelism bounds pools by GOMAXPROCS).
+func allowProcs(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+func TestClampParallelism(t *testing.T) {
+	allowProcs(t, 4)
+	cases := []struct {
+		requested, queries, want int
+	}{
+		{0, 10, 4},  // default: GOMAXPROCS
+		{-3, 10, 4}, // negative behaves like default
+		{1, 10, 1},  // explicit sequential
+		{3, 10, 3},  // in range
+		{64, 10, 4}, // capped by GOMAXPROCS
+		{64, 2, 2},  // capped by batch size
+		{0, 1, 1},   // one query: sequential
+		{2, 0, 1},   // degenerate batch still gets a worker
+	}
+	for _, tc := range cases {
+		if got := clampParallelism(tc.requested, tc.queries); got != tc.want {
+			t.Errorf("clampParallelism(%d, %d) = %d, want %d", tc.requested, tc.queries, got, tc.want)
+		}
+	}
+}
+
+func TestBuilderParallelismValidation(t *testing.T) {
+	b := NewBuilder(algo.NewBuiltinRegistry(), func(d string) bool { return d == "demo" })
+	// Parallelism on a non-batch spec promises concurrency that does
+	// not exist; rejected like top-level batch params are.
+	err := b.Add(Spec{Dataset: "demo", Algorithm: algo.NamePageRank, Parallelism: 4})
+	if err == nil || !strings.Contains(err.Error(), "parallelism") {
+		t.Errorf("plain spec with parallelism: %v", err)
+	}
+	err = b.Add(Spec{Dataset: "demo", Algorithm: algo.NamePPRTarget, Parallelism: -1,
+		Queries: []SubSpec{{Params: algo.Params{Target: "ref"}}}})
+	if err == nil || !strings.Contains(err.Error(), "parallelism") {
+		t.Errorf("negative batch parallelism: %v", err)
+	}
+	if err := b.Add(Spec{Dataset: "demo", Algorithm: algo.NamePPRTarget, Parallelism: 8,
+		Queries: []SubSpec{{Params: algo.Params{Target: "ref"}}}}); err != nil {
+		t.Errorf("valid batch parallelism rejected: %v", err)
+	}
+}
+
+// TestParallelBatchMatchesSequential is the equivalence harness for
+// the intra-batch pool: the same batch — mixed algorithms, shared
+// targets, one data-dependent failure — run at parallelism 1, 2 and 8
+// must produce bit-identical per-subquery scores and statuses. Effort
+// counters (iterations) are excluded on purpose: which subquery pays
+// a shared reverse push is timing-dependent under concurrency; the
+// answers never are.
+func TestParallelBatchMatchesSequential(t *testing.T) {
+	allowProcs(t, 8)
+	queries := []SubSpec{
+		{Algorithm: algo.NamePPRTarget, Params: algo.Params{Target: "ref", RMax: 1e-6}},
+		{Algorithm: algo.NamePPRTarget, Params: algo.Params{Target: "a", RMax: 1e-6}},
+		{Algorithm: algo.NamePPRTarget, Params: algo.Params{Target: "b", RMax: 1e-6}},
+		{Algorithm: algo.NameBiPPRPair, Params: algo.Params{Source: "a", Target: "ref", Walks: 512}},
+		{Algorithm: algo.NameBiPPRPair, Params: algo.Params{Source: "b", Target: "ref", Walks: 512}},
+		{Algorithm: algo.NameBiPPRPair, Params: algo.Params{Source: "b", Target: "a", Walks: 512, Workers: 2}},
+		{Algorithm: algo.NameCycleRank, Params: algo.Params{Source: "ref", K: 3}},
+		// Passes Add-time validation, fails at run time: the harness
+		// must prove failure isolation is order-independent too.
+		{Algorithm: algo.NamePPRTarget, Params: algo.Params{Target: "ghost"}},
+		{Algorithm: algo.NamePPR, Params: algo.Params{Source: "ref", Alpha: 0.3}},
+	}
+	wantStates := []State{StateDone, StateDone, StateDone, StateDone, StateDone,
+		StateDone, StateDone, StateFailed, StateDone}
+
+	type run struct {
+		parallelism int
+		queries     []SubResult
+	}
+	var runs []run
+	for _, parallelism := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("parallelism=%d", parallelism), func(t *testing.T) {
+			s := newScheduler(t, 1)
+			qs, ids, err := s.Submit([]Spec{{
+				Dataset:     "demo",
+				Parallelism: parallelism,
+				Queries:     queries,
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			tasks, err := s.WaitQuerySet(ctx, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tasks[0].State != StateDone {
+				t.Fatalf("batch state %s (error %q)", tasks[0].State, tasks[0].Error)
+			}
+			if tasks[0].Parallelism != parallelism {
+				t.Errorf("task parallelism = %d, want %d", tasks[0].Parallelism, parallelism)
+			}
+			if tasks[0].QueriesDone != len(queries) {
+				t.Errorf("QueriesDone = %d, want %d", tasks[0].QueriesDone, len(queries))
+			}
+			doc, err := s.LoadResult(ids[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(doc.Queries) != len(queries) {
+				t.Fatalf("result has %d subresults, want %d", len(doc.Queries), len(queries))
+			}
+			for i, want := range wantStates {
+				if doc.Queries[i].State != want {
+					t.Errorf("subquery %d state %s, want %s (error %q)",
+						i, doc.Queries[i].State, want, doc.Queries[i].Error)
+				}
+				if doc.Queries[i].State != tasks[0].QueryStates[i] {
+					t.Errorf("subquery %d: result state %s != published query_state %s",
+						i, doc.Queries[i].State, tasks[0].QueryStates[i])
+				}
+			}
+			runs = append(runs, run{parallelism, doc.Queries})
+		})
+	}
+	if len(runs) != 3 {
+		t.Fatalf("only %d runs completed", len(runs))
+	}
+
+	// Bit-identical across pool sizes: same states, same scores (the
+	// ranking entries compare exactly — floats included), same
+	// residuals.
+	base := runs[0]
+	for _, other := range runs[1:] {
+		for i := range base.queries {
+			b, o := base.queries[i], other.queries[i]
+			if b.State != o.State {
+				t.Errorf("subquery %d: state %s (parallelism 1) != %s (parallelism %d)",
+					i, b.State, o.State, other.parallelism)
+			}
+			if b.Residual != o.Residual {
+				t.Errorf("subquery %d: residual %g != %g (parallelism %d)",
+					i, b.Residual, o.Residual, other.parallelism)
+			}
+			if len(b.Top) != len(o.Top) {
+				t.Errorf("subquery %d: top has %d entries vs %d (parallelism %d)",
+					i, len(b.Top), len(o.Top), other.parallelism)
+				continue
+			}
+			for j := range b.Top {
+				if b.Top[j] != o.Top[j] {
+					t.Errorf("subquery %d top[%d]: %+v != %+v (parallelism %d)",
+						i, j, b.Top[j], o.Top[j], other.parallelism)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchErrorNamesQueryAndTarget: a failed subquery's error must
+// carry the subquery index and its target/source so one failure in a
+// large batch is identifiable from the task view alone.
+func TestBatchErrorNamesQueryAndTarget(t *testing.T) {
+	s := newScheduler(t, 1)
+	batch := Spec{Dataset: "demo", Algorithm: algo.NamePPRTarget, Queries: []SubSpec{
+		{Params: algo.Params{Target: "ref"}},
+		{Params: algo.Params{Target: "ghost"}},
+		{Algorithm: algo.NameBiPPRPair, Params: algo.Params{Source: "phantom", Target: "ref"}},
+	}}
+	// Builder normalizes default algorithms like the server path does.
+	b := NewBuilder(algo.NewBuiltinRegistry(), nil)
+	if err := b.Add(batch); err != nil {
+		t.Fatal(err)
+	}
+	qs, ids, err := s.Submit(b.Specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := s.WaitQuerySet(ctx, qs); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := s.LoadResult(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"query 1", `target="ghost"`, "ghost"} {
+		if !strings.Contains(doc.Queries[1].Error, want) {
+			t.Errorf("subquery 1 error %q missing %q", doc.Queries[1].Error, want)
+		}
+	}
+	for _, want := range []string{"query 2", `source="phantom"`} {
+		if !strings.Contains(doc.Queries[2].Error, want) {
+			t.Errorf("subquery 2 error %q missing %q", doc.Queries[2].Error, want)
+		}
+	}
+	if doc.Queries[0].Error != "" {
+		t.Errorf("successful subquery carries error %q", doc.Queries[0].Error)
+	}
+}
+
+// TestParallelBatchCancelMidBatch is the race-coverage satellite:
+// batches submitted from concurrent goroutines while one of them is
+// cancelled mid-run. The cancelled batch must resolve every subquery
+// state to terminal — the running ones to cancelled via their context,
+// the queued ones as they are popped — and the sibling batches must
+// be unaffected. Run with -race.
+func TestParallelBatchCancelMidBatch(t *testing.T) {
+	allowProcs(t, 4)
+	store, err := datastore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := algo.NewBuiltinRegistry()
+	started := make(chan struct{}, 16)
+	reg.Register(algo.Func{
+		AlgoName: "hang",
+		AlgoDesc: "waits for cancellation",
+		RunFunc: func(ctx context.Context, g *graph.Graph, p algo.Params) (*ranking.Result, error) {
+			started <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	g := testGraph(t)
+	s, err := NewScheduler(SchedulerConfig{
+		Registry: reg,
+		Store:    store,
+		Workers:  2,
+		Load:     func(string) (*graph.Graph, error) { return g, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	hangBatch := Spec{Dataset: "demo", Parallelism: 2, Queries: []SubSpec{
+		{Algorithm: "hang"}, {Algorithm: "hang"}, {Algorithm: "hang"}, {Algorithm: "hang"},
+	}}
+	_, hangIDs, err := s.Submit([]Spec{hangBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two subqueries are running (parallelism 2) when the cancel lands.
+	<-started
+	<-started
+
+	// Concurrent submissions race the cancellation.
+	var wg sync.WaitGroup
+	sets := make([]string, 3)
+	for i := range sets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			qs, _, err := s.Submit([]Spec{{Dataset: "demo", Parallelism: 4, Queries: []SubSpec{
+				{Algorithm: algo.NamePPRTarget, Params: algo.Params{Target: "ref"}},
+				{Algorithm: algo.NamePPRTarget, Params: algo.Params{Target: "a"}},
+			}}})
+			if err == nil {
+				sets[i] = qs
+			}
+		}(i)
+	}
+	if err := s.Cancel(hangIDs[0]); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := s.Status(hangIDs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			if st.State != StateCancelled {
+				t.Fatalf("cancelled batch state %s", st.State)
+			}
+			if st.QueriesDone != len(hangBatch.Queries) {
+				t.Errorf("QueriesDone = %d, want %d", st.QueriesDone, len(hangBatch.Queries))
+			}
+			for i, qs := range st.QueryStates {
+				if qs != StateCancelled {
+					t.Errorf("query state[%d] = %s, want cancelled", i, qs)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancelled batch never terminal: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Sibling batches complete untouched.
+	for i, qs := range sets {
+		if qs == "" {
+			t.Fatalf("concurrent submission %d failed", i)
+		}
+		tasks, err := s.WaitQuerySet(ctx, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tasks[0].State != StateDone {
+			t.Errorf("sibling batch %d state %s (error %q)", i, tasks[0].State, tasks[0].Error)
+		}
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/cyclerank/cyclerank-go/internal/algo"
@@ -143,6 +145,7 @@ func (s *Scheduler) Submit(specs []Spec) (querySet string, taskIDs []string, err
 			for j := range t.QueryStates {
 				t.QueryStates[j] = StatePending
 			}
+			t.Parallelism = spec.Parallelism
 		}
 		created[i] = t
 	}
@@ -435,17 +438,47 @@ func (s *Scheduler) execute(ctx context.Context, worker int, id string) {
 // never dominates the wall-clock of a batch of cheap cached queries.
 const batchProgressInterval = time.Second
 
+// clampParallelism bounds a batch's intra-batch pool size: 0 selects
+// GOMAXPROCS, every value is capped by GOMAXPROCS (subqueries are
+// CPU-bound; more workers would only contend) and by the batch size,
+// and the floor is 1 (sequential).
+func clampParallelism(requested, queries int) int {
+	p := requested
+	procs := runtime.GOMAXPROCS(0)
+	if p <= 0 || p > procs {
+		p = procs
+	}
+	if p > queries {
+		p = queries
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// subqueryError contextualizes one subquery's failure with its index
+// and parameters (which name the source/target), so a single failed
+// query inside a large batch is identifiable from the task view alone.
+func subqueryError(i int, q SubSpec, err error) string {
+	return fmt.Sprintf("query %d (%s %s): %v", i, q.Algorithm, q.Params, err)
+}
+
 // executeBatch runs a batch task: the graph is already loaded (once,
-// for all subqueries), and each subquery executes in submission order
+// for all subqueries), and the subqueries fan across a bounded
+// intra-batch worker pool (Spec.Parallelism, see clampParallelism)
 // against the shared registry — so bidirectional subqueries against
 // one target share a single reverse push through the estimator's
 // index store, and their walk chunks flow through the same worker
-// pool. A subquery failure is recorded in its SubResult without
-// failing the batch; cancellation and timeout stop the batch and mark
-// the remaining subqueries cancelled. Progress snapshots of the
-// result document are persisted while the batch runs (throttled to
-// one per batchProgressInterval), so polls of a running batch already
-// see finished subresults.
+// pool. Results are bit-identical for every pool size: each subquery
+// is independent and derives its walk seeds from (seed, source,
+// chunk), so completion order cannot change any answer (only
+// cache-timing effort counters may differ). A subquery failure is
+// recorded in its SubResult without failing the batch; cancellation
+// and timeout stop the batch and mark the remaining subqueries
+// cancelled. Progress snapshots of the result document are persisted
+// while the batch runs (throttled to one per batchProgressInterval),
+// so polls of a running batch already see finished subresults.
 func (s *Scheduler) executeBatch(ctx context.Context, t *Task, snapshot Task, g *graph.Graph) {
 	id := snapshot.ID
 	subs := make([]SubResult, len(snapshot.Queries))
@@ -460,22 +493,51 @@ func (s *Scheduler) executeBatch(ctx context.Context, t *Task, snapshot Task, g 
 		subs[i].State = StatePending
 	}
 
-	interrupted := false
-	var lastPersist time.Time // zero: the first subquery always persists
-	for i, q := range snapshot.Queries {
+	workers := clampParallelism(snapshot.Parallelism, len(snapshot.Queries))
+	s.log(id, fmt.Sprintf("batch: %d queries, parallelism %d", len(subs), workers))
+
+	var (
+		// subMu guards subs entries against the progress snapshots a
+		// concurrent worker may trigger; each worker writes only its
+		// own index, but persistence marshals the whole slice.
+		subMu       sync.Mutex
+		lastPersist time.Time // guarded by subMu; zero: first persist fires
+		interrupted atomic.Bool
+		// persistMu serializes snapshot-taking WITH the write: without
+		// it a worker could copy an older snapshot, lose the CPU, and
+		// persist it over a sibling's newer one — a poll would see a
+		// done subquery regress to pending.
+		persistMu sync.Mutex
+	)
+
+	// snapshotDoc copies the result document under subMu so progress
+	// persistence never races a sibling subquery's write.
+	snapshotDoc := func() Result {
+		out := doc
+		subMu.Lock()
+		out.Queries = append([]SubResult(nil), subs...)
+		subMu.Unlock()
+		return out
+	}
+
+	runOne := func(i int) {
+		q := snapshot.Queries[i]
 		if ctx.Err() != nil {
-			for j := i; j < len(subs); j++ {
-				subs[j].State = StateCancelled
-				s.setQueryState(id, j, StateCancelled)
-			}
-			interrupted = true
-			break
+			subMu.Lock()
+			subs[i].State = StateCancelled
+			subMu.Unlock()
+			s.setQueryState(id, i, StateCancelled)
+			interrupted.Store(true)
+			return
 		}
 		s.setQueryState(id, i, StateRunning)
 		start := time.Now()
 		res, err := algo.Run(ctx, s.cfg.Registry, q.Algorithm, g, q.Params)
-		sub := &subs[i]
-		sub.DurationMS = time.Since(start).Milliseconds()
+		sub := SubResult{
+			Algorithm:  q.Algorithm,
+			Params:     q.Params,
+			DurationMS: time.Since(start).Milliseconds(),
+		}
 		switch {
 		case err == nil:
 			sub.State = StateDone
@@ -485,23 +547,57 @@ func (s *Scheduler) executeBatch(ctx context.Context, t *Task, snapshot Task, g 
 			sub.Cycles = res.CyclesFound
 		case ctx.Err() != nil:
 			sub.State = StateCancelled
-			sub.Error = err.Error()
-			interrupted = true
+			sub.Error = subqueryError(i, q, err)
+			interrupted.Store(true)
 		default:
 			sub.State = StateFailed
-			sub.Error = err.Error()
+			sub.Error = subqueryError(i, q, err)
 		}
-		s.setQueryState(id, i, sub.State)
-		s.log(id, fmt.Sprintf("batch query %d/%d (%s %s): %s", i+1, len(subs), q.Algorithm, q.Params, sub.State))
+		subMu.Lock()
+		subs[i] = sub
 		// Progress persistence is best-effort — a poll mid-batch reads
 		// completed subresults; the authoritative write is the final
 		// one — and throttled: every persisted snapshot pays a full
 		// fsync'd document rewrite, which would dominate a large batch
 		// of cheap cached queries if written per subquery.
+		persist := false
 		if now := time.Now(); now.Sub(lastPersist) >= batchProgressInterval {
-			s.persistBatchProgress(id, doc)
 			lastPersist = now
+			persist = true
 		}
+		subMu.Unlock()
+		s.setQueryState(id, i, sub.State)
+		s.log(id, fmt.Sprintf("batch query %d/%d (%s %s): %s", i+1, len(subs), q.Algorithm, q.Params, sub.State))
+		if persist {
+			persistMu.Lock()
+			s.persistBatchProgress(id, snapshotDoc())
+			persistMu.Unlock()
+		}
+	}
+
+	if workers == 1 {
+		for i := range snapshot.Queries {
+			runOne(i)
+		}
+	} else {
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(snapshot.Queries) {
+						return
+					}
+					runOne(i)
+				}
+			}()
+		}
+		wg.Wait()
 	}
 
 	// Only an interruption that actually cost a subquery fails the
@@ -509,7 +605,7 @@ func (s *Scheduler) executeBatch(ctx context.Context, t *Task, snapshot Task, g 
 	// must not retroactively turn a fully successful batch into a
 	// timeout (ctx.Err() alone cannot distinguish the two — context
 	// errors are sticky).
-	if interrupted {
+	if interrupted.Load() {
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			s.finish(id, fmt.Errorf("task: execution exceeded %s timeout after %d/%d batch queries",
 				s.cfg.TaskTimeout, doneCount(subs), len(subs)))

@@ -83,6 +83,15 @@ type Spec struct {
 	Algorithm string      `json:"algorithm"`
 	Params    algo.Params `json:"params"`
 	Queries   []SubSpec   `json:"queries,omitempty"`
+	// Parallelism bounds the intra-batch worker pool: how many of the
+	// batch's independent subqueries may run concurrently on the
+	// executor that owns the batch. 0 selects GOMAXPROCS; every value
+	// is capped by GOMAXPROCS and the batch size; 1 forces sequential
+	// execution. Results are bit-identical for every value — each
+	// subquery derives its walk seeds from (seed, source, chunk), so
+	// completion order cannot change any answer. Only meaningful on
+	// batch specs; the builder rejects it elsewhere.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // IsBatch reports whether the spec is a batch submission.
@@ -112,6 +121,7 @@ type Task struct {
 	Queries     []SubSpec `json:"queries,omitempty"`
 	QueryStates []State   `json:"query_states,omitempty"`
 	QueriesDone int       `json:"queries_done,omitempty"`
+	Parallelism int       `json:"parallelism,omitempty"`
 }
 
 // IsBatch reports whether the task is a batch.
