@@ -34,7 +34,7 @@ bench:
 # the pipe into the converter.
 bench-json:
 	@out=$$(mktemp); \
-	$(GO) test -run NONE -bench 'BiPPR|PPRTarget|TargetIndexStorage' -benchmem -benchtime $(BENCHTIME) . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
+	$(GO) test -run NONE -bench 'BiPPR|PPRTarget|TargetIndexStorage|EndpointPersist' -benchmem -benchtime $(BENCHTIME) . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
 	$(GO) run ./cmd/benchjson -out BENCH_bippr.json < $$out || { rm -f $$out; exit 1; }; \
 	rm -f $$out
 	@echo wrote BENCH_bippr.json
@@ -46,6 +46,15 @@ OLD ?= BENCH_prev.json
 NEW ?= BENCH_bippr.json
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
+
+# bench-history compares NEW against the rolling median of the last
+# WINDOW_N runs kept in WINDOW, then appends it — the noise-resistant
+# variant CI uses (one slow shared-runner baseline can no longer flag
+# every following run).
+WINDOW ?= BENCH_window.json
+WINDOW_N ?= 8
+bench-history:
+	$(GO) run ./cmd/benchjson -history $(WINDOW) -window $(WINDOW_N) $(NEW)
 
 # docs-check gates the documentation: every relative markdown link in
 # README.md and docs/ must resolve, and the tree must be gofmt-clean.

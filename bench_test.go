@@ -390,6 +390,65 @@ func BenchmarkBiPPRPersist(b *testing.B) {
 	})
 }
 
+// BenchmarkEndpointPersist measures what persisted walk-endpoint
+// recordings buy a restarted server for a warm-source pair query
+// (both the target index and the source's recording already on disk):
+// "re-walk" is the pre-persistence restart — a fresh estimator whose
+// endpoint cache is memory-only re-simulates the walks (the index
+// still loads from disk) — while "warm-disk" deserializes the
+// recording instead (zero walk simulation; the restarted-server path)
+// and "warm-memory" is the steady-state LRU hit. Estimates are
+// bit-identical on every row (test-enforced by the store-reopen leg
+// of TestEndpointReuseMatchesFreshWalks).
+func BenchmarkEndpointPersist(b *testing.B) {
+	g := loadGraph(b, "enwiki-2018")
+	src := mustNode(b, g, "Brian May")
+	tgt := mustNode(b, g, "Freddie Mercury")
+	params := bippr.Params{Alpha: 0.85, RMax: 1e-4, Walks: 50000, Seed: 1, ReuseEndpoints: true}
+	store, err := datastore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tiered := func() *bippr.Estimator {
+		return bippr.NewEstimatorWithCaches(
+			bippr.NewTieredStore(0, store), bippr.NewTieredEndpointCache(0, store))
+	}
+	// Seed both artifacts once; every sub-benchmark below is warm on
+	// disk.
+	if _, err := tiered().Pair(context.Background(), g, src, tgt, params); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("re-walk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			est := bippr.NewEstimatorWithCaches(bippr.NewTieredStore(0, store), bippr.NewEndpointCache(0))
+			if _, err := est.Pair(context.Background(), g, src, tgt, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-disk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tiered().Pair(context.Background(), g, src, tgt, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-memory", func(b *testing.B) {
+		est := tiered()
+		if _, err := est.Pair(context.Background(), g, src, tgt, params); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := est.Pair(context.Background(), g, src, tgt, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkTargetIndexStorage contrasts the memory the two index
 // representations pin: dense allocates O(n) arrays regardless of how
 // far the push reaches, sparse allocates O(touched). The ring graph

@@ -8,12 +8,24 @@
 //	go test -run NONE -bench BiPPR -benchmem . | benchjson -out BENCH_bippr.json
 //	benchjson -compare old.json new.json            # exit 1 on >2x ns/op regression
 //	benchjson -compare -threshold 1.5 old.json new.json
+//	benchjson -history window.json new.json         # compare vs rolling median, then append
+//	benchjson -history window.json -window 12 new.json
 //
 // Non-benchmark lines (PASS, ok, cpu info) are ignored, so the raw
 // test output can be piped through unfiltered. Compare mode matches
 // benchmarks by name; entries present in only one report are listed
 // but never flagged. CI runs the comparison non-blocking (shared
 // runners are noisy), so a regression informs rather than gates.
+//
+// History mode replaces the single-baseline compare with a rolling
+// window: the new report's ns/op is compared against the per-benchmark
+// MEDIAN of the last N runs (default 8), which absorbs one-off noise
+// spikes a shared runner's previous run might carry — a single slow
+// baseline can no longer flag every following run, and a single fast
+// one can no longer mask a real regression. The new run is then
+// appended to the window file (bounded to N runs) regardless of the
+// verdict, so the window tracks the trajectory even across flagged
+// runs. An empty or missing window file seeds silently.
 package main
 
 import (
@@ -54,23 +66,42 @@ var benchLine = regexp.MustCompile(
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	compareMode := flag.Bool("compare", false, "compare two reports: benchjson -compare old.json new.json")
-	threshold := flag.Float64("threshold", 2.0, "compare mode: flag ns/op ratios above this as regressions")
+	threshold := flag.Float64("threshold", 2.0, "compare/history mode: flag ns/op ratios above this as regressions")
+	history := flag.String("history", "", "history mode: compare new.json against the rolling median of this window file, then append it")
+	window := flag.Int("window", 8, "history mode: how many runs the window file retains")
 	flag.Parse()
+	if *history != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -history needs exactly one report file: new.json")
+			os.Exit(2)
+		}
+		w, cleanup, err := outWriter(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		defer cleanup()
+		regressed, err := runHistory(w, *history, flag.Arg(0), *window, *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if *compareMode {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files: old.json new.json")
 			os.Exit(2)
 		}
-		var w io.Writer = os.Stdout
-		if *out != "" {
-			f, err := os.Create(*out)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "benchjson:", err)
-				os.Exit(2)
-			}
-			defer f.Close()
-			w = f
+		w, cleanup, err := outWriter(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
 		}
+		defer cleanup()
 		regressed, err := runCompare(w, flag.Arg(0), flag.Arg(1), *threshold)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -242,6 +273,150 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (regres
 	}
 	if regressed > 0 {
 		fmt.Fprintf(w, "%d benchmark(s) regressed past %.1fx ns/op\n", regressed, threshold)
+	}
+	return regressed, nil
+}
+
+// outWriter resolves the -out flag: stdout by default, a created file
+// otherwise.
+func outWriter(path string) (io.Writer, func(), error) {
+	if path == "" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// Window is the bounded history file of past benchmark reports,
+// oldest first.
+type Window struct {
+	Runs []Report `json:"runs"`
+}
+
+// loadWindow reads a window file; a missing file is an empty window,
+// and so is a corrupt one — the window is a cache of past runs, and a
+// truncated or unparsable file (interrupted CI cache transfer, hand
+// edit) must reseed on the next run rather than wedge history mode
+// forever. reset reports the reseed so the caller can surface it.
+func loadWindow(path string) (w *Window, reset bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Window{}, false, nil
+		}
+		return nil, false, err
+	}
+	w = &Window{}
+	if err := json.Unmarshal(data, w); err != nil {
+		return &Window{}, true, nil
+	}
+	return w, false, nil
+}
+
+// median returns the middle value of vs (mean of the two middles for
+// even counts). vs must be non-empty; it is sorted in place.
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// medianReport collapses a window into one synthetic report: each
+// benchmark name appearing in any run gets the median ns/op across
+// the runs that carry it. Benchmarks absent from some runs (added
+// mid-window) are judged on the runs they have.
+func medianReport(w *Window) *Report {
+	byName := make(map[string][]float64)
+	for _, run := range w.Runs {
+		for _, b := range run.Benchmarks {
+			byName[b.Name] = append(byName[b.Name], b.NsPerOp)
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rep := &Report{}
+	for _, name := range names {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: name, NsPerOp: median(byName[name])})
+	}
+	return rep
+}
+
+// runHistory compares the new report against the window's rolling
+// median, appends the new run to the window file (bounded to size
+// runs), and returns how many benchmarks regressed past the
+// threshold. An empty window flags nothing: the first run only seeds.
+func runHistory(w io.Writer, windowPath, newPath string, size int, threshold float64) (regressed int, err error) {
+	if size < 1 {
+		return 0, fmt.Errorf("-window must be at least 1, got %d", size)
+	}
+	win, reset, err := loadWindow(windowPath)
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return 0, err
+	}
+
+	if reset {
+		fmt.Fprintf(w, "%s is corrupt; discarding it and reseeding the window\n", windowPath)
+	}
+	if len(win.Runs) == 0 {
+		fmt.Fprintf(w, "no history in %s yet; seeding the window\n", windowPath)
+	} else {
+		base := medianReport(win)
+		matched, _, onlyNew := compareReports(base, newRep, threshold)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "benchmark\tmedian ns/op (last %d)\tnew ns/op\tratio\t\n", len(win.Runs))
+		for _, c := range matched {
+			flag := ""
+			if c.Slower {
+				flag = "REGRESSION"
+				regressed++
+			}
+			ratio := "-"
+			if c.OldNs > 0 {
+				ratio = fmt.Sprintf("%.2fx", c.Ratio)
+			}
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\n", c.Name, c.OldNs, c.NewNs, ratio, flag)
+		}
+		if err := tw.Flush(); err != nil {
+			return 0, err
+		}
+		for _, name := range onlyNew {
+			fmt.Fprintf(w, "new benchmark (no history): %s\n", name)
+		}
+		if regressed > 0 {
+			fmt.Fprintf(w, "%d benchmark(s) regressed past %.1fx the rolling median\n", regressed, threshold)
+		}
+	}
+
+	// Append the run — flagged or not — and trim to the last N, so the
+	// window keeps tracking the trajectory. The write is atomic-ish
+	// (temp + rename) so a killed CI step cannot leave a torn window.
+	win.Runs = append(win.Runs, *newRep)
+	if len(win.Runs) > size {
+		win.Runs = win.Runs[len(win.Runs)-size:]
+	}
+	data, err := json.MarshalIndent(win, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	tmp := windowPath + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, windowPath); err != nil {
+		return 0, err
 	}
 	return regressed, nil
 }

@@ -170,3 +170,153 @@ func TestRunCompare(t *testing.T) {
 		t.Error("corrupt new report did not error")
 	}
 }
+
+func TestMedian(t *testing.T) {
+	for _, tc := range []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{5}, 5},
+		{[]float64{3, 1}, 2},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 1, 100, 2}, 3},
+		{[]float64{1000, 10, 10, 10, 10}, 10}, // one noise spike does not move the median
+	} {
+		if got := median(append([]float64(nil), tc.in...)); got != tc.want {
+			t.Errorf("median(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMedianReport(t *testing.T) {
+	w := &Window{Runs: []Report{
+		{Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 100}, {Name: "BenchmarkB", NsPerOp: 10}}},
+		{Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 120}}},
+		{Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 5000}, {Name: "BenchmarkB", NsPerOp: 12}}},
+	}}
+	rep := medianReport(w)
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("median report has %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	// A (100, 120, 5000): the spike run does not drag the median.
+	if rep.Benchmarks[0].Name != "BenchmarkA" || rep.Benchmarks[0].NsPerOp != 120 {
+		t.Errorf("A median = %+v, want 120", rep.Benchmarks[0])
+	}
+	// B appears in only two runs; judged on those.
+	if rep.Benchmarks[1].Name != "BenchmarkB" || rep.Benchmarks[1].NsPerOp != 11 {
+		t.Errorf("B median = %+v, want 11", rep.Benchmarks[1])
+	}
+}
+
+// TestRunHistory exercises the rolling-window mode end to end:
+// seeding, median comparison, regression flagging, window bounding,
+// and noise absorption (one slow run in the window must not flag the
+// next normal run — the failure mode of single-baseline compare).
+func TestRunHistory(t *testing.T) {
+	dir := t.TempDir()
+	windowPath := filepath.Join(dir, "window.json")
+	writeRun := func(ns float64) string {
+		t.Helper()
+		data, err := json.Marshal(Report{Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: ns}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "new.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	runOnce := func(ns float64, window int) (int, string) {
+		t.Helper()
+		var out strings.Builder
+		regressed, err := runHistory(&out, windowPath, writeRun(ns), window, 2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return regressed, out.String()
+	}
+
+	// First run seeds; nothing to compare.
+	regressed, text := runOnce(100, 4)
+	if regressed != 0 || !strings.Contains(text, "seeding") {
+		t.Fatalf("seed run: regressed=%d output=%q", regressed, text)
+	}
+	// Steady runs at the baseline pace: no flags.
+	if regressed, _ := runOnce(110, 4); regressed != 0 {
+		t.Fatal("steady run flagged")
+	}
+	// One noisy spike IS flagged against the median...
+	regressed, text = runOnce(1000, 4)
+	if regressed != 1 || !strings.Contains(text, "REGRESSION") {
+		t.Fatalf("spike run: regressed=%d output=%q", regressed, text)
+	}
+	// ...but — the point of the rolling median — the NEXT normal run
+	// is NOT flagged, even though the previous (spike) run would have
+	// flagged it under single-baseline compare, and a fresh spike is
+	// still caught because one outlier cannot drag the median.
+	if regressed, _ := runOnce(120, 4); regressed != 0 {
+		t.Fatal("normal run after a noise spike was flagged; the median failed to absorb the outlier")
+	}
+	if regressed, _ := runOnce(900, 4); regressed != 1 {
+		t.Fatal("real regression hidden by the earlier spike in the window")
+	}
+
+	// The window file is bounded: 5 runs through a window of 4 keeps 4.
+	win, reset, err := loadWindow(windowPath)
+	if err != nil || reset {
+		t.Fatalf("loadWindow: reset=%v err=%v", reset, err)
+	}
+	if len(win.Runs) != 4 {
+		t.Fatalf("window holds %d runs, want 4", len(win.Runs))
+	}
+	// Oldest run (100) was trimmed; newest (900) retained.
+	if win.Runs[0].Benchmarks[0].NsPerOp != 110 || win.Runs[3].Benchmarks[0].NsPerOp != 900 {
+		t.Fatalf("window order wrong: first=%v last=%v",
+			win.Runs[0].Benchmarks[0].NsPerOp, win.Runs[3].Benchmarks[0].NsPerOp)
+	}
+
+	// A brand-new benchmark has no history: reported, never flagged.
+	data, err := json.Marshal(Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 120}, {Name: "BenchmarkNew", NsPerOp: 7}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(newPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if regressed, err := runHistory(&out, windowPath, newPath, 4, 2.0); err != nil || regressed != 0 {
+		t.Fatalf("new-benchmark run: regressed=%d err=%v", regressed, err)
+	}
+	if !strings.Contains(out.String(), "no history") {
+		t.Errorf("new benchmark not reported: %q", out.String())
+	}
+
+	// Bad inputs error instead of silently rewriting the window.
+	if _, err := runHistory(&out, windowPath, filepath.Join(dir, "missing.json"), 4, 2.0); err == nil {
+		t.Error("missing new report did not error")
+	}
+	if _, err := runHistory(&out, windowPath, newPath, 0, 2.0); err == nil {
+		t.Error("zero window accepted")
+	}
+
+	// A corrupt window file must not wedge history mode: it is
+	// discarded, reported, and reseeded with the current run — the
+	// same corruption-as-miss stance the artifact caches take.
+	if err := os.WriteFile(windowPath, []byte("{torn cache transfer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if regressed, err := runHistory(&out, windowPath, writeRun(100), 4, 2.0); err != nil || regressed != 0 {
+		t.Fatalf("corrupt window: regressed=%d err=%v", regressed, err)
+	}
+	if !strings.Contains(out.String(), "corrupt") {
+		t.Errorf("reseed not reported: %q", out.String())
+	}
+	win, reset, err = loadWindow(windowPath)
+	if err != nil || reset || len(win.Runs) != 1 {
+		t.Fatalf("window not reseeded after corruption: reset=%v err=%v runs=%d", reset, err, len(win.Runs))
+	}
+}

@@ -82,6 +82,22 @@ func TestWalkReuseAblation(t *testing.T) {
 	}
 }
 
+// TestEndpointPersistAblation exercises the persisted-recording
+// table; the generator errors if a deserialized recording's estimate
+// ever differs from the cold walk pass, or if the restarted cache
+// pays any walk simulation.
+func TestEndpointPersistAblation(t *testing.T) {
+	out, err := runBench(t, "-ablation", "endpoint-persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ablation-endpoint-persist", "persisted recordings", "deserialized", "re-simulated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
 func TestErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-table", "9"},

@@ -35,6 +35,8 @@ func main() {
 		data        = flag.String("data", "crdata", "datastore directory")
 		workers     = flag.Int("workers", 4, "executor pool size")
 		taskTimeout = flag.Duration("task-timeout", 5*time.Minute, "per-task execution limit (0 = unlimited)")
+		prewarm     = flag.Bool("prewarm", true, "pre-warm reverse-push indexes and walk-endpoint recordings for the catalog's suggested nodes at startup")
+		artifactCap = flag.Int64("artifact-cap-mb", 0, "total size cap in MiB for persisted artifacts (indexes + endpoint recordings); least recently accessed are swept first (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -47,13 +49,16 @@ func main() {
 		log.Fatal(err)
 	}
 	// Registry is left nil: the server builds the built-in registry
-	// over its persistent two-tier index store, so reverse-push target
-	// indexes computed before a restart are served from disk after it.
+	// over its persistent two-tier artifact caches, so reverse-push
+	// target indexes and walk-endpoint recordings computed before a
+	// restart are served from disk after it.
 	srv, err := server.New(server.Config{
-		Catalog:     catalog,
-		Store:       store,
-		Workers:     *workers,
-		TaskTimeout: *taskTimeout,
+		Catalog:          catalog,
+		Store:            store,
+		Workers:          *workers,
+		TaskTimeout:      *taskTimeout,
+		PreWarm:          *prewarm,
+		ArtifactCapBytes: *artifactCap << 20,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -75,6 +80,9 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Println("shutdown:", err)
 		}
+		// Stop background lifecycle work (pre-warm, artifact GC) before
+		// the scheduler so nothing computes into a closing system.
+		srv.Close()
 		if err := srv.Scheduler().Shutdown(shutdownCtx); err != nil {
 			log.Println("scheduler shutdown:", err)
 		}

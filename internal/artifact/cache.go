@@ -1,0 +1,361 @@
+// Package artifact implements the platform's generic two-tier
+// artifact cache: a bounded in-memory LRU in front of an optional
+// persisted disk tier, with single-flight computation on miss.
+//
+// The cache is the one tiering engine behind every precomputed
+// artifact the BiPPR subsystem reuses across queries — reverse-push
+// target indexes and recorded walk-endpoint sets — so the invariants
+// that make those caches safe live in exactly one place:
+//
+//   - Single-flight: concurrent misses for one key share a single
+//     computation (and a single disk probe); every waiter receives the
+//     same value instance. A waiter whose computing peer fails retries
+//     the computation itself rather than inheriting the peer's error.
+//
+//   - Corruption-as-miss: the disk tier can only ever cost time, never
+//     correctness. An absent, truncated, bit-flipped, version-skewed,
+//     or otherwise undecodable artifact is treated as a cache miss —
+//     the value is recomputed and the artifact overwritten — and a
+//     failed save only loses future reuse. Both are counted in
+//     Stats.DiskErrors (absent files are ordinary cold misses and are
+//     not).
+//
+//   - Key stability across restarts: Config.DiskKey must be a pure
+//     function of the key's *content* (e.g. a structural graph
+//     fingerprint plus the exact float bits of every parameter), never
+//     of process state such as pointers, so a restarted process finds
+//     the artifacts its predecessor wrote. The in-memory key K may
+//     carry process-local identity (a graph pointer) as long as
+//     DiskKey ignores it.
+//
+//   - Shared values: cached values are returned to many callers
+//     concurrently and must be treated as immutable.
+//
+// Values may optionally be weighted (Config.Weight/WeightBudget): the
+// LRU then also evicts while the total weight exceeds the budget,
+// always keeping at least the most recently inserted entry — it was
+// just paid for and is about to be used.
+package artifact
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+	"sync/atomic"
+)
+
+// Tier reports where a cached value came from.
+type Tier int
+
+const (
+	// TierComputed: the caller paid for the computation itself.
+	TierComputed Tier = iota
+	// TierMemory: served from the in-memory LRU (or by riding a
+	// concurrent caller's in-flight computation).
+	TierMemory
+	// TierDisk: deserialized from a persisted artifact — no
+	// computation ran anywhere.
+	TierDisk
+)
+
+// String names the tier for logs and tables.
+func (t Tier) String() string {
+	switch t {
+	case TierMemory:
+		return "memory"
+	case TierDisk:
+		return "disk"
+	default:
+		return "computed"
+	}
+}
+
+// DiskTier is the persistence contract a tiered cache writes through,
+// implemented by the platform's datastore (one instance per artifact
+// kind). dir groups artifacts (a structural graph fingerprint) and
+// key names one artifact within the group; both are filesystem-safe.
+// Load returns an error wrapping fs.ErrNotExist when the artifact
+// does not exist; callers treat any load error as a miss.
+type DiskTier interface {
+	Load(dir, key string) ([]byte, error)
+	Save(dir, key string, data []byte) error
+}
+
+// Stats is a snapshot of a Cache's counters. Hits split by tier so
+// operators can tell a restart-warm disk cache from a hot in-memory
+// one.
+type Stats struct {
+	// MemoryHits counts lookups served by the LRU or by riding a
+	// concurrent in-flight computation.
+	MemoryHits int64 `json:"memory_hits"`
+	// DiskHits counts lookups served by deserializing a persisted
+	// artifact — the restart-warm path.
+	DiskHits int64 `json:"disk_hits"`
+	// Misses counts computations actually paid.
+	Misses int64 `json:"misses"`
+	// DiskWrites / DiskBytesWritten count persisted artifacts.
+	DiskWrites       int64 `json:"disk_writes"`
+	DiskBytesWritten int64 `json:"disk_bytes_written"`
+	// DiskErrors counts failed loads of an existing artifact
+	// (corruption, version skew, I/O errors) and failed encodes or
+	// saves. Each one is absorbed as a miss or a skipped write, never
+	// an error to the caller.
+	DiskErrors int64 `json:"disk_errors"`
+	// MemoryEntries is the LRU's current size.
+	MemoryEntries int `json:"memory_entries"`
+	// Weight is the total Config.Weight over resident entries (0 when
+	// the cache is unweighted).
+	Weight int64 `json:"weight,omitempty"`
+}
+
+// Config parameterizes a Cache. Capacity and the codec trio
+// (Encode/Decode/DiskKey) are required when Disk is set; a nil Disk
+// makes the cache memory-only and the codec unused.
+type Config[K comparable, V any] struct {
+	// Capacity bounds the memory LRU in entries; must be positive.
+	Capacity int
+	// Disk is the persistence tier; nil degrades to memory-only.
+	Disk DiskTier
+	// DiskKey maps a key to its artifact address. It must depend only
+	// on restart-stable key content (see the package comment).
+	DiskKey func(K) (dir, key string)
+	// Encode serializes a value for the disk tier. It receives the
+	// key so self-describing formats can embed the parameters the
+	// value was computed under (which Decode then echoes back against
+	// a future request).
+	Encode func(K, V) ([]byte, error)
+	// Decode parses an artifact back into a value. It receives the
+	// requesting key so it can validate the artifact against the
+	// request (parameter echo, node-count bounds) and reject a forged
+	// or misplaced file as corrupt before trusting its length fields.
+	Decode func(K, []byte) (V, error)
+	// Weight sizes one value for WeightBudget-based eviction; nil
+	// leaves the cache bounded by Capacity alone.
+	Weight func(V) int64
+	// WeightBudget caps the total Weight of resident entries (0 =
+	// unlimited). Eviction keeps at least the most recent entry even
+	// when it alone exceeds the budget.
+	WeightBudget int64
+}
+
+// Cache is the generic two-tier cache. It is safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	cfg Config[K, V]
+
+	mu       sync.Mutex
+	order    *list.List // front = most recently used; values are *entry[K, V]
+	entries  map[K]*list.Element
+	inflight map[K]*inflightCall[V]
+	memHits  int64
+	weight   int64
+
+	diskHits   atomic.Int64
+	misses     atomic.Int64
+	diskWrites atomic.Int64
+	diskBytes  atomic.Int64
+	diskErrors atomic.Int64
+}
+
+type entry[K comparable, V any] struct {
+	key    K
+	val    V
+	weight int64
+}
+
+// inflightCall is one in-progress computation; waiters block on done.
+type inflightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// New builds a cache from cfg. It panics on a non-positive capacity
+// or a disk tier without a complete codec — both are programming
+// errors, not runtime conditions.
+func New[K comparable, V any](cfg Config[K, V]) *Cache[K, V] {
+	if cfg.Capacity <= 0 {
+		panic("artifact: cache capacity must be positive")
+	}
+	if cfg.Disk != nil && (cfg.Encode == nil || cfg.Decode == nil || cfg.DiskKey == nil) {
+		panic("artifact: disk tier requires Encode, Decode and DiskKey")
+	}
+	return &Cache[K, V]{
+		cfg:      cfg,
+		order:    list.New(),
+		entries:  make(map[K]*list.Element, cfg.Capacity),
+		inflight: make(map[K]*inflightCall[V]),
+	}
+}
+
+// GetOrCompute returns the value for key, where it came from, and any
+// error. On a miss in both tiers it runs compute — at most once per
+// key across all concurrent callers; riders on an in-flight
+// computation report TierMemory. Waiters honor their own ctx while
+// blocked. The returned value is shared: callers must not mutate it.
+func (c *Cache[K, V]) GetOrCompute(ctx context.Context, key K, compute func() (V, error)) (V, Tier, error) {
+	var zero V
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.memHits++
+			c.order.MoveToFront(el)
+			val := el.Value.(*entry[K, V]).val
+			c.mu.Unlock()
+			return val, TierMemory, nil
+		}
+		if call, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return zero, TierComputed, fmt.Errorf("artifact: waiting for shared computation: %w", ctx.Err())
+			}
+			if call.err == nil {
+				c.mu.Lock()
+				c.memHits++
+				c.mu.Unlock()
+				return call.val, TierMemory, nil
+			}
+			continue // peer failed; try computing ourselves
+		}
+		call := &inflightCall[V]{done: make(chan struct{})}
+		c.inflight[key] = call
+		c.mu.Unlock()
+
+		// The disk probe and the computation both run under the same
+		// single-flight slot, so concurrent misses share one disk read
+		// or one computation.
+		tier := TierComputed
+		if val, ok := c.loadFromDisk(key); ok {
+			call.val, tier = val, TierDisk
+		} else {
+			call.val, call.err = compute()
+			if call.err == nil {
+				c.misses.Add(1)
+				c.saveToDisk(key, call.val)
+			}
+		}
+		// Retire the inflight entry and publish the result in one
+		// critical section, so no concurrent caller can observe the key
+		// as neither cached nor inflight and start a duplicate
+		// computation.
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if call.err == nil {
+			c.putLocked(key, call.val)
+		}
+		c.mu.Unlock()
+		close(call.done)
+		if call.err != nil {
+			return zero, TierComputed, call.err
+		}
+		return call.val, tier, nil
+	}
+}
+
+// Peek reports whether key is resident in the memory tier without
+// touching LRU order, disk, or the hit counters.
+func (c *Cache[K, V]) Peek(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// loadFromDisk probes the disk tier; any failure — absent file,
+// truncation, checksum mismatch, version skew, or a mismatch against
+// the requesting key — returns false and the caller computes.
+func (c *Cache[K, V]) loadFromDisk(key K) (V, bool) {
+	var zero V
+	if c.cfg.Disk == nil {
+		return zero, false
+	}
+	dir, name := c.cfg.DiskKey(key)
+	data, err := c.cfg.Disk.Load(dir, name)
+	if err != nil {
+		// Absent artifact = ordinary cold miss. Anything else (EACCES,
+		// EIO) means the disk tier is sick — still a miss, but counted
+		// so a dead tier is visible in the stats instead of
+		// masquerading as an eternally cold cache.
+		if !errors.Is(err, fs.ErrNotExist) {
+			c.diskErrors.Add(1)
+		}
+		return zero, false
+	}
+	val, err := c.cfg.Decode(key, data)
+	if err != nil {
+		c.diskErrors.Add(1)
+		return zero, false
+	}
+	c.diskHits.Add(1)
+	return val, true
+}
+
+// saveToDisk persists a freshly computed value, best-effort.
+func (c *Cache[K, V]) saveToDisk(key K, val V) {
+	if c.cfg.Disk == nil {
+		return
+	}
+	data, err := c.cfg.Encode(key, val)
+	if err != nil {
+		c.diskErrors.Add(1)
+		return
+	}
+	dir, name := c.cfg.DiskKey(key)
+	if err := c.cfg.Disk.Save(dir, name, data); err != nil {
+		c.diskErrors.Add(1)
+		return
+	}
+	c.diskWrites.Add(1)
+	c.diskBytes.Add(int64(len(data)))
+}
+
+// putLocked inserts a value, evicting least-recently-used entries
+// while the cache is over its entry capacity or its weight budget.
+// Re-inserting an existing key refreshes its value. The caller must
+// hold c.mu.
+func (c *Cache[K, V]) putLocked(key K, val V) {
+	var w int64
+	if c.cfg.Weight != nil {
+		w = c.cfg.Weight(val)
+	}
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry[K, V])
+		c.weight += w - e.weight
+		e.val, e.weight = val, w
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[key] = c.order.PushFront(&entry[K, V]{key: key, val: val, weight: w})
+		c.weight += w
+	}
+	overBudget := func() bool {
+		return c.cfg.WeightBudget > 0 && c.weight > c.cfg.WeightBudget
+	}
+	for (c.order.Len() > c.cfg.Capacity || overBudget()) && c.order.Len() > 1 {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		e := oldest.Value.(*entry[K, V])
+		delete(c.entries, e.key)
+		c.weight -= e.weight
+	}
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache[K, V]) Stats() Stats {
+	c.mu.Lock()
+	memHits, size, weight := c.memHits, c.order.Len(), c.weight
+	c.mu.Unlock()
+	return Stats{
+		MemoryHits:       memHits,
+		DiskHits:         c.diskHits.Load(),
+		Misses:           c.misses.Load(),
+		DiskWrites:       c.diskWrites.Load(),
+		DiskBytesWritten: c.diskBytes.Load(),
+		DiskErrors:       c.diskErrors.Load(),
+		MemoryEntries:    size,
+		Weight:           weight,
+	}
+}

@@ -170,6 +170,14 @@ type Params struct {
 	ReuseEndpoints bool
 }
 
+// WithDefaults returns p with every zero field replaced by the
+// package default — the exact parameter set estimator entry points
+// run with. Serving layers that talk to the caches directly (the
+// server's startup pre-warm, which records walk passes the same way
+// a later query will look them up) use it so their cache keys match
+// query-time keys bit for bit.
+func (p Params) WithDefaults() Params { return p.withDefaults() }
+
 // withDefaults fills zero fields.
 func (p Params) withDefaults() Params {
 	if p.Alpha == 0 {

@@ -356,12 +356,11 @@ func TestEstimatorSingleFlight(t *testing.T) {
 }
 
 func TestGetOrComputeWaiterHonorsOwnContext(t *testing.T) {
-	c := newIndexCache(4)
-	key := indexKey{target: 1, alpha: 0.85, rmax: 1e-3}
+	c := NewMemoryStore(4)
 	release := make(chan struct{})
 	started := make(chan struct{})
 	go func() {
-		_, _, _ = c.getOrCompute(context.Background(), key, func() (*TargetIndex, error) {
+		_, _, _ = c.GetOrCompute(context.Background(), nil, 1, 0.85, 1e-3, func() (*TargetIndex, error) {
 			close(started)
 			<-release
 			return &TargetIndex{}, nil
@@ -373,7 +372,7 @@ func TestGetOrComputeWaiterHonorsOwnContext(t *testing.T) {
 	// of blocking on the peer's push.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, err := c.getOrCompute(ctx, key, func() (*TargetIndex, error) {
+	_, _, err := c.GetOrCompute(ctx, nil, 1, 0.85, 1e-3, func() (*TargetIndex, error) {
 		t.Error("cancelled waiter ran the computation")
 		return nil, nil
 	})
@@ -384,13 +383,12 @@ func TestGetOrComputeWaiterHonorsOwnContext(t *testing.T) {
 }
 
 func TestGetOrComputeWaiterRetriesAfterPeerFailure(t *testing.T) {
-	c := newIndexCache(4)
-	key := indexKey{target: 2, alpha: 0.85, rmax: 1e-3}
+	c := NewMemoryStore(4)
 	release := make(chan struct{})
 	started := make(chan struct{})
 	peerErr := fmt.Errorf("peer cancelled")
 	go func() {
-		_, _, _ = c.getOrCompute(context.Background(), key, func() (*TargetIndex, error) {
+		_, _, _ = c.GetOrCompute(context.Background(), nil, 2, 0.85, 1e-3, func() (*TargetIndex, error) {
 			close(started)
 			<-release
 			return nil, peerErr
@@ -400,11 +398,11 @@ func TestGetOrComputeWaiterRetriesAfterPeerFailure(t *testing.T) {
 
 	done := make(chan struct{})
 	var idx *TargetIndex
-	var cached bool
+	var tier Tier
 	var err error
 	go func() {
 		defer close(done)
-		idx, cached, err = c.getOrCompute(context.Background(), key, func() (*TargetIndex, error) {
+		idx, tier, err = c.GetOrCompute(context.Background(), nil, 2, 0.85, 1e-3, func() (*TargetIndex, error) {
 			return &TargetIndex{Pushes: 7}, nil
 		})
 	}()
@@ -413,8 +411,8 @@ func TestGetOrComputeWaiterRetriesAfterPeerFailure(t *testing.T) {
 	if err != nil {
 		t.Fatalf("waiter failed instead of retrying: %v", err)
 	}
-	if cached {
-		t.Error("retrying waiter reported cached=true")
+	if tier != TierComputed {
+		t.Error("retrying waiter reported a cache tier")
 	}
 	if idx == nil || idx.Pushes != 7 {
 		t.Errorf("waiter did not run its own computation: %+v", idx)

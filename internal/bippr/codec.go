@@ -212,6 +212,193 @@ func decodeVector(r *byteReader, n int) (*Vector, error) {
 	return x, nil
 }
 
+// On-disk walk-endpoint format (little endian):
+//
+//	magic    [4]byte  "BPEP"
+//	version  uint16   endpointCodecVersion
+//	source   int32
+//	alpha    float64
+//	seed     int64
+//	maxSteps int64
+//	walks    int64
+//	chunks   int64    must equal numChunks(walks)
+//	per chunk:
+//	  n      int64    RLE entries
+//	  n × (node int32, count int32)   nodes strictly increasing
+//	crc32    uint32   IEEE checksum of everything above
+//
+// A recorded endpoint set is a pure function of (graph structure,
+// source, alpha, seed, maxSteps, walks) — the same purity that makes
+// reverse-push indexes safe to persist — so the header echoes every
+// parameter and loaders reject a file whose echo differs from the
+// request. Like the index format, the trailing checksum plus the
+// version field make loads corruption-tolerant: a damaged artifact
+// fails to decode, the caller re-walks and overwrites, and a bad file
+// can cost time, never correctness.
+
+// endpointCodecVersion is bumped whenever the layout above changes;
+// decoding any other version fails with ErrEndpointsVersion.
+const endpointCodecVersion uint16 = 1
+
+var endpointMagic = [4]byte{'B', 'P', 'E', 'P'}
+
+// ErrEndpointsVersion reports an endpoint artifact written by a
+// different codec version. Loaders treat it as a miss and re-walk.
+var ErrEndpointsVersion = errors.New("bippr: endpoint artifact version mismatch")
+
+// ErrEndpointsCorrupt reports an endpoint artifact that failed
+// structural or checksum validation. Loaders treat it as a miss and
+// re-walk.
+var ErrEndpointsCorrupt = errors.New("bippr: endpoint artifact corrupt")
+
+// EndpointArtifact couples a recorded endpoint set with the walk
+// parameters it was recorded under — the codec's unit of persistence.
+// The walk count lives in Set.Walks.
+type EndpointArtifact struct {
+	Source   graph.NodeID
+	Alpha    float64
+	Seed     int64
+	MaxSteps int
+	Set      *EndpointSet
+}
+
+// EncodeEndpoints serializes a recorded walk pass into the versioned
+// binary artifact format above.
+func EncodeEndpoints(a EndpointArtifact) ([]byte, error) {
+	if a.Set == nil || a.Set.Walks <= 0 {
+		return nil, fmt.Errorf("bippr: cannot encode empty endpoint set")
+	}
+	if len(a.Set.chunks) != numChunks(a.Set.Walks) {
+		return nil, fmt.Errorf("bippr: endpoint set has %d chunks for %d walks, want %d",
+			len(a.Set.chunks), a.Set.Walks, numChunks(a.Set.Walks))
+	}
+	var buf bytes.Buffer
+	buf.Write(endpointMagic[:])
+	writeU16(&buf, endpointCodecVersion)
+	writeU32(&buf, uint32(a.Source))
+	writeU64(&buf, math.Float64bits(a.Alpha))
+	writeU64(&buf, uint64(a.Seed))
+	writeU64(&buf, uint64(a.MaxSteps))
+	writeU64(&buf, uint64(a.Set.Walks))
+	writeU64(&buf, uint64(len(a.Set.chunks)))
+	for _, chunk := range a.Set.chunks {
+		writeU64(&buf, uint64(len(chunk)))
+		for _, e := range chunk {
+			writeU32(&buf, uint32(e.Node))
+			writeU32(&buf, uint32(e.Count))
+		}
+	}
+	writeU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
+	return buf.Bytes(), nil
+}
+
+// DecodeEndpoints parses an artifact written by EncodeEndpoints,
+// without bounding node ids (offline tools and tests that have no
+// graph at hand).
+func DecodeEndpoints(data []byte) (EndpointArtifact, error) {
+	return DecodeEndpointsSized(data, -1)
+}
+
+// DecodeEndpointsSized is DecodeEndpoints with the node count of the
+// graph the artifact is being loaded for: any recorded endpoint id at
+// or past wantNodes rejects the artifact as corrupt, so a damaged or
+// misplaced file can never index out of a weight vector's bounds.
+// wantNodes < 0 skips the check. Structural damage yields
+// ErrEndpointsCorrupt and a version change ErrEndpointsVersion, so
+// callers can uniformly fall back to re-walking.
+func DecodeEndpointsSized(data []byte, wantNodes int) (EndpointArtifact, error) {
+	var a EndpointArtifact
+	r := &byteReader{data: data}
+	var magic [4]byte
+	if err := r.read(magic[:]); err != nil || magic != endpointMagic {
+		return a, fmt.Errorf("%w: bad magic", ErrEndpointsCorrupt)
+	}
+	version, err := r.u16()
+	if err != nil {
+		return a, fmt.Errorf("%w: truncated header", ErrEndpointsCorrupt)
+	}
+	if version != endpointCodecVersion {
+		return a, fmt.Errorf("%w: file version %d, codec version %d",
+			ErrEndpointsVersion, version, endpointCodecVersion)
+	}
+	// Validate the checksum before trusting any length fields.
+	if len(data) < 8 {
+		return a, fmt.Errorf("%w: truncated", ErrEndpointsCorrupt)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return a, fmt.Errorf("%w: checksum mismatch", ErrEndpointsCorrupt)
+	}
+	r.limit = len(body)
+
+	source, err1 := r.u32()
+	alpha, err2 := r.u64()
+	seed, err3 := r.u64()
+	maxSteps, err4 := r.u64()
+	walks, err5 := r.u64()
+	chunks, err6 := r.u64()
+	if err := errors.Join(err1, err2, err3, err4, err5, err6); err != nil {
+		return a, fmt.Errorf("%w: truncated header", ErrEndpointsCorrupt)
+	}
+	if walks == 0 || walks > MaxWalks {
+		return a, fmt.Errorf("%w: implausible walk count %d", ErrEndpointsCorrupt, walks)
+	}
+	if maxSteps > 1<<32 {
+		return a, fmt.Errorf("%w: implausible step cap %d", ErrEndpointsCorrupt, maxSteps)
+	}
+	if chunks != uint64(numChunks(int(walks))) {
+		return a, fmt.Errorf("%w: %d chunks for %d walks, want %d",
+			ErrEndpointsCorrupt, chunks, walks, numChunks(int(walks)))
+	}
+	a.Source = graph.NodeID(source)
+	a.Alpha = math.Float64frombits(alpha)
+	a.Seed = int64(seed)
+	a.MaxSteps = int(maxSteps)
+	set := &EndpointSet{Walks: int(walks), chunks: make([][]EndpointCount, chunks)}
+	for c := range set.chunks {
+		n, err := r.u64()
+		if err != nil {
+			return a, fmt.Errorf("%w: truncated chunk header", ErrEndpointsCorrupt)
+		}
+		// A chunk records at most one endpoint per walk; each entry is
+		// 8 bytes, so a claimed count the buffer cannot hold is
+		// rejected before allocating for it.
+		if n > uint64(chunkCount(int(walks), c)) || n*8 > uint64(r.remaining()) {
+			return a, fmt.Errorf("%w: chunk %d claims %d endpoints", ErrEndpointsCorrupt, c, n)
+		}
+		chunk := make([]EndpointCount, n)
+		var total int64
+		for i := range chunk {
+			node, err1 := r.u32()
+			count, err2 := r.u32()
+			if err := errors.Join(err1, err2); err != nil {
+				return a, fmt.Errorf("%w: truncated chunk entries", ErrEndpointsCorrupt)
+			}
+			if wantNodes >= 0 && node >= uint32(wantNodes) {
+				return a, fmt.Errorf("%w: node %d outside [0,%d)", ErrEndpointsCorrupt, node, wantNodes)
+			}
+			if i > 0 && graph.NodeID(node) <= chunk[i-1].Node {
+				return a, fmt.Errorf("%w: chunk %d nodes not strictly increasing", ErrEndpointsCorrupt, c)
+			}
+			if count == 0 || int64(count) > int64(chunkCount(int(walks), c)) {
+				return a, fmt.Errorf("%w: chunk %d implausible count %d", ErrEndpointsCorrupt, c, count)
+			}
+			total += int64(count)
+			chunk[i] = EndpointCount{Node: graph.NodeID(node), Count: int32(count)}
+		}
+		if total > int64(chunkCount(int(walks), c)) {
+			return a, fmt.Errorf("%w: chunk %d records %d endpoints for %d walks",
+				ErrEndpointsCorrupt, c, total, chunkCount(int(walks), c))
+		}
+		set.chunks[c] = chunk
+	}
+	if r.pos != r.limit {
+		return a, fmt.Errorf("%w: %d trailing bytes", ErrEndpointsCorrupt, r.limit-r.pos)
+	}
+	a.Set = set
+	return a, nil
+}
+
 // --- little-endian helpers over bytes.Buffer / []byte ---
 
 func writeU16(buf *bytes.Buffer, x uint16) {

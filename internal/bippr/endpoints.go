@@ -1,11 +1,12 @@
 package bippr
 
 import (
-	"container/list"
 	"context"
 	"fmt"
-	"sync"
+	"math"
+	"sync/atomic"
 
+	"github.com/cyclerank/cyclerank-go/internal/artifact"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
 )
 
@@ -62,9 +63,12 @@ func (s *EndpointSet) NonZeros() int {
 // its recordings while any structural change lands in a fresh key and
 // the stale entries age out of the LRU. All walk parameters that shape
 // the sample — alpha, seed, step cap, walk count — are part of the
-// key, so distinct parameters can never alias.
+// key, so distinct parameters can never alias. nodes is implied by fp
+// (the fingerprint covers the node count) and rides along so the disk
+// decoder can bound recorded node ids without a graph handle.
 type endpointKey struct {
 	fp       string
+	nodes    int
 	source   graph.NodeID
 	alpha    float64
 	seed     int64
@@ -74,8 +78,9 @@ type endpointKey struct {
 
 // EndpointStats is a snapshot of an EndpointCache's counters.
 type EndpointStats struct {
-	// Hits counts queries that re-weighted recorded endpoints (or rode
-	// a concurrent recording) instead of simulating walks.
+	// Hits counts queries that re-weighted recorded endpoints — from
+	// the memory LRU, by riding a concurrent recording, or by loading
+	// a persisted artifact — instead of simulating walks.
 	Hits int64 `json:"hits"`
 	// Misses counts walk passes actually simulated and recorded.
 	Misses int64 `json:"misses"`
@@ -86,6 +91,16 @@ type EndpointStats struct {
 	Pairs int64 `json:"pairs"`
 	// WalksAvoided totals the walks hits did not have to simulate.
 	WalksAvoided int64 `json:"walks_avoided"`
+	// DiskHits counts hits served by deserializing a persisted
+	// recording — the restart-warm path (also included in Hits).
+	DiskHits int64 `json:"disk_hits"`
+	// DiskWrites / DiskBytesWritten count persisted recordings.
+	DiskWrites       int64 `json:"disk_writes"`
+	DiskBytesWritten int64 `json:"disk_bytes_written"`
+	// DiskErrors counts failed loads of an existing artifact
+	// (corruption, version skew) and failed saves — absorbed as
+	// misses or skipped writes, never query errors.
+	DiskErrors int64 `json:"disk_errors"`
 }
 
 // maxEndpointPairs bounds the cache's TOTAL stored (node, count)
@@ -95,146 +110,152 @@ type EndpointStats struct {
 // counts would otherwise pin gigabytes. Eviction keeps at least the
 // most recent recording even when it alone exceeds the budget — it
 // was just paid for and is about to be used. A variable, not a const,
-// so tests can tighten it.
+// so tests can tighten it; read at cache construction.
 var maxEndpointPairs = int64(1) << 22
 
-// endpointInflight is one in-progress recording; waiters block on done.
-type endpointInflight struct {
-	done chan struct{}
-	set  *EndpointSet
-	err  error
+// EndpointDiskTier is the persistence contract of the endpoint
+// cache's disk tier, implemented by the platform's datastore. graphFP
+// is a structural graph fingerprint and key a filesystem-safe
+// recording key (EndpointFileKey); Load returns an error wrapping
+// fs.ErrNotExist when the artifact does not exist, and any load error
+// is treated as a miss.
+type EndpointDiskTier interface {
+	LoadEndpoints(graphFP, key string) ([]byte, error)
+	SaveEndpoints(graphFP, key string, data []byte) error
 }
 
-// EndpointCache is a concurrency-safe LRU of recorded walk endpoints
-// with single-flight recording: concurrent queries from the same
-// source share one walk pass, and later queries against *different
-// targets* re-weight the recorded endpoints instead of re-walking —
-// the cross-request walk reuse the bidirectional split makes possible
-// (the walk side depends on the source only; the target enters purely
-// through the residual weights).
+// endpointDisk adapts EndpointDiskTier onto the generic
+// artifact.DiskTier.
+type endpointDisk struct{ d EndpointDiskTier }
+
+func (a endpointDisk) Load(dir, key string) ([]byte, error) { return a.d.LoadEndpoints(dir, key) }
+func (a endpointDisk) Save(dir, key string, data []byte) error {
+	return a.d.SaveEndpoints(dir, key, data)
+}
+
+// EndpointFileKey is the filesystem-safe artifact key of one recorded
+// walk pass: the source id plus the exact bit patterns of every walk
+// parameter that shapes the sample, so distinct parameters can never
+// collide.
+func EndpointFileKey(source graph.NodeID, alpha float64, seed int64, maxSteps, walks int) string {
+	return fmt.Sprintf("s%d-a%016x-s%016x-m%d-w%d",
+		source, math.Float64bits(alpha), uint64(seed), maxSteps, walks)
+}
+
+// endpointConfig parameterizes the generic artifact cache for
+// recorded walk passes: fingerprint+parameter disk addressing, the
+// versioned+CRC endpoint codec with decode-time validation against
+// the requesting key, and the pairs budget as the cache's weight
+// bound.
+func endpointConfig(capacity int, disk EndpointDiskTier) artifact.Config[endpointKey, *EndpointSet] {
+	cfg := artifact.Config[endpointKey, *EndpointSet]{
+		Capacity:     capacity,
+		Weight:       func(s *EndpointSet) int64 { return int64(s.NonZeros()) },
+		WeightBudget: maxEndpointPairs,
+	}
+	if disk == nil {
+		return cfg
+	}
+	cfg.Disk = endpointDisk{disk}
+	cfg.DiskKey = func(k endpointKey) (string, string) {
+		return k.fp, EndpointFileKey(k.source, k.alpha, k.seed, k.maxSteps, k.walks)
+	}
+	cfg.Encode = func(k endpointKey, set *EndpointSet) ([]byte, error) {
+		return EncodeEndpoints(EndpointArtifact{
+			Source: k.source, Alpha: k.alpha, Seed: k.seed, MaxSteps: k.maxSteps, Set: set,
+		})
+	}
+	cfg.Decode = func(k endpointKey, data []byte) (*EndpointSet, error) {
+		a, err := DecodeEndpointsSized(data, k.nodes)
+		if err != nil {
+			return nil, err
+		}
+		// The fingerprint and file key should make these impossible;
+		// they guard against a hand-edited or misplaced artifact.
+		if a.Source != k.source || a.Alpha != k.alpha || a.Seed != k.seed ||
+			a.MaxSteps != k.maxSteps || a.Set.Walks != k.walks {
+			return nil, fmt.Errorf("%w: artifact parameters do not match the request", ErrEndpointsCorrupt)
+		}
+		return a.Set, nil
+	}
+	return cfg
+}
+
+// EndpointCache caches recorded walk endpoints with single-flight
+// recording: concurrent queries from the same source share one walk
+// pass, and later queries against *different targets* re-weight the
+// recorded endpoints instead of re-walking — the cross-request walk
+// reuse the bidirectional split makes possible (the walk side depends
+// on the source only; the target enters purely through the residual
+// weights). Built on the generic artifact cache, optionally with a
+// disk tier: recordings are pure functions of (graph fingerprint,
+// source, walk params), so a restarted server finds its warm sources
+// persisted and pays deserialization, not re-walking.
 type EndpointCache struct {
-	mu       sync.Mutex
-	capacity int
-	order    *list.List // front = most recently used; values are *endpointEntry
-	entries  map[endpointKey]*list.Element
-	inflight map[endpointKey]*endpointInflight
-
-	hits, misses, walksAvoided int64
-	pairs                      int64 // Σ NonZeros over entries; guarded by mu
+	cache        *artifact.Cache[endpointKey, *EndpointSet]
+	walksAvoided atomic.Int64
 }
 
-type endpointEntry struct {
-	key endpointKey
-	set *EndpointSet
-}
-
-// NewEndpointCache returns an endpoint cache holding up to capacity
-// recorded walk passes (capacity <= 0 selects DefaultEndpointCacheSize).
+// NewEndpointCache returns a memory-only endpoint cache holding up to
+// capacity recorded walk passes (capacity <= 0 selects
+// DefaultEndpointCacheSize).
 func NewEndpointCache(capacity int) *EndpointCache {
+	return NewTieredEndpointCache(capacity, nil)
+}
+
+// NewTieredEndpointCache returns an endpoint cache whose recordings
+// additionally persist through the given disk tier as versioned,
+// checksummed artifacts under endpoints/<graph-fp>/<key>.ep. A nil
+// disk degrades to memory-only behavior. Corrupt, truncated or
+// version-skewed artifacts are treated as misses and re-recorded.
+func NewTieredEndpointCache(capacity int, disk EndpointDiskTier) *EndpointCache {
 	if capacity <= 0 {
 		capacity = DefaultEndpointCacheSize
 	}
-	return &EndpointCache{
-		capacity: capacity,
-		order:    list.New(),
-		entries:  make(map[endpointKey]*list.Element, capacity),
-		inflight: make(map[endpointKey]*endpointInflight),
-	}
+	return &EndpointCache{cache: artifact.New(endpointConfig(capacity, disk))}
 }
 
 // GetOrRecord returns the recorded endpoint set for (g, source, p),
 // simulating and recording the walks with record on miss. record is
 // invoked at most once per key across concurrent callers; cached is
-// true when this caller did not pay for the walk pass itself. Waiters
-// honor their own ctx, and a waiter whose recording peer fails retries
-// the recording itself rather than inheriting the peer's error. p must
-// already have defaults applied.
+// true when this caller did not pay for the walk pass itself — an LRU
+// hit, a ride on a concurrent recording, or a persisted artifact.
+// Waiters honor their own ctx, and a waiter whose recording peer
+// fails retries the recording itself rather than inheriting the
+// peer's error. p must already have defaults applied.
 func (c *EndpointCache) GetOrRecord(ctx context.Context, g *graph.Graph, source graph.NodeID, p Params,
 	record func() (*EndpointSet, error)) (set *EndpointSet, cached bool, err error) {
 	key := endpointKey{
 		fp:       sharedFingerprints.get(g),
+		nodes:    g.NumNodes(),
 		source:   source,
 		alpha:    p.Alpha,
 		seed:     p.Seed,
 		maxSteps: p.MaxSteps,
 		walks:    p.Walks,
 	}
-	for {
-		c.mu.Lock()
-		if el, ok := c.entries[key]; ok {
-			c.hits++
-			c.walksAvoided += int64(key.walks)
-			c.order.MoveToFront(el)
-			c.mu.Unlock()
-			return el.Value.(*endpointEntry).set, true, nil
-		}
-		if call, ok := c.inflight[key]; ok {
-			c.mu.Unlock()
-			select {
-			case <-call.done:
-			case <-ctx.Done():
-				return nil, false, fmt.Errorf("bippr: waiting for shared walk pass: %w", ctx.Err())
-			}
-			if call.err == nil {
-				c.mu.Lock()
-				c.hits++
-				c.walksAvoided += int64(key.walks)
-				c.mu.Unlock()
-				return call.set, true, nil
-			}
-			continue // peer failed; try recording ourselves
-		}
-		c.misses++
-		call := &endpointInflight{done: make(chan struct{})}
-		c.inflight[key] = call
-		c.mu.Unlock()
-
-		call.set, call.err = record()
-		// Retire the inflight entry and publish in one critical section
-		// so no concurrent caller can observe the key as neither cached
-		// nor inflight and start a duplicate walk pass.
-		c.mu.Lock()
-		delete(c.inflight, key)
-		if call.err == nil {
-			c.putLocked(key, call.set)
-		}
-		c.mu.Unlock()
-		close(call.done)
-		return call.set, false, call.err
+	set, tier, err := c.cache.GetOrCompute(ctx, key, record)
+	if err != nil {
+		return nil, false, err
 	}
-}
-
-// putLocked inserts a set, evicting least-recently-used entries while
-// the cache is over its entry capacity OR its total-pairs budget
-// (maxEndpointPairs). The caller must hold c.mu.
-func (c *EndpointCache) putLocked(key endpointKey, set *EndpointSet) {
-	if el, ok := c.entries[key]; ok {
-		e := el.Value.(*endpointEntry)
-		c.pairs += int64(set.NonZeros()) - int64(e.set.NonZeros())
-		e.set = set
-		c.order.MoveToFront(el)
-	} else {
-		c.entries[key] = c.order.PushFront(&endpointEntry{key: key, set: set})
-		c.pairs += int64(set.NonZeros())
+	if tier != TierComputed {
+		c.walksAvoided.Add(int64(key.walks))
 	}
-	for (c.order.Len() > c.capacity || c.pairs > maxEndpointPairs) && c.order.Len() > 1 {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		e := oldest.Value.(*endpointEntry)
-		delete(c.entries, e.key)
-		c.pairs -= int64(e.set.NonZeros())
-	}
+	return set, tier != TierComputed, nil
 }
 
 // Stats returns a snapshot of the cache's counters.
 func (c *EndpointCache) Stats() EndpointStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.cache.Stats()
 	return EndpointStats{
-		Hits:         c.hits,
-		Misses:       c.misses,
-		Entries:      c.order.Len(),
-		Pairs:        c.pairs,
-		WalksAvoided: c.walksAvoided,
+		Hits:             s.MemoryHits + s.DiskHits,
+		Misses:           s.Misses,
+		Entries:          s.MemoryEntries,
+		Pairs:            s.Weight,
+		WalksAvoided:     c.walksAvoided.Load(),
+		DiskHits:         s.DiskHits,
+		DiskWrites:       s.DiskWrites,
+		DiskBytesWritten: s.DiskBytesWritten,
+		DiskErrors:       s.DiskErrors,
 	}
 }

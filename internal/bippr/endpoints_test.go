@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"github.com/cyclerank/cyclerank-go/internal/datastore"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
 )
 
@@ -52,6 +55,49 @@ func TestEndpointReuseMatchesFreshWalks(t *testing.T) {
 					t.Errorf("trial %d (n=%d walks=%d recorded-by=%d weight %d): reused %v != fresh %v",
 						trial, n, walks, workers, k, reused, fresh)
 				}
+			}
+		}
+
+		// Store-reopen leg: the equivalence must survive persistence.
+		// Record through a tiered cache over a real datastore, then
+		// "restart" (fresh cache, fresh datastore handle, same files)
+		// and re-weight the DESERIALIZED recording — still bit-identical
+		// to fresh walks, with the walk pass never re-run.
+		dir := t.TempDir()
+		p := Params{Alpha: 0.85, Seed: w.seed, MaxSteps: w.maxSteps, Walks: walks}
+		open := func() *EndpointCache {
+			ds, err := datastore.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return NewTieredEndpointCache(4, ds)
+		}
+		if _, _, err := open().GetOrRecord(context.Background(), g, source, p, func() (*EndpointSet, error) {
+			return w.Endpoints(context.Background(), source, walks, 1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		reopened := open()
+		restored, cached, err := reopened.GetOrRecord(context.Background(), g, source, p, func() (*EndpointSet, error) {
+			t.Error("walk pass re-ran after store reopen; expected a disk-tier hit")
+			return w.Endpoints(context.Background(), source, walks, 1)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cached {
+			t.Fatalf("trial %d: reopened recording not reported cached", trial)
+		}
+		if s := reopened.Stats(); s.DiskHits != 1 || s.Misses != 0 || s.DiskErrors != 0 {
+			t.Fatalf("trial %d: reopened stats = %+v, want exactly one disk hit", trial, s)
+		}
+		for k, wv := range weights {
+			fresh, err := w.EstimateSum(context.Background(), source, walks, wv, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reused := restored.EstimateSum(wv); reused != fresh {
+				t.Errorf("trial %d weight %d: deserialized recording %v != fresh %v", trial, k, reused, fresh)
 			}
 		}
 	}
@@ -275,6 +321,75 @@ func TestEndpointCachePairsBudget(t *testing.T) {
 	}
 	if stats := cache.Stats(); stats.Entries >= 8 {
 		t.Errorf("pairs budget never evicted: %+v", stats)
+	}
+}
+
+// TestTieredEndpointCacheCorruptArtifact: a damaged persisted
+// recording is a miss — re-walked, recounted, and overwritten — never
+// an error, and never a wrong estimate.
+func TestTieredEndpointCacheCorruptArtifact(t *testing.T) {
+	dir := t.TempDir()
+	g := randomGraph(t, 60, 250, 31, true)
+	w := NewWalkEstimator(g, 0.85, 1, 0)
+	p := Params{Alpha: 0.85, Seed: 1, MaxSteps: DefaultMaxSteps, Walks: 500}
+	record := func() (*EndpointSet, error) {
+		return w.Endpoints(context.Background(), 3, p.Walks, 1)
+	}
+	open := func() *EndpointCache {
+		ds, err := datastore.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewTieredEndpointCache(4, ds)
+	}
+	if _, _, err := open().GetOrRecord(context.Background(), g, 3, p, record); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the persisted artifact.
+	var artifactPath string
+	err := filepath.WalkDir(filepath.Join(dir, "endpoints"), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			artifactPath = path
+		}
+		return err
+	})
+	if err != nil || artifactPath == "" {
+		t.Fatalf("no persisted endpoint artifact found (%v)", err)
+	}
+	data, err := os.ReadFile(artifactPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(artifactPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened := open()
+	recorded := false
+	set, cached, err := reopened.GetOrRecord(context.Background(), g, 3, p, func() (*EndpointSet, error) {
+		recorded = true
+		return record()
+	})
+	if err != nil {
+		t.Fatalf("corrupt artifact surfaced as error: %v", err)
+	}
+	if !recorded || cached {
+		t.Fatalf("corrupt artifact served without re-walking (cached=%v)", cached)
+	}
+	if s := reopened.Stats(); s.DiskErrors != 1 || s.Misses != 1 || s.DiskHits != 0 {
+		t.Fatalf("stats after corruption = %+v", s)
+	}
+	if set.Walks != p.Walks {
+		t.Fatalf("re-recorded set malformed: %+v", set)
+	}
+	// The re-record overwrote the bad artifact: the next reopen hits.
+	final := open()
+	if _, cached, err := final.GetOrRecord(context.Background(), g, 3, p, func() (*EndpointSet, error) {
+		t.Error("walk pass ran despite a repaired artifact")
+		return record()
+	}); err != nil || !cached {
+		t.Fatalf("repaired artifact not served (cached=%v err=%v)", cached, err)
 	}
 }
 

@@ -2,41 +2,25 @@ package bippr
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"io/fs"
 	"math"
 	"sync"
-	"sync/atomic"
 
+	"github.com/cyclerank/cyclerank-go/internal/artifact"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
 )
 
-// Tier reports where a target index came from.
-type Tier int
+// Tier re-exports the generic artifact tier: where a cached value
+// came from. TierComputed means the caller paid for the work itself,
+// TierMemory an LRU hit (or a ride on a concurrent caller's in-flight
+// computation), TierDisk a deserialized persisted artifact.
+type Tier = artifact.Tier
 
 const (
-	// TierComputed: the caller paid for the reverse push itself.
-	TierComputed Tier = iota
-	// TierMemory: served from the in-memory LRU (or by riding a
-	// concurrent caller's in-flight computation).
-	TierMemory
-	// TierDisk: deserialized from a persisted artifact — no reverse
-	// push ran anywhere.
-	TierDisk
+	TierComputed = artifact.TierComputed
+	TierMemory   = artifact.TierMemory
+	TierDisk     = artifact.TierDisk
 )
-
-// String names the tier for logs and tables.
-func (t Tier) String() string {
-	switch t {
-	case TierMemory:
-		return "memory"
-	case TierDisk:
-		return "disk"
-	default:
-		return "computed"
-	}
-}
 
 // StoreStats is a snapshot of an IndexStore's counters. Hits split by
 // tier so operators can tell a restart-warm disk cache from a hot
@@ -60,6 +44,20 @@ type StoreStats struct {
 	DiskErrors int64 `json:"disk_errors"`
 	// MemoryEntries is the LRU's current size.
 	MemoryEntries int `json:"memory_entries"`
+}
+
+// storeStatsFrom maps the generic cache counters onto the index
+// store's stats shape.
+func storeStatsFrom(s artifact.Stats) StoreStats {
+	return StoreStats{
+		MemoryHits:       s.MemoryHits,
+		DiskHits:         s.DiskHits,
+		Misses:           s.Misses,
+		DiskWrites:       s.DiskWrites,
+		DiskBytesWritten: s.DiskBytesWritten,
+		DiskErrors:       s.DiskErrors,
+		MemoryEntries:    s.MemoryEntries,
+	}
 }
 
 // IndexStore resolves (graph, target, alpha, rmax) to a reverse-push
@@ -87,12 +85,65 @@ type DiskTier interface {
 	SaveIndex(graphFP, key string, data []byte) error
 }
 
+// indexDisk adapts the index-specific DiskTier onto the generic
+// artifact.DiskTier the shared cache machinery speaks.
+type indexDisk struct{ d DiskTier }
+
+func (a indexDisk) Load(dir, key string) ([]byte, error) { return a.d.LoadIndex(dir, key) }
+func (a indexDisk) Save(dir, key string, data []byte) error {
+	return a.d.SaveIndex(dir, key, data)
+}
+
+// indexKey identifies one target index. The graph pointer stands in
+// for the dataset name: the scheduler caches one immutable *Graph per
+// dataset, so pointer identity tracks dataset identity — and a
+// re-uploaded dataset arrives as a new pointer, naturally invalidating
+// every entry of the old graph (they age out of the LRU). The disk
+// address derived from the key (see indexConfig) replaces the pointer
+// with the structural fingerprint, so persisted artifacts stay valid
+// across restarts and across structurally identical re-uploads.
+type indexKey struct {
+	g      *graph.Graph
+	target graph.NodeID
+	alpha  float64
+	rmax   float64
+}
+
+// indexConfig parameterizes the generic artifact cache for target
+// indexes: fingerprint+parameter disk addressing, the versioned+CRC
+// index codec, and decode-time validation of the artifact against the
+// requesting key (size the decode by the requesting graph so a forged
+// or damaged header cannot trigger a huge allocation, then reject a
+// hand-edited or misplaced artifact whose echoed parameters differ).
+func indexConfig(capacity int, disk DiskTier) artifact.Config[indexKey, *TargetIndex] {
+	cfg := artifact.Config[indexKey, *TargetIndex]{Capacity: capacity}
+	if disk == nil {
+		return cfg
+	}
+	cfg.Disk = indexDisk{disk}
+	cfg.DiskKey = func(k indexKey) (string, string) {
+		return sharedFingerprints.get(k.g), IndexFileKey(k.target, k.alpha, k.rmax)
+	}
+	cfg.Encode = func(_ indexKey, idx *TargetIndex) ([]byte, error) { return EncodeIndex(idx) }
+	cfg.Decode = func(k indexKey, data []byte) (*TargetIndex, error) {
+		idx, err := DecodeIndexSized(data, k.g.NumNodes())
+		if err != nil {
+			return nil, err
+		}
+		if idx.Target != k.target || idx.Alpha != k.alpha || idx.RMax != k.rmax {
+			return nil, fmt.Errorf("%w: artifact parameters do not match the request", ErrIndexCorrupt)
+		}
+		return idx, nil
+	}
+	return cfg
+}
+
 // MemoryStore is the single-tier IndexStore: the LRU index cache that
 // predates persistence, unchanged in behavior. It backs estimators
 // for one-shot CLI runs and tests, where disk round-trips buy
 // nothing.
 type MemoryStore struct {
-	cache *indexCache
+	cache *artifact.Cache[indexKey, *TargetIndex]
 }
 
 // NewMemoryStore returns a memory-only IndexStore holding up to
@@ -101,46 +152,33 @@ func NewMemoryStore(capacity int) *MemoryStore {
 	if capacity <= 0 {
 		capacity = DefaultCacheSize
 	}
-	return &MemoryStore{cache: newIndexCache(capacity)}
+	return &MemoryStore{cache: artifact.New(indexConfig(capacity, nil))}
 }
 
 // GetOrCompute implements IndexStore.
 func (m *MemoryStore) GetOrCompute(ctx context.Context, g *graph.Graph, target graph.NodeID, alpha, rmax float64,
 	compute func() (*TargetIndex, error)) (*TargetIndex, Tier, error) {
-	key := indexKey{g: g, target: target, alpha: alpha, rmax: rmax}
-	idx, cached, err := m.cache.getOrCompute(ctx, key, compute)
-	tier := TierComputed
-	if cached {
-		tier = TierMemory
-	}
-	return idx, tier, err
+	return m.cache.GetOrCompute(ctx, indexKey{g: g, target: target, alpha: alpha, rmax: rmax}, compute)
 }
 
 // Stats implements IndexStore.
 func (m *MemoryStore) Stats() StoreStats {
-	hits, misses, size := m.cache.stats()
-	return StoreStats{MemoryHits: hits, Misses: misses, MemoryEntries: size}
+	return storeStatsFrom(m.cache.Stats())
 }
 
 // TieredStore is the two-tier IndexStore: the memory LRU in front of
-// persisted index artifacts. A miss in both tiers runs the reverse
-// push once (single-flight across tiers and callers), persists the
-// artifact, and populates the LRU — so a restarted server finds its
-// warm cache on disk and pays deserialization, not recomputation.
+// persisted index artifacts, built on the generic artifact cache. A
+// miss in both tiers runs the reverse push once (single-flight across
+// tiers and callers), persists the artifact, and populates the LRU —
+// so a restarted server finds its warm cache on disk and pays
+// deserialization, not recomputation.
 //
 // Disk failures never fail a query: an unreadable, corrupt, or
 // version-skewed artifact is a miss (recompute and overwrite), and a
 // failed save only loses future reuse. Both are counted in
 // StoreStats.DiskErrors.
 type TieredStore struct {
-	cache *indexCache
-	disk  DiskTier
-
-	diskHits   atomic.Int64
-	misses     atomic.Int64
-	diskWrites atomic.Int64
-	diskBytes  atomic.Int64
-	diskErrors atomic.Int64
+	cache *artifact.Cache[indexKey, *TargetIndex]
 }
 
 // maxMemoizedFingerprints bounds a fingerprint memo. Live graphs
@@ -199,10 +237,7 @@ func NewTieredStore(capacity int, disk DiskTier) *TieredStore {
 	if capacity <= 0 {
 		capacity = DefaultCacheSize
 	}
-	return &TieredStore{
-		cache: newIndexCache(capacity),
-		disk:  disk,
-	}
+	return &TieredStore{cache: artifact.New(indexConfig(capacity, disk))}
 }
 
 // IndexFileKey is the filesystem-safe artifact key of one target
@@ -212,106 +247,16 @@ func IndexFileKey(target graph.NodeID, alpha, rmax float64) string {
 	return fmt.Sprintf("t%d-a%016x-r%016x", target, math.Float64bits(alpha), math.Float64bits(rmax))
 }
 
-func (t *TieredStore) fingerprint(g *graph.Graph) string {
-	return sharedFingerprints.get(g)
-}
-
 // GetOrCompute implements IndexStore: memory LRU, then disk, then the
 // reverse push. The disk probe and the push both run under the same
 // single-flight slot, so concurrent misses share one disk read or one
 // computation.
 func (t *TieredStore) GetOrCompute(ctx context.Context, g *graph.Graph, target graph.NodeID, alpha, rmax float64,
 	compute func() (*TargetIndex, error)) (*TargetIndex, Tier, error) {
-	key := indexKey{g: g, target: target, alpha: alpha, rmax: rmax}
-	tier := TierComputed
-	idx, cached, err := t.cache.getOrCompute(ctx, key, func() (*TargetIndex, error) {
-		if idx := t.loadFromDisk(g, target, alpha, rmax); idx != nil {
-			tier = TierDisk
-			return idx, nil
-		}
-		idx, err := compute()
-		if err != nil {
-			return nil, err
-		}
-		t.misses.Add(1)
-		t.saveToDisk(g, target, alpha, rmax, idx)
-		return idx, nil
-	})
-	if err != nil {
-		return nil, TierComputed, err
-	}
-	if cached {
-		tier = TierMemory
-	}
-	return idx, tier, nil
+	return t.cache.GetOrCompute(ctx, indexKey{g: g, target: target, alpha: alpha, rmax: rmax}, compute)
 }
 
-// loadFromDisk probes the disk tier; any failure — absent file,
-// truncation, checksum mismatch, version skew, or parameter/shape
-// mismatch against the request — returns nil and the caller
-// recomputes.
-func (t *TieredStore) loadFromDisk(g *graph.Graph, target graph.NodeID, alpha, rmax float64) *TargetIndex {
-	if t.disk == nil {
-		return nil
-	}
-	data, err := t.disk.LoadIndex(t.fingerprint(g), IndexFileKey(target, alpha, rmax))
-	if err != nil {
-		// Absent artifact = ordinary cold miss. Anything else (EACCES,
-		// EIO) means the disk tier is sick — still a miss, but counted
-		// so a dead tier is visible in the stats instead of masquerading
-		// as an eternally cold cache.
-		if !errors.Is(err, fs.ErrNotExist) {
-			t.diskErrors.Add(1)
-		}
-		return nil
-	}
-	// Sizing the decode by the requesting graph keeps a forged or
-	// damaged header from triggering a huge allocation.
-	idx, err := DecodeIndexSized(data, g.NumNodes())
-	if err != nil {
-		t.diskErrors.Add(1)
-		return nil
-	}
-	// The fingerprint and file key should make these impossible; they
-	// guard against a hand-edited or misplaced artifact.
-	if idx.Target != target || idx.Alpha != alpha || idx.RMax != rmax {
-		t.diskErrors.Add(1)
-		return nil
-	}
-	t.diskHits.Add(1)
-	return idx
-}
-
-// saveToDisk persists a freshly computed index, best-effort.
-func (t *TieredStore) saveToDisk(g *graph.Graph, target graph.NodeID, alpha, rmax float64, idx *TargetIndex) {
-	if t.disk == nil {
-		return
-	}
-	data, err := EncodeIndex(idx)
-	if err != nil {
-		t.diskErrors.Add(1)
-		return
-	}
-	if err := t.disk.SaveIndex(t.fingerprint(g), IndexFileKey(target, alpha, rmax), data); err != nil {
-		t.diskErrors.Add(1)
-		return
-	}
-	t.diskWrites.Add(1)
-	t.diskBytes.Add(int64(len(data)))
-}
-
-// Stats implements IndexStore. Misses counts successful computations
-// (the LRU's own miss counter also includes disk hits and failed
-// computes, so the store keeps its own).
+// Stats implements IndexStore. Misses counts successful computations.
 func (t *TieredStore) Stats() StoreStats {
-	hits, _, size := t.cache.stats()
-	return StoreStats{
-		MemoryHits:       hits,
-		DiskHits:         t.diskHits.Load(),
-		Misses:           t.misses.Load(),
-		DiskWrites:       t.diskWrites.Load(),
-		DiskBytesWritten: t.diskBytes.Load(),
-		DiskErrors:       t.diskErrors.Load(),
-		MemoryEntries:    size,
-	}
+	return storeStatsFrom(t.cache.Stats())
 }

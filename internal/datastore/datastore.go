@@ -7,14 +7,24 @@
 //	root/
 //	  datasets/<name>.asd         uploaded graphs (ASD format)
 //	  datasets/<name>.labels      label sidecars
+//	  datasets/<name>.fp          structural graph fingerprint sidecars
 //	  results/<task-id>.json      completed task results
 //	  logs/<task-id>.log          per-task execution logs
-//	  indexes/<graph-fp>/<key>.idx  persisted reverse-push target indexes
+//	  indexes/<graph-fp>/<key>.idx    persisted reverse-push target indexes
+//	  endpoints/<graph-fp>/<key>.ep   persisted walk-endpoint recordings
 //
-// Index artifacts are opaque blobs to this package (the bippr codec
-// owns their format); they are grouped per structural graph
-// fingerprint so a re-uploaded dataset naturally orphans its
-// predecessor's indexes instead of serving them.
+// Derived artifacts (indexes, endpoints) are opaque blobs to this
+// package (the bippr codecs own their formats); they are grouped per
+// structural graph fingerprint so a re-uploaded dataset naturally
+// orphans its predecessor's artifacts instead of serving them.
+// Orphans are reclaimed by two lifecycle mechanisms: DeleteDataset
+// removes a deleted dataset's artifact trees once no other stored
+// dataset shares the fingerprint (refcounted through the .fp
+// sidecars), and SweepArtifacts enforces a total size cap by reaping
+// the least recently *accessed* artifacts first. Access recency is
+// tracked in each artifact's mtime, which loads refresh — the
+// filesystem atime is deliberately not trusted (noatime/relatime
+// mounts would freeze it).
 //
 // All writes are atomic (temp file + fsync + rename + directory
 // fsync) so a crashed writer never leaves a partially visible
@@ -33,6 +43,7 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"github.com/cyclerank/cyclerank-go/internal/formats"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
@@ -44,9 +55,18 @@ type Store struct {
 	mu   sync.Mutex
 }
 
+// artifactKinds maps each derived-artifact kind to its file
+// extension. Both kinds share the save/load/usage/sweep machinery;
+// the extension keeps a misplaced blob from ever being decoded as the
+// wrong kind.
+var artifactKinds = map[string]string{
+	"indexes":   ".idx",
+	"endpoints": ".ep",
+}
+
 // Open creates (if needed) and opens a store rooted at dir.
 func Open(dir string) (*Store, error) {
-	for _, sub := range []string{"datasets", "results", "logs", "indexes"} {
+	for _, sub := range []string{"datasets", "results", "logs", "indexes", "endpoints"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("datastore: %w", err)
 		}
@@ -116,7 +136,9 @@ func syncDir(dir string) error {
 
 // SaveDataset stores g under the given name, overwriting any previous
 // dataset with that name. Labels, when present, are stored in a
-// sidecar so round-trips preserve them.
+// sidecar so round-trips preserve them. A second sidecar records the
+// graph's structural fingerprint, which DeleteDataset later uses to
+// refcount the derived-artifact trees the dataset's graph hashed to.
 func (s *Store) SaveDataset(name string, g *graph.Graph) error {
 	if err := validName(name); err != nil {
 		return err
@@ -127,6 +149,13 @@ func (s *Store) SaveDataset(name string, g *graph.Graph) error {
 	lpath := filepath.Join(s.root, "datasets", name+".labels")
 	err := atomicWrite(gpath, func(f *os.File) error {
 		return formats.WriteASD(f, g)
+	})
+	if err != nil {
+		return err
+	}
+	err = atomicWrite(filepath.Join(s.root, "datasets", name+".fp"), func(f *os.File) error {
+		_, err := fmt.Fprintln(f, graph.Fingerprint(g))
+		return err
 	})
 	if err != nil {
 		return err
@@ -146,6 +175,47 @@ func (s *Store) SaveDataset(name string, g *graph.Graph) error {
 		}
 		return nil
 	})
+}
+
+// datasetFingerprint resolves the stored fingerprint of a dataset:
+// from the .fp sidecar when present, otherwise (datasets saved before
+// sidecars existed) by loading the graph and hashing it. ok is false
+// when neither works.
+func (s *Store) datasetFingerprint(name string) (fp string, ok bool) {
+	data, err := os.ReadFile(filepath.Join(s.root, "datasets", name+".fp"))
+	if err == nil {
+		if fp := strings.TrimSpace(string(data)); fp != "" {
+			return fp, true
+		}
+	}
+	g, err := s.LoadDataset(name)
+	if err != nil {
+		return "", false
+	}
+	return graph.Fingerprint(g), true
+}
+
+// fingerprintShared reports whether any stored dataset other than
+// exclude has the given fingerprint, judged by the .fp sidecars.
+func (s *Store) fingerprintShared(fp, exclude string) bool {
+	entries, err := os.ReadDir(filepath.Join(s.root, "datasets"))
+	if err != nil {
+		// Unreadable directory: assume shared — keeping an orphaned
+		// artifact tree costs disk the sweep reclaims; deleting a
+		// shared one costs another dataset its warm cache.
+		return true
+	}
+	for _, e := range entries {
+		name, isFP := strings.CutSuffix(e.Name(), ".fp")
+		if !isFP || name == exclude {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.root, "datasets", e.Name()))
+		if err == nil && strings.TrimSpace(string(data)) == fp {
+			return true
+		}
+	}
+	return false
 }
 
 // LoadDataset retrieves a stored dataset by name.
@@ -174,19 +244,33 @@ func (s *Store) LoadDataset(name string) (*graph.Graph, error) {
 
 // DeleteDataset removes a stored dataset. Deleting a missing dataset
 // is not an error.
+//
+// The dataset's derived artifacts (indexes, endpoint recordings under
+// its graph's fingerprint) are deleted too — unless another stored
+// dataset's graph hashed to the same fingerprint, in which case the
+// artifacts are still serving that dataset and must survive. The
+// refcount reads the .fp sidecars, so it never loads other datasets'
+// graphs; a dataset saved before sidecars existed is invisible to it,
+// which at worst deletes a cache that dataset will transparently
+// recompute.
 func (s *Store) DeleteDataset(name string) error {
 	if err := validName(name); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	fp, haveFP := s.datasetFingerprint(name)
 	for _, p := range []string{
 		filepath.Join(s.root, "datasets", name+".asd"),
 		filepath.Join(s.root, "datasets", name+".labels"),
+		filepath.Join(s.root, "datasets", name+".fp"),
 	} {
 		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("datastore: %w", err)
 		}
+	}
+	if haveFP && !s.fingerprintShared(fp, name) {
+		return s.DeleteArtifacts(fp)
 	}
 	return nil
 }
@@ -286,25 +370,28 @@ func (s *Store) AppendLog(taskID, line string) error {
 	return nil
 }
 
-// SaveIndex persists one reverse-push index artifact under
-// indexes/<graphFP>/<key>.idx. The blob is opaque to the store (the
-// bippr codec owns the format). Writes are atomic and durable like
-// every other artifact, so a crash never leaves a torn index — at
-// worst a missing one, which the cache treats as a miss. This method
-// implements bippr.DiskTier.
+// saveArtifact persists one derived artifact under
+// <kind>/<graphFP>/<key><ext>. The blob is opaque to the store (the
+// bippr codecs own the formats). Writes are atomic and durable like
+// every other artifact, so a crash never leaves a torn artifact — at
+// worst a missing one, which the caches treat as a miss.
 //
-// Like SaveResult, SaveIndex takes no store-wide lock: the temp file
-// + atomic rename protocol is self-contained, concurrent writers of
-// one key are already serialized by the index store's single-flight,
-// and distinct keys must not queue behind each other's fsyncs.
-func (s *Store) SaveIndex(graphFP, key string, data []byte) error {
+// Like SaveResult, saveArtifact takes no store-wide lock: the temp
+// file + atomic rename protocol is self-contained, concurrent writers
+// of one key are already serialized by the caches' single-flight, and
+// distinct keys must not queue behind each other's fsyncs.
+func (s *Store) saveArtifact(kind, graphFP, key string, data []byte) error {
+	ext, ok := artifactKinds[kind]
+	if !ok {
+		return fmt.Errorf("datastore: unknown artifact kind %q", kind)
+	}
 	if err := validName(graphFP); err != nil {
 		return err
 	}
 	if err := validName(key); err != nil {
 		return err
 	}
-	dir := filepath.Join(s.root, "indexes", graphFP)
+	dir := filepath.Join(s.root, kind, graphFP)
 	if _, err := os.Stat(dir); err != nil {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("datastore: %w", err)
@@ -312,55 +399,214 @@ func (s *Store) SaveIndex(graphFP, key string, data []byte) error {
 		// The fingerprint directory is new: sync its parent so the
 		// directory entry itself survives a crash — atomicWrite below
 		// only syncs the file and the fingerprint directory.
-		if err := syncDir(filepath.Join(s.root, "indexes")); err != nil {
+		if err := syncDir(filepath.Join(s.root, kind)); err != nil {
 			return err
 		}
 	}
-	return atomicWrite(filepath.Join(dir, key+".idx"), func(f *os.File) error {
+	return atomicWrite(filepath.Join(dir, key+ext), func(f *os.File) error {
 		if _, err := f.Write(data); err != nil {
-			return fmt.Errorf("datastore: writing index %s/%s: %w", graphFP, key, err)
+			return fmt.Errorf("datastore: writing %s %s/%s: %w", kind, graphFP, key, err)
 		}
 		return nil
 	})
 }
 
-// LoadIndex reads a persisted index artifact. A missing artifact
-// returns an error wrapping fs.ErrNotExist; callers treat any error
-// as a cache miss. This method implements bippr.DiskTier.
-func (s *Store) LoadIndex(graphFP, key string) ([]byte, error) {
+// loadArtifact reads a persisted artifact. A missing artifact returns
+// an error wrapping fs.ErrNotExist; callers treat any error as a
+// cache miss. A successful load refreshes the artifact's mtime — the
+// access clock SweepArtifacts orders evictions by — best-effort.
+func (s *Store) loadArtifact(kind, graphFP, key string) ([]byte, error) {
+	ext, ok := artifactKinds[kind]
+	if !ok {
+		return nil, fmt.Errorf("datastore: unknown artifact kind %q", kind)
+	}
 	if err := validName(graphFP); err != nil {
 		return nil, err
 	}
 	if err := validName(key); err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(filepath.Join(s.root, "indexes", graphFP, key+".idx"))
+	path := filepath.Join(s.root, kind, graphFP, key+ext)
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("datastore: index %s/%s: %w", graphFP, key, err)
+		return nil, fmt.Errorf("datastore: %s %s/%s: %w", kind, graphFP, key, err)
 	}
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 	return data, nil
 }
 
-// IndexUsage reports how many index artifacts the store holds and
-// their total size in bytes — the on-disk side of the warm-cache
-// observability surfaced by the server's status endpoint.
-func (s *Store) IndexUsage() (files int, bytes int64, err error) {
-	err = filepath.WalkDir(filepath.Join(s.root, "indexes"), func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".idx") {
+// SaveIndex persists one reverse-push index artifact under
+// indexes/<graphFP>/<key>.idx. This method implements bippr.DiskTier.
+func (s *Store) SaveIndex(graphFP, key string, data []byte) error {
+	return s.saveArtifact("indexes", graphFP, key, data)
+}
+
+// LoadIndex reads a persisted index artifact. This method implements
+// bippr.DiskTier.
+func (s *Store) LoadIndex(graphFP, key string) ([]byte, error) {
+	return s.loadArtifact("indexes", graphFP, key)
+}
+
+// SaveEndpoints persists one walk-endpoint recording under
+// endpoints/<graphFP>/<key>.ep. This method implements
+// bippr.EndpointDiskTier.
+func (s *Store) SaveEndpoints(graphFP, key string, data []byte) error {
+	return s.saveArtifact("endpoints", graphFP, key, data)
+}
+
+// LoadEndpoints reads a persisted walk-endpoint recording. This
+// method implements bippr.EndpointDiskTier.
+func (s *Store) LoadEndpoints(graphFP, key string) ([]byte, error) {
+	return s.loadArtifact("endpoints", graphFP, key)
+}
+
+// artifactFile is one persisted artifact as the sweep sees it.
+type artifactFile struct {
+	path  string
+	bytes int64
+	atime time.Time // mtime, refreshed by loads — see the package comment
+}
+
+// walkArtifacts lists every persisted artifact of the given kind.
+func (s *Store) walkArtifacts(kind string) ([]artifactFile, error) {
+	ext := artifactKinds[kind]
+	var out []artifactFile
+	err := filepath.WalkDir(filepath.Join(s.root, kind), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ext) {
 			return err
 		}
 		info, err := d.Info()
 		if err != nil {
+			// The file vanished mid-walk (a concurrent sweep or
+			// delete); skip it rather than failing the listing.
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil
+			}
 			return err
 		}
-		files++
-		bytes += info.Size()
+		out = append(out, artifactFile{path: path, bytes: info.Size(), atime: info.ModTime()})
 		return nil
 	})
 	if err != nil {
-		return 0, 0, fmt.Errorf("datastore: %w", err)
+		return nil, fmt.Errorf("datastore: %w", err)
 	}
-	return files, bytes, nil
+	return out, nil
+}
+
+// ArtifactUsage reports how many artifacts of one kind ("indexes" or
+// "endpoints") the store holds and their total size in bytes — the
+// on-disk side of the warm-cache observability surfaced by the
+// server's status endpoint.
+func (s *Store) ArtifactUsage(kind string) (files int, bytes int64, err error) {
+	if _, ok := artifactKinds[kind]; !ok {
+		return 0, 0, fmt.Errorf("datastore: unknown artifact kind %q", kind)
+	}
+	arts, err := s.walkArtifacts(kind)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, a := range arts {
+		bytes += a.bytes
+	}
+	return len(arts), bytes, nil
+}
+
+// IndexUsage reports the persisted index artifacts' count and size.
+func (s *Store) IndexUsage() (files int, bytes int64, err error) {
+	return s.ArtifactUsage("indexes")
+}
+
+// EndpointUsage reports the persisted endpoint recordings' count and
+// size.
+func (s *Store) EndpointUsage() (files int, bytes int64, err error) {
+	return s.ArtifactUsage("endpoints")
+}
+
+// SweepStats reports one artifact sweep: what remains and what was
+// reaped.
+type SweepStats struct {
+	// Files / Bytes are the artifacts remaining after the sweep,
+	// across both kinds.
+	Files int   `json:"files"`
+	Bytes int64 `json:"bytes"`
+	// Reaped / ReapedBytes count the artifacts this sweep removed.
+	Reaped      int   `json:"reaped"`
+	ReapedBytes int64 `json:"reaped_bytes"`
+}
+
+// SweepArtifacts enforces a total size cap over every derived
+// artifact (indexes and endpoint recordings together): while the
+// total exceeds maxBytes, the least recently accessed artifact is
+// removed first — LRU by the mtime access clock loads refresh, with
+// the path as a deterministic tiebreak. maxBytes <= 0 means no cap:
+// the sweep only reports usage.
+//
+// Reaping never races a reader into corruption: loads open the file
+// before reading, and an unlinked-but-open file remains fully
+// readable (POSIX), so a concurrent load either sees the complete
+// artifact or a clean not-exist miss. Emptied fingerprint directories
+// are removed best-effort.
+func (s *Store) SweepArtifacts(maxBytes int64) (SweepStats, error) {
+	var all []artifactFile
+	for kind := range artifactKinds {
+		arts, err := s.walkArtifacts(kind)
+		if err != nil {
+			return SweepStats{}, err
+		}
+		all = append(all, arts...)
+	}
+	var total int64
+	for _, a := range all {
+		total += a.bytes
+	}
+	stats := SweepStats{Files: len(all), Bytes: total}
+	if maxBytes <= 0 || total <= maxBytes {
+		return stats, nil
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].atime.Equal(all[j].atime) {
+			return all[i].atime.Before(all[j].atime)
+		}
+		return all[i].path < all[j].path
+	})
+	for _, a := range all {
+		if stats.Bytes <= maxBytes {
+			break
+		}
+		if err := os.Remove(a.path); err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				// Already gone (concurrent delete); treat as reaped
+				// space either way so the accounting cannot loop.
+				stats.Files--
+				stats.Bytes -= a.bytes
+			}
+			continue
+		}
+		stats.Files--
+		stats.Bytes -= a.bytes
+		stats.Reaped++
+		stats.ReapedBytes += a.bytes
+		// Drop the fingerprint directory once its last artifact is
+		// gone; Remove refuses non-empty directories, so this is safe
+		// against concurrent writers.
+		_ = os.Remove(filepath.Dir(a.path))
+	}
+	return stats, nil
+}
+
+// DeleteArtifacts removes every persisted artifact (both kinds)
+// derived from the graph with the given structural fingerprint.
+func (s *Store) DeleteArtifacts(graphFP string) error {
+	if err := validName(graphFP); err != nil {
+		return err
+	}
+	for kind := range artifactKinds {
+		if err := os.RemoveAll(filepath.Join(s.root, kind, graphFP)); err != nil {
+			return fmt.Errorf("datastore: %w", err)
+		}
+	}
+	return nil
 }
 
 // ReadLog returns the task's full log, or an empty string when none

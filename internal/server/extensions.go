@@ -36,8 +36,14 @@ type statusResponse struct {
 	IndexStore indexStoreStatus `json:"index_store"`
 	// EndpointCache surfaces the walk-endpoint reuse counters: hits
 	// are queries that re-weighted a recorded walk pass instead of
-	// simulating walks (walks_avoided totals what they skipped).
-	EndpointCache bippr.EndpointStats `json:"endpoint_cache"`
+	// simulating walks (walks_avoided totals what they skipped),
+	// split by tier like the index store now that recordings persist.
+	EndpointCache endpointCacheStatus `json:"endpoint_cache"`
+	// ArtifactGC reports the size-capped artifact sweeper (cap_bytes
+	// 0 = disabled).
+	ArtifactGC GCStatus `json:"artifact_gc"`
+	// Prewarm reports the startup pre-warm task's progress.
+	Prewarm PrewarmStatus `json:"prewarm"`
 }
 
 // indexStoreStatus surfaces the target-index store's tiered counters
@@ -50,41 +56,63 @@ type indexStoreStatus struct {
 	DiskBytes int64 `json:"disk_bytes"`
 }
 
+// endpointCacheStatus is the same shape for the walk-endpoint cache:
+// reuse counters plus the persisted recordings on disk.
+type endpointCacheStatus struct {
+	bippr.EndpointStats
+	DiskFiles int   `json:"disk_files"`
+	DiskBytes int64 `json:"disk_bytes"`
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	uploads := len(s.uploaded)
 	s.mu.RUnlock()
-	idx := indexStoreStatus{StoreStats: s.indexStore.Stats()}
-	idx.DiskFiles, idx.DiskBytes = s.indexDiskUsage()
+	usage := s.artifactDiskUsage()
+	idx := indexStoreStatus{StoreStats: s.indexStore.Stats(),
+		DiskFiles: usage.idxFiles, DiskBytes: usage.idxBytes}
+	ep := endpointCacheStatus{EndpointStats: s.endpoints.Stats(),
+		DiskFiles: usage.epFiles, DiskBytes: usage.epBytes}
 	writeJSON(w, http.StatusOK, statusResponse{
 		Scheduler:     s.scheduler.Metrics(),
 		Datasets:      s.catalog.Len() + uploads,
 		Uploads:       uploads,
 		Algorithms:    len(s.registry.Names()),
 		IndexStore:    idx,
-		EndpointCache: s.endpoints.Stats(),
+		EndpointCache: ep,
+		ArtifactGC:    s.gc.snapshot(),
+		Prewarm:       s.prewarm.snapshot(),
 	})
 }
 
-// indexUsageTTL bounds how often a status poll re-walks the indexes
-// tree: monitoring systems poll /api/status aggressively, and the
-// walk stats every artifact file.
-const indexUsageTTL = 10 * time.Second
+// artifactUsageTTL bounds how often a status poll re-walks the
+// artifact trees: monitoring systems poll /api/status aggressively,
+// and the walk stats every artifact file.
+const artifactUsageTTL = 10 * time.Second
 
-// indexDiskUsage returns the persisted-artifact usage, cached for
-// indexUsageTTL. Best-effort observability: a walk error reports the
-// last known values rather than failing the health endpoint.
-func (s *Server) indexDiskUsage() (files int, bytes int64) {
+// artifactUsage is the cached on-disk usage of both artifact kinds.
+type artifactUsage struct {
+	idxFiles, epFiles int
+	idxBytes, epBytes int64
+}
+
+// artifactDiskUsage returns the persisted-artifact usage, cached for
+// artifactUsageTTL. Best-effort observability: a walk error reports
+// the last known values rather than failing the health endpoint.
+func (s *Server) artifactDiskUsage() artifactUsage {
 	s.usageMu.Lock()
 	defer s.usageMu.Unlock()
-	if time.Since(s.usageAt) < indexUsageTTL {
-		return s.usageFiles, s.usageBytes
+	if time.Since(s.usageAt) < artifactUsageTTL {
+		return s.usage
 	}
 	if files, bytes, err := s.store.IndexUsage(); err == nil {
-		s.usageFiles, s.usageBytes = files, bytes
+		s.usage.idxFiles, s.usage.idxBytes = files, bytes
+	}
+	if files, bytes, err := s.store.EndpointUsage(); err == nil {
+		s.usage.epFiles, s.usage.epBytes = files, bytes
 	}
 	s.usageAt = time.Now()
-	return s.usageFiles, s.usageBytes
+	return s.usage
 }
 
 func (s *Server) handleCancelTask(w http.ResponseWriter, r *http.Request) {

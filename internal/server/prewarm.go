@@ -1,0 +1,239 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/bippr"
+	"github.com/cyclerank/cyclerank-go/internal/datastore"
+)
+
+// PrewarmStatus is the startup pre-warm task's progress snapshot, the
+// "prewarm" row of /api/status. States: "disabled" (Config.PreWarm
+// off), "running", "done", "cancelled" (the server was closed
+// mid-warm).
+type PrewarmStatus struct {
+	State string `json:"state"`
+	// DatasetsTotal / DatasetsDone count catalog datasets with
+	// suggested reference nodes.
+	DatasetsTotal int `json:"datasets_total"`
+	DatasetsDone  int `json:"datasets_done"`
+	// NodesTotal / NodesDone count suggested reference nodes; each
+	// warms one reverse-push index and one walk-endpoint recording.
+	NodesTotal int `json:"nodes_total"`
+	NodesDone  int `json:"nodes_done"`
+	// IndexesWarm counts indexes found already warm (persisted by a
+	// previous process, or raced into the cache by an early query);
+	// IndexesComputed counts reverse pushes the pre-warm paid — and
+	// persisted, so the NEXT restart's pre-warm only deserializes.
+	IndexesWarm     int `json:"indexes_warm"`
+	IndexesComputed int `json:"indexes_computed"`
+	// EndpointsWarm / EndpointsRecorded are the same split for
+	// walk-endpoint recordings.
+	EndpointsWarm     int `json:"endpoints_warm"`
+	EndpointsRecorded int `json:"endpoints_recorded"`
+	// Errors counts nodes that failed to warm (load failures,
+	// unresolvable labels); each is skipped, never fatal.
+	Errors int `json:"errors"`
+}
+
+// prewarmState guards the status snapshot.
+type prewarmState struct {
+	mu sync.Mutex
+	st PrewarmStatus
+}
+
+func (p *prewarmState) init(enabled bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if enabled {
+		p.st.State = "running"
+	} else {
+		p.st.State = "disabled"
+	}
+}
+
+func (p *prewarmState) setTotals(datasets, nodes int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.st.DatasetsTotal, p.st.NodesTotal = datasets, nodes
+}
+
+func (p *prewarmState) update(fn func(*PrewarmStatus)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fn(&p.st)
+}
+
+func (p *prewarmState) snapshot() PrewarmStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st
+}
+
+// runPrewarm is the startup pre-warm task: for every catalog dataset
+// with suggested reference nodes it warms, per node, the reverse-push
+// target index and the walk-endpoint recording at default query
+// parameters — exactly the keys a default target or walk-reuse pair
+// query will look up. Warm artifacts persisted by a previous process
+// deserialize; cold ones are computed once and persisted through the
+// caches' disk tiers, so the work compounds across restarts. The
+// graph loads share the scheduler's dataset cache, so pre-warmed
+// memory-tier entries are keyed by the same *Graph pointer later
+// queries use.
+//
+// Cancellation (server Close) is honored between nodes and inside
+// every push and walk pass; artifact writes are atomic, so a cancel
+// mid-warm leaves no partial files.
+func (s *Server) runPrewarm(ctx context.Context) {
+	defer s.lifeWG.Done()
+	p := bippr.Params{}.WithDefaults()
+
+	type job struct {
+		dataset string
+		sources []string
+	}
+	var jobs []job
+	nodes := 0
+	for _, d := range s.catalog.All() {
+		if len(d.SuggestedSources) > 0 {
+			jobs = append(jobs, job{dataset: d.Name, sources: d.SuggestedSources})
+			nodes += len(d.SuggestedSources)
+		}
+	}
+	s.prewarm.setTotals(len(jobs), nodes)
+
+	cancelled := func() bool { return ctx.Err() != nil }
+	for _, j := range jobs {
+		if cancelled() {
+			s.prewarm.update(func(st *PrewarmStatus) { st.State = "cancelled" })
+			return
+		}
+		g, err := s.scheduler.LoadGraph(j.dataset)
+		if err != nil {
+			s.prewarm.update(func(st *PrewarmStatus) {
+				st.Errors += len(j.sources)
+				st.NodesDone += len(j.sources)
+				st.DatasetsDone++
+			})
+			continue
+		}
+		for _, label := range j.sources {
+			if cancelled() {
+				s.prewarm.update(func(st *PrewarmStatus) { st.State = "cancelled" })
+				return
+			}
+			node, ok := g.NodeByLabel(label)
+			if !ok {
+				s.prewarm.update(func(st *PrewarmStatus) { st.Errors++; st.NodesDone++ })
+				continue
+			}
+			failed := false
+			_, tier, err := s.indexStore.GetOrCompute(ctx, g, node, p.Alpha, p.RMax,
+				func() (*bippr.TargetIndex, error) {
+					return bippr.ReversePush(ctx, g, node, p.Alpha, p.RMax)
+				})
+			if err != nil {
+				failed = true
+			}
+			_, warm, eErr := s.endpoints.GetOrRecord(ctx, g, node, p,
+				func() (*bippr.EndpointSet, error) {
+					w := bippr.NewWalkEstimator(g, p.Alpha, p.Seed, p.MaxSteps)
+					return w.Endpoints(ctx, node, p.Walks, p.Workers)
+				})
+			if eErr != nil {
+				failed = true
+			}
+			s.prewarm.update(func(st *PrewarmStatus) {
+				st.NodesDone++
+				if failed {
+					st.Errors++
+				}
+				if err == nil {
+					if tier != bippr.TierComputed {
+						st.IndexesWarm++
+					} else {
+						st.IndexesComputed++
+					}
+				}
+				if eErr == nil {
+					if warm {
+						st.EndpointsWarm++
+					} else {
+						st.EndpointsRecorded++
+					}
+				}
+			})
+		}
+		s.prewarm.update(func(st *PrewarmStatus) { st.DatasetsDone++ })
+	}
+	s.prewarm.update(func(st *PrewarmStatus) {
+		if cancelled() {
+			st.State = "cancelled"
+		} else {
+			st.State = "done"
+		}
+	})
+}
+
+// GCStatus is the artifact sweeper's snapshot, the "artifact_gc" row
+// of /api/status. CapBytes 0 reports the sweeper as disabled.
+type GCStatus struct {
+	CapBytes int64 `json:"cap_bytes"`
+	// Sweeps counts completed sweep passes.
+	Sweeps int64 `json:"sweeps"`
+	// LastSweep is the most recent pass's outcome: artifacts
+	// remaining and reaped.
+	LastSweep datastore.SweepStats `json:"last_sweep"`
+}
+
+type gcState struct {
+	mu sync.Mutex
+	st GCStatus
+}
+
+func (g *gcState) init(capBytes int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.st.CapBytes = capBytes
+}
+
+func (g *gcState) record(st datastore.SweepStats) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.st.Sweeps++
+	g.st.LastSweep = st
+}
+
+func (g *gcState) snapshot() GCStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.st
+}
+
+// artifactSweepInterval paces the background GC: one pass at startup
+// (reclaiming whatever a previous process left over the cap), then
+// one per interval. Sweeps are cheap — one readdir walk per artifact
+// kind — but there is no reason to run them hot. A variable so tests
+// can tighten it.
+var artifactSweepInterval = time.Minute
+
+// runSweeper enforces Config.ArtifactCapBytes in the background.
+func (s *Server) runSweeper(ctx context.Context, capBytes int64) {
+	defer s.lifeWG.Done()
+	ticker := time.NewTicker(artifactSweepInterval)
+	defer ticker.Stop()
+	for {
+		// Sweep failures are not fatal: the next tick retries, and the
+		// stats keep reporting the last successful pass.
+		if st, err := s.store.SweepArtifacts(capBytes); err == nil {
+			s.gc.record(st)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

@@ -18,6 +18,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -51,12 +52,18 @@ type Server struct {
 	mu       sync.RWMutex
 	uploaded map[string]bool // datasets living in the datastore
 
-	// Cached indexes-tree usage for the status endpoint (see
-	// indexDiskUsage).
-	usageMu    sync.Mutex
-	usageAt    time.Time
-	usageFiles int
-	usageBytes int64
+	// Cached artifact-tree usage for the status endpoint (see
+	// artifactDiskUsage).
+	usageMu sync.Mutex
+	usageAt time.Time
+	usage   artifactUsage
+
+	// Background lifecycle work (startup pre-warm, artifact GC),
+	// cancelled by Close.
+	lifeCancel context.CancelFunc
+	lifeWG     sync.WaitGroup
+	prewarm    prewarmState
+	gc         gcState
 }
 
 // Config configures a Server.
@@ -78,16 +85,33 @@ type Config struct {
 	// bippr.TieredStore over Store).
 	IndexStore bippr.IndexStore
 	// EndpointCache overrides the walk-endpoint cache behind queries
-	// that set walk_reuse (default: a fresh default-sized cache). Like
-	// IndexStore, it only reaches queries when Registry is nil — an
-	// explicit registry keeps whatever caching its estimator was built
-	// with, and the status endpoint then reports this cache as idle.
+	// that set walk_reuse (default: a two-tier cache persisting
+	// recordings through Store, so warm sources survive restarts).
+	// Like IndexStore, it only reaches queries when Registry is nil —
+	// an explicit registry keeps whatever caching its estimator was
+	// built with, and the status endpoint then reports this cache as
+	// idle.
 	EndpointCache *bippr.EndpointCache
 	// Workers sizes the executor pool (default 2).
 	Workers int
 	// TaskTimeout bounds a single task's execution; zero means no
 	// limit. Public deployments should set it.
 	TaskTimeout time.Duration
+	// PreWarm starts a background task at construction that loads
+	// every catalog dataset with suggested reference nodes and warms
+	// their reverse-push indexes and walk-endpoint recordings — from
+	// disk when a previous process persisted them, computing and
+	// persisting otherwise — so the first user query after a deploy
+	// finds its caches hot. Progress is visible under "prewarm" in
+	// /api/status; Close cancels the task mid-flight without leaving
+	// partial artifacts (all writes are atomic).
+	PreWarm bool
+	// ArtifactCapBytes bounds the total size of persisted derived
+	// artifacts (reverse-push indexes + endpoint recordings): a
+	// background sweep reaps the least recently accessed artifacts
+	// past the cap (see datastore.SweepArtifacts). Zero means
+	// unlimited — no sweeper runs.
+	ArtifactCapBytes int64
 }
 
 // New builds the gateway and its scheduler.
@@ -99,7 +123,7 @@ func New(cfg Config) (*Server, error) {
 		cfg.IndexStore = bippr.NewTieredStore(bippr.DefaultCacheSize, cfg.Store)
 	}
 	if cfg.EndpointCache == nil {
-		cfg.EndpointCache = bippr.NewEndpointCache(bippr.DefaultEndpointCacheSize)
+		cfg.EndpointCache = bippr.NewTieredEndpointCache(bippr.DefaultEndpointCacheSize, cfg.Store)
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = algo.NewBuiltinRegistryWith(
@@ -145,7 +169,32 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /instructions", s.handleInstructions)
 	s.registerExtensions(mux)
 	s.mux = mux
+
+	// Background lifecycle work starts only when asked for, so test
+	// servers and embedded deployments pay nothing by default.
+	lifeCtx, lifeCancel := context.WithCancel(context.Background())
+	s.lifeCancel = lifeCancel
+	s.prewarm.init(cfg.PreWarm)
+	s.gc.init(cfg.ArtifactCapBytes)
+	if cfg.PreWarm {
+		s.lifeWG.Add(1)
+		go s.runPrewarm(lifeCtx)
+	}
+	if cfg.ArtifactCapBytes > 0 {
+		s.lifeWG.Add(1)
+		go s.runSweeper(lifeCtx, cfg.ArtifactCapBytes)
+	}
 	return s, nil
+}
+
+// Close cancels the server's background lifecycle work (startup
+// pre-warm, artifact GC) and waits for it to stop. In-flight artifact
+// writes finish atomically, so a close mid-pre-warm never leaves a
+// partial artifact — at worst a missing one. Close does not stop the
+// scheduler; call Scheduler().Shutdown for that.
+func (s *Server) Close() {
+	s.lifeCancel()
+	s.lifeWG.Wait()
 }
 
 // ServeHTTP implements http.Handler.

@@ -303,6 +303,15 @@ func (s *Scheduler) failTask(id string, err error) {
 	}
 }
 
+// LoadGraph fetches a dataset through the scheduler's per-name graph
+// cache — the same cache executors resolve task datasets through, so
+// an out-of-band caller (the server's startup pre-warm) receives the
+// exact *Graph pointer later queries will run against, and
+// pointer-keyed caches (the index store's memory tier) warm for both.
+func (s *Scheduler) LoadGraph(name string) (*graph.Graph, error) {
+	return s.loadGraph(name)
+}
+
 // loadGraph fetches a dataset with per-name caching: repeated queries
 // against the same dataset (the common comparison workflow) parse or
 // generate the graph once.
