@@ -5,7 +5,7 @@ GOFMT ?= gofmt
 # numbers worth tracking.
 BENCHTIME ?= 1x
 
-.PHONY: build test test-race bench bench-json bench-compare vet docs-check clean
+.PHONY: build test test-race bench bench-json bench-compare vet docs-check metrics-check clean
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,10 @@ test: vet
 # test-race covers the packages with real concurrency: the index
 # store's single-flight, the walk worker pool, the walk-endpoint
 # cache (singleflight recording), the scheduler and its intra-batch
-# subquery pool (concurrent submit + mid-batch cancel), and the HTTP
-# layer.
+# subquery pool (concurrent submit + mid-batch cancel), the HTTP
+# layer, and the obs registry's lock-free counters and histograms.
 test-race:
-	$(GO) test -race ./internal/bippr/ ./internal/task/ ./internal/server/
+	$(GO) test -race ./internal/obs/ ./internal/bippr/ ./internal/task/ ./internal/server/
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
@@ -34,7 +34,7 @@ bench:
 # the pipe into the converter.
 bench-json:
 	@out=$$(mktemp); \
-	$(GO) test -run NONE -bench 'BiPPR|PPRTarget|TargetIndexStorage|EndpointPersist' -benchmem -benchtime $(BENCHTIME) . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
+	$(GO) test -run NONE -bench 'BiPPR|PPRTarget|TargetIndexStorage|EndpointPersist|ObsOverhead' -benchmem -benchtime $(BENCHTIME) . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
 	$(GO) run ./cmd/benchjson -out BENCH_bippr.json < $$out || { rm -f $$out; exit 1; }; \
 	rm -f $$out
 	@echo wrote BENCH_bippr.json
@@ -55,6 +55,12 @@ WINDOW ?= BENCH_window.json
 WINDOW_N ?= 8
 bench-history:
 	$(GO) run ./cmd/benchjson -history $(WINDOW) -window $(WINDOW_N) $(NEW)
+
+# metrics-check gates the /metrics exposition: an in-process server is
+# scraped, the output must parse as Prometheus text, and every exported
+# metric family must be documented in docs/API.md.
+metrics-check:
+	$(GO) run ./cmd/metricscheck -docs docs/API.md
 
 # docs-check gates the documentation: every relative markdown link in
 # README.md and docs/ must resolve, and the tree must be gofmt-clean.

@@ -638,3 +638,35 @@ func BenchmarkDatasetGeneration(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkObsOverhead quantifies what the observability layer costs
+// on the hottest uncached path: a full bidirectional query (reverse
+// push + walk pass) with package metrics on (the default) versus off.
+// Instrumentation sits only at pass boundaries — a handful of atomic
+// adds and one histogram observe per pass — so the two rows must stay
+// within noise of each other (the PR's budget is 5%). Neither row
+// opens a trace: span cost is borne only by requests that ask for one.
+func BenchmarkObsOverhead(b *testing.B) {
+	g := loadGraph(b, "enwiki-2018")
+	src := mustNode(b, g, "Brian May")
+	tgt := mustNode(b, g, "Freddie Mercury")
+	params := bippr.Params{Alpha: 0.85, RMax: 1e-4, Walks: 2000, Seed: 1}
+
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bippr.Bidirectional(context.Background(), g, src, tgt, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("instrumented", func(b *testing.B) {
+		bippr.SetMetricsEnabled(true)
+		run(b)
+	})
+	b.Run("disabled", func(b *testing.B) {
+		bippr.SetMetricsEnabled(false)
+		defer bippr.SetMetricsEnabled(true)
+		run(b)
+	})
+}

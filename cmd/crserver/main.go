@@ -37,6 +37,8 @@ func main() {
 		taskTimeout = flag.Duration("task-timeout", 5*time.Minute, "per-task execution limit (0 = unlimited)")
 		prewarm     = flag.Bool("prewarm", true, "pre-warm reverse-push indexes and walk-endpoint recordings for the catalog's suggested nodes at startup")
 		artifactCap = flag.Int64("artifact-cap-mb", 0, "total size cap in MiB for persisted artifacts (indexes + endpoint recordings); least recently accessed are swept first (0 = unlimited)")
+		enablePprof = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (do not enable on public deployments)")
+		slowQueryMS = flag.Int64("slow-query-ms", 0, "log one structured line, with the full phase breakdown, for every task running at least this many milliseconds (0 = off)")
 	)
 	flag.Parse()
 
@@ -53,12 +55,14 @@ func main() {
 	// target indexes and walk-endpoint recordings computed before a
 	// restart are served from disk after it.
 	srv, err := server.New(server.Config{
-		Catalog:          catalog,
-		Store:            store,
-		Workers:          *workers,
-		TaskTimeout:      *taskTimeout,
-		PreWarm:          *prewarm,
-		ArtifactCapBytes: *artifactCap << 20,
+		Catalog:            catalog,
+		Store:              store,
+		Workers:            *workers,
+		TaskTimeout:        *taskTimeout,
+		PreWarm:            *prewarm,
+		ArtifactCapBytes:   *artifactCap << 20,
+		EnablePprof:        *enablePprof,
+		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
 	})
 	if err != nil {
 		log.Fatal(err)

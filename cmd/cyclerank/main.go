@@ -35,6 +35,7 @@ import (
 	"github.com/cyclerank/cyclerank-go/internal/datasets"
 	"github.com/cyclerank/cyclerank-go/internal/formats"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/obs"
 	"github.com/cyclerank/cyclerank-go/internal/ranking"
 )
 
@@ -67,6 +68,7 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Int64("seed", 0, "random-walk RNG seed (default 1)")
 		top       = fs.Int("top", 10, "how many results to print")
 		stats     = fs.Bool("stats", false, "print graph statistics before results")
+		trace     = fs.Bool("trace", false, "print a per-phase timing breakdown (reverse push, walks, ...) after the results")
 		listDS    = fs.Bool("list-datasets", false, "list catalog datasets and exit")
 		listAlgos = fs.Bool("list-algorithms", false, "list algorithms and exit")
 	)
@@ -117,6 +119,15 @@ func run(args []string, out io.Writer) error {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	if *trace {
+		var tr *obs.Trace
+		ctx, tr = obs.NewTrace(ctx, "cyclerank")
+		defer func() {
+			tr.End()
+			fmt.Fprintf(out, "\nphases:\n%s", obs.FormatTree(tr.Tree()))
+		}()
+	}
 
 	params := algo.Params{
 		Source: *source, Target: *target,

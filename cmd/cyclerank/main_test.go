@@ -172,3 +172,28 @@ func TestErrorPaths(t *testing.T) {
 		}
 	}
 }
+
+func TestTraceFlag(t *testing.T) {
+	out, err := runCLI(t, "-algo", "bippr-pair", "-dataset", "complete-50",
+		"-source", "0", "-target", "1", "-walks", "256", "-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "phases:") {
+		t.Fatalf("no phase breakdown in output:\n%s", out)
+	}
+	for _, phase := range []string{"reverse_push", "walks", "pushes="} {
+		if !strings.Contains(out, phase) {
+			t.Errorf("trace output missing %q:\n%s", phase, out)
+		}
+	}
+	// Without -trace, no breakdown.
+	out, err = runCLI(t, "-algo", "bippr-pair", "-dataset", "complete-50",
+		"-source", "0", "-target", "1", "-walks", "256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "phases:") {
+		t.Errorf("phase breakdown printed without -trace:\n%s", out)
+	}
+}

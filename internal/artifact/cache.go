@@ -44,7 +44,9 @@ import (
 	"fmt"
 	"io/fs"
 	"sync"
-	"sync/atomic"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/obs"
 )
 
 // Tier reports where a cached value came from.
@@ -115,6 +117,11 @@ type Stats struct {
 // (Encode/Decode/DiskKey) are required when Disk is set; a nil Disk
 // makes the cache memory-only and the codec unused.
 type Config[K comparable, V any] struct {
+	// Name labels the cache's metrics (`cache="<name>"` on every
+	// series); empty defaults to "artifact". It is a metric label, so
+	// it must match the Prometheus label-name-friendly conventions
+	// callers document in API.md.
+	Name string
 	// Capacity bounds the memory LRU in entries; must be positive.
 	Capacity int
 	// Disk is the persistence tier; nil degrades to memory-only.
@@ -142,6 +149,11 @@ type Config[K comparable, V any] struct {
 }
 
 // Cache is the generic two-tier cache. It is safe for concurrent use.
+//
+// Its counters are obs metrics owned by the instance and registered
+// in a private registry (MetricsRegistry), so each cache instance
+// reports its own numbers — Stats() snapshots and the Prometheus
+// exposition read the same atomics.
 type Cache[K comparable, V any] struct {
 	cfg Config[K, V]
 
@@ -149,14 +161,18 @@ type Cache[K comparable, V any] struct {
 	order    *list.List // front = most recently used; values are *entry[K, V]
 	entries  map[K]*list.Element
 	inflight map[K]*inflightCall[V]
-	memHits  int64
 	weight   int64
 
-	diskHits   atomic.Int64
-	misses     atomic.Int64
-	diskWrites atomic.Int64
-	diskBytes  atomic.Int64
-	diskErrors atomic.Int64
+	reg            *obs.Registry
+	memHits        *obs.Counter
+	diskHits       *obs.Counter
+	misses         *obs.Counter
+	diskWrites     *obs.Counter
+	diskBytes      *obs.Counter
+	diskErrors     *obs.Counter
+	diskReadSecs   *obs.Histogram
+	diskWriteSecs  *obs.Histogram
+	computeSeconds *obs.Histogram
 }
 
 type entry[K comparable, V any] struct {
@@ -182,13 +198,46 @@ func New[K comparable, V any](cfg Config[K, V]) *Cache[K, V] {
 	if cfg.Disk != nil && (cfg.Encode == nil || cfg.Decode == nil || cfg.DiskKey == nil) {
 		panic("artifact: disk tier requires Encode, Decode and DiskKey")
 	}
-	return &Cache[K, V]{
+	name := cfg.Name
+	if name == "" {
+		name = "artifact"
+	}
+	r := obs.NewRegistry()
+	c := &Cache[K, V]{
 		cfg:      cfg,
 		order:    list.New(),
 		entries:  make(map[K]*list.Element, cfg.Capacity),
 		inflight: make(map[K]*inflightCall[V]),
+
+		reg:            r,
+		memHits:        r.Counter("cyclerank_artifact_cache_hits_total", "Cache lookups served without computing, by tier.", "cache", name, "tier", "memory"),
+		diskHits:       r.Counter("cyclerank_artifact_cache_hits_total", "Cache lookups served without computing, by tier.", "cache", name, "tier", "disk"),
+		misses:         r.Counter("cyclerank_artifact_cache_misses_total", "Computations actually paid.", "cache", name),
+		diskWrites:     r.Counter("cyclerank_artifact_cache_disk_writes_total", "Artifacts persisted to the disk tier.", "cache", name),
+		diskBytes:      r.Counter("cyclerank_artifact_cache_disk_written_bytes_total", "Bytes persisted to the disk tier.", "cache", name),
+		diskErrors:     r.Counter("cyclerank_artifact_cache_disk_errors_total", "Failed loads of an existing artifact plus failed encodes/saves.", "cache", name),
+		diskReadSecs:   r.Histogram("cyclerank_artifact_cache_disk_read_seconds", "Disk-tier load+decode latency (successful hits).", nil, "cache", name),
+		diskWriteSecs:  r.Histogram("cyclerank_artifact_cache_disk_write_seconds", "Disk-tier encode+save latency (successful writes).", nil, "cache", name),
+		computeSeconds: r.Histogram("cyclerank_artifact_cache_compute_seconds", "Miss computation latency (successful computes).", nil, "cache", name),
 	}
+	// Residency numbers live under the LRU mutex; sample them at
+	// scrape time instead of mirroring them into atomics.
+	r.GaugeFunc("cyclerank_artifact_cache_entries", "Entries resident in the memory LRU.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.order.Len())
+	}, "cache", name)
+	r.GaugeFunc("cyclerank_artifact_cache_weight", "Total weight of resident entries (0 when unweighted).", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.weight)
+	}, "cache", name)
+	return c
 }
+
+// MetricsRegistry returns the cache's private metrics registry, for
+// merging into a scrape endpoint.
+func (c *Cache[K, V]) MetricsRegistry() *obs.Registry { return c.reg }
 
 // GetOrCompute returns the value for key, where it came from, and any
 // error. On a miss in both tiers it runs compute — at most once per
@@ -200,7 +249,7 @@ func (c *Cache[K, V]) GetOrCompute(ctx context.Context, key K, compute func() (V
 	for {
 		c.mu.Lock()
 		if el, ok := c.entries[key]; ok {
-			c.memHits++
+			c.memHits.Inc()
 			c.order.MoveToFront(el)
 			val := el.Value.(*entry[K, V]).val
 			c.mu.Unlock()
@@ -214,9 +263,7 @@ func (c *Cache[K, V]) GetOrCompute(ctx context.Context, key K, compute func() (V
 				return zero, TierComputed, fmt.Errorf("artifact: waiting for shared computation: %w", ctx.Err())
 			}
 			if call.err == nil {
-				c.mu.Lock()
-				c.memHits++
-				c.mu.Unlock()
+				c.memHits.Inc()
 				return call.val, TierMemory, nil
 			}
 			continue // peer failed; try computing ourselves
@@ -232,9 +279,11 @@ func (c *Cache[K, V]) GetOrCompute(ctx context.Context, key K, compute func() (V
 		if val, ok := c.loadFromDisk(key); ok {
 			call.val, tier = val, TierDisk
 		} else {
+			t0 := time.Now()
 			call.val, call.err = compute()
 			if call.err == nil {
-				c.misses.Add(1)
+				c.misses.Inc()
+				c.computeSeconds.ObserveSince(t0)
 				c.saveToDisk(key, call.val)
 			}
 		}
@@ -274,6 +323,7 @@ func (c *Cache[K, V]) loadFromDisk(key K) (V, bool) {
 		return zero, false
 	}
 	dir, name := c.cfg.DiskKey(key)
+	t0 := time.Now()
 	data, err := c.cfg.Disk.Load(dir, name)
 	if err != nil {
 		// Absent artifact = ordinary cold miss. Anything else (EACCES,
@@ -281,16 +331,17 @@ func (c *Cache[K, V]) loadFromDisk(key K) (V, bool) {
 		// so a dead tier is visible in the stats instead of
 		// masquerading as an eternally cold cache.
 		if !errors.Is(err, fs.ErrNotExist) {
-			c.diskErrors.Add(1)
+			c.diskErrors.Inc()
 		}
 		return zero, false
 	}
 	val, err := c.cfg.Decode(key, data)
 	if err != nil {
-		c.diskErrors.Add(1)
+		c.diskErrors.Inc()
 		return zero, false
 	}
-	c.diskHits.Add(1)
+	c.diskReadSecs.ObserveSince(t0)
+	c.diskHits.Inc()
 	return val, true
 }
 
@@ -299,17 +350,19 @@ func (c *Cache[K, V]) saveToDisk(key K, val V) {
 	if c.cfg.Disk == nil {
 		return
 	}
+	t0 := time.Now()
 	data, err := c.cfg.Encode(key, val)
 	if err != nil {
-		c.diskErrors.Add(1)
+		c.diskErrors.Inc()
 		return
 	}
 	dir, name := c.cfg.DiskKey(key)
 	if err := c.cfg.Disk.Save(dir, name, data); err != nil {
-		c.diskErrors.Add(1)
+		c.diskErrors.Inc()
 		return
 	}
-	c.diskWrites.Add(1)
+	c.diskWriteSecs.ObserveSince(t0)
+	c.diskWrites.Inc()
 	c.diskBytes.Add(int64(len(data)))
 }
 
@@ -343,18 +396,20 @@ func (c *Cache[K, V]) putLocked(key K, val V) {
 	}
 }
 
-// Stats returns a snapshot of the cache's counters.
+// Stats returns a snapshot of the cache's counters — the same metric
+// objects the Prometheus exposition renders, so the two views cannot
+// disagree.
 func (c *Cache[K, V]) Stats() Stats {
 	c.mu.Lock()
-	memHits, size, weight := c.memHits, c.order.Len(), c.weight
+	size, weight := c.order.Len(), c.weight
 	c.mu.Unlock()
 	return Stats{
-		MemoryHits:       memHits,
-		DiskHits:         c.diskHits.Load(),
-		Misses:           c.misses.Load(),
-		DiskWrites:       c.diskWrites.Load(),
-		DiskBytesWritten: c.diskBytes.Load(),
-		DiskErrors:       c.diskErrors.Load(),
+		MemoryHits:       c.memHits.Value(),
+		DiskHits:         c.diskHits.Value(),
+		Misses:           c.misses.Value(),
+		DiskWrites:       c.diskWrites.Value(),
+		DiskBytesWritten: c.diskBytes.Value(),
+		DiskErrors:       c.diskErrors.Value(),
 		MemoryEntries:    size,
 		Weight:           weight,
 	}

@@ -61,6 +61,7 @@ import (
 	"math"
 
 	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/obs"
 	"github.com/cyclerank/cyclerank-go/internal/ranking"
 )
 
@@ -384,6 +385,17 @@ func (e *Estimator) pairWalks(ctx context.Context, g *graph.Graph, source graph.
 		value += set.EstimateSum(idx.Residuals)
 		walks = p.Walks
 		reused = cached
+		if reused {
+			// A hit re-weighted the recording instead of walking: count
+			// the avoided work and note it on the enclosing phase span.
+			if m := metrics.Load(); m != nil {
+				m.reweights.Inc()
+				m.walksAvoided.Add(int64(walks))
+			}
+			if s := obs.FromContext(ctx); s != nil {
+				s.AddMetric("walks_reused", float64(walks))
+			}
+		}
 	}
 	return Estimate{Value: value, Pushes: idx.Pushes, Walks: walks, EndpointsReused: reused}, nil
 }

@@ -4,10 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sync/atomic"
 
 	"github.com/cyclerank/cyclerank-go/internal/artifact"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/obs"
 )
 
 // EndpointCount is one recorded walk endpoint: the node plus how many
@@ -149,6 +149,7 @@ func EndpointFileKey(source graph.NodeID, alpha float64, seed int64, maxSteps, w
 // bound.
 func endpointConfig(capacity int, disk EndpointDiskTier) artifact.Config[endpointKey, *EndpointSet] {
 	cfg := artifact.Config[endpointKey, *EndpointSet]{
+		Name:         "walk_endpoints",
 		Capacity:     capacity,
 		Weight:       func(s *EndpointSet) int64 { return int64(s.NonZeros()) },
 		WeightBudget: maxEndpointPairs,
@@ -193,7 +194,7 @@ func endpointConfig(capacity int, disk EndpointDiskTier) artifact.Config[endpoin
 // persisted and pays deserialization, not re-walking.
 type EndpointCache struct {
 	cache        *artifact.Cache[endpointKey, *EndpointSet]
-	walksAvoided atomic.Int64
+	walksAvoided *obs.Counter
 }
 
 // NewEndpointCache returns a memory-only endpoint cache holding up to
@@ -212,8 +213,18 @@ func NewTieredEndpointCache(capacity int, disk EndpointDiskTier) *EndpointCache 
 	if capacity <= 0 {
 		capacity = DefaultEndpointCacheSize
 	}
-	return &EndpointCache{cache: artifact.New(endpointConfig(capacity, disk))}
+	cache := artifact.New(endpointConfig(capacity, disk))
+	c := &EndpointCache{cache: cache, walksAvoided: obs.NewCounter()}
+	// The reuse counter rides in the cache's registry so one merge at
+	// the scrape endpoint exports the whole component.
+	cache.MetricsRegistry().AttachCounter("cyclerank_endpoint_cache_walks_avoided_total",
+		"Walks not simulated because a recorded pass was re-weighted.", c.walksAvoided)
+	return c
 }
+
+// MetricsRegistry returns the cache's metrics registry (the underlying
+// artifact cache's series plus the walks-avoided counter).
+func (c *EndpointCache) MetricsRegistry() *obs.Registry { return c.cache.MetricsRegistry() }
 
 // GetOrRecord returns the recorded endpoint set for (g, source, p),
 // simulating and recording the walks with record on miss. record is
@@ -252,7 +263,7 @@ func (c *EndpointCache) Stats() EndpointStats {
 		Misses:           s.Misses,
 		Entries:          s.MemoryEntries,
 		Pairs:            s.Weight,
-		WalksAvoided:     c.walksAvoided.Load(),
+		WalksAvoided:     c.walksAvoided.Value(),
 		DiskHits:         s.DiskHits,
 		DiskWrites:       s.DiskWrites,
 		DiskBytesWritten: s.DiskBytesWritten,

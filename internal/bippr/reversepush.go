@@ -3,8 +3,10 @@ package bippr
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/obs"
 )
 
 // TargetIndex is the outcome of a reverse push towards one target:
@@ -78,6 +80,13 @@ func ReversePushStored(ctx context.Context, g *graph.Graph, target graph.NodeID,
 		return nil, fmt.Errorf("bippr: target node %d not in graph (N=%d)", target, g.NumNodes())
 	}
 
+	// Instrumentation sits at the run boundary: one span, one histogram
+	// observe and two counter adds per push run, nothing inside the
+	// push loop.
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "reverse_push")
+	defer span.End()
+
 	n := g.NumNodes()
 	idx := &TargetIndex{
 		Target:    target,
@@ -141,5 +150,12 @@ func ReversePushStored(ctx context.Context, g *graph.Graph, target graph.NodeID,
 	}
 
 	idx.MaxResidual = res.Max()
+	span.SetMetric("pushes", float64(idx.Pushes))
+	span.SetMetric("max_residual", idx.MaxResidual)
+	if m := metrics.Load(); m != nil {
+		m.pushRuns.Inc()
+		m.pushOps.Add(idx.Pushes)
+		m.pushSeconds.ObserveSince(start)
+	}
 	return idx, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"github.com/cyclerank/cyclerank-go/internal/artifact"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/obs"
 )
 
 // Tier re-exports the generic artifact tier: where a cached value
@@ -116,7 +117,7 @@ type indexKey struct {
 // or damaged header cannot trigger a huge allocation, then reject a
 // hand-edited or misplaced artifact whose echoed parameters differ).
 func indexConfig(capacity int, disk DiskTier) artifact.Config[indexKey, *TargetIndex] {
-	cfg := artifact.Config[indexKey, *TargetIndex]{Capacity: capacity}
+	cfg := artifact.Config[indexKey, *TargetIndex]{Name: "target_index", Capacity: capacity}
 	if disk == nil {
 		return cfg
 	}
@@ -165,6 +166,9 @@ func (m *MemoryStore) GetOrCompute(ctx context.Context, g *graph.Graph, target g
 func (m *MemoryStore) Stats() StoreStats {
 	return storeStatsFrom(m.cache.Stats())
 }
+
+// MetricsRegistry returns the store's cache metrics registry.
+func (m *MemoryStore) MetricsRegistry() *obs.Registry { return m.cache.MetricsRegistry() }
 
 // TieredStore is the two-tier IndexStore: the memory LRU in front of
 // persisted index artifacts, built on the generic artifact cache. A
@@ -259,4 +263,18 @@ func (t *TieredStore) GetOrCompute(ctx context.Context, g *graph.Graph, target g
 // Stats implements IndexStore. Misses counts successful computations.
 func (t *TieredStore) Stats() StoreStats {
 	return storeStatsFrom(t.cache.Stats())
+}
+
+// MetricsRegistry returns the store's cache metrics registry.
+func (t *TieredStore) MetricsRegistry() *obs.Registry { return t.cache.MetricsRegistry() }
+
+// StoreMetricsRegistry extracts the metrics registry of an IndexStore
+// when its implementation exports one (both package stores do) — how
+// serving layers merge a store they only hold by interface into a
+// scrape endpoint. Returns nil otherwise.
+func StoreMetricsRegistry(s IndexStore) *obs.Registry {
+	if m, ok := s.(interface{ MetricsRegistry() *obs.Registry }); ok {
+		return m.MetricsRegistry()
+	}
+	return nil
 }

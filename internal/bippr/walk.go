@@ -8,8 +8,10 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/obs"
 )
 
 // walkChunk is the number of walks one RNG stream covers. Walks are
@@ -205,8 +207,18 @@ func (w *WalkEstimator) EstimateSum(ctx context.Context, source graph.NodeID, wa
 	}
 
 	chunks := numChunks(walks)
-	partial := make([]float64, chunks)
 	workers = clampWorkers(workers, chunks)
+
+	// Instrumentation at the pass boundary only: one span and a few
+	// counter adds per pass, nothing inside the per-walk loop.
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "walks")
+	span.SetMetric("walks", float64(walks))
+	span.SetMetric("chunks", float64(chunks))
+	span.SetMetric("workers", float64(workers))
+	defer span.End()
+
+	partial := make([]float64, chunks)
 	scratch := make([]endpointScratch, workers)
 	err = forEachChunk(ctx, chunks, workers, func(worker, c int) {
 		partial[c] = w.chunkSum(&scratch[worker], source, c, chunkCount(walks, c), weight)
@@ -214,6 +226,7 @@ func (w *WalkEstimator) EstimateSum(ctx context.Context, source graph.NodeID, wa
 	if err != nil {
 		return 0, err
 	}
+	observeWalkPass(start, walks, chunks)
 
 	// Deterministic reduction: chunk order, independent of workers.
 	var sum float64
@@ -238,8 +251,16 @@ func (w *WalkEstimator) Endpoints(ctx context.Context, source graph.NodeID, walk
 	}
 
 	chunks := numChunks(walks)
-	set := &EndpointSet{Walks: walks, chunks: make([][]EndpointCount, chunks)}
 	workers = clampWorkers(workers, chunks)
+
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "walk_record")
+	span.SetMetric("walks", float64(walks))
+	span.SetMetric("chunks", float64(chunks))
+	span.SetMetric("workers", float64(workers))
+	defer span.End()
+
+	set := &EndpointSet{Walks: walks, chunks: make([][]EndpointCount, chunks)}
 	scratch := make([]endpointScratch, workers)
 	err = forEachChunk(ctx, chunks, workers, func(worker, c int) {
 		// The recorded set outlives the pass; clone out of the scratch.
@@ -248,7 +269,24 @@ func (w *WalkEstimator) Endpoints(ctx context.Context, source graph.NodeID, walk
 	if err != nil {
 		return nil, err
 	}
+	observeWalkPass(start, walks, chunks)
+	if m := metrics.Load(); m != nil {
+		m.walksRecorded.Add(int64(walks))
+	}
 	return set, nil
+}
+
+// observeWalkPass records one completed walk pass in the package
+// counters.
+func observeWalkPass(start time.Time, walks, chunks int) {
+	m := metrics.Load()
+	if m == nil {
+		return
+	}
+	m.walkPasses.Inc()
+	m.walks.Add(int64(walks))
+	m.walkChunks.Add(int64(chunks))
+	m.walkSeconds.ObserveSince(start)
 }
 
 // validateWalkArgs is the shared guard of every walk pass — fresh

@@ -47,12 +47,20 @@ import (
 
 	"github.com/cyclerank/cyclerank-go/internal/formats"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/obs"
 )
 
-// Store is a file-backed datastore rooted at a directory.
+// Store is a file-backed datastore rooted at a directory. Its I/O
+// metrics (fsync counts, artifact read/write latency) are per-instance
+// and exported through MetricsRegistry.
 type Store struct {
 	root string
 	mu   sync.Mutex
+
+	reg               *obs.Registry
+	fsyncs            *obs.Counter
+	artifactReadSecs  *obs.Histogram
+	artifactWriteSecs *obs.Histogram
 }
 
 // artifactKinds maps each derived-artifact kind to its file
@@ -71,11 +79,22 @@ func Open(dir string) (*Store, error) {
 			return nil, fmt.Errorf("datastore: %w", err)
 		}
 	}
-	return &Store{root: dir}, nil
+	r := obs.NewRegistry()
+	return &Store{
+		root:              dir,
+		reg:               r,
+		fsyncs:            r.Counter("cyclerank_datastore_fsyncs_total", "File and directory fsyncs performed by durable writes."),
+		artifactReadSecs:  r.Histogram("cyclerank_datastore_artifact_read_seconds", "Persisted artifact read latency (successful loads).", nil),
+		artifactWriteSecs: r.Histogram("cyclerank_datastore_artifact_write_seconds", "Persisted artifact durable-write latency (successful saves).", nil),
+	}, nil
 }
 
 // Root returns the store's root directory.
 func (s *Store) Root() string { return s.root }
+
+// MetricsRegistry returns the store's I/O metrics registry, for
+// merging into a scrape endpoint.
+func (s *Store) MetricsRegistry() *obs.Registry { return s.reg }
 
 // validName guards against path traversal in user-supplied names.
 func validName(name string) error {
@@ -95,7 +114,7 @@ func validName(name string) error {
 // rename itself durable, so a crash immediately after atomicWrite
 // returns cannot roll the directory entry back to the old (or no)
 // artifact.
-func atomicWrite(path string, write func(f *os.File) error) error {
+func (s *Store) atomicWrite(path string, write func(f *os.File) error) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("datastore: %w", err)
@@ -109,20 +128,21 @@ func atomicWrite(path string, write func(f *os.File) error) error {
 		tmp.Close()
 		return fmt.Errorf("datastore: %w", err)
 	}
+	s.fsyncs.Inc()
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("datastore: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("datastore: %w", err)
 	}
-	return syncDir(filepath.Dir(path))
+	return s.syncDir(filepath.Dir(path))
 }
 
 // syncDir fsyncs a directory so a completed rename within it survives
 // a crash. Filesystems that reject directory fsync (some network and
 // FUSE mounts) degrade to the pre-sync durability rather than failing
 // the write.
-func syncDir(dir string) error {
+func (s *Store) syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return fmt.Errorf("datastore: %w", err)
@@ -131,6 +151,7 @@ func syncDir(dir string) error {
 	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
 		return fmt.Errorf("datastore: syncing %s: %w", dir, err)
 	}
+	s.fsyncs.Inc()
 	return nil
 }
 
@@ -147,13 +168,13 @@ func (s *Store) SaveDataset(name string, g *graph.Graph) error {
 	defer s.mu.Unlock()
 	gpath := filepath.Join(s.root, "datasets", name+".asd")
 	lpath := filepath.Join(s.root, "datasets", name+".labels")
-	err := atomicWrite(gpath, func(f *os.File) error {
+	err := s.atomicWrite(gpath, func(f *os.File) error {
 		return formats.WriteASD(f, g)
 	})
 	if err != nil {
 		return err
 	}
-	err = atomicWrite(filepath.Join(s.root, "datasets", name+".fp"), func(f *os.File) error {
+	err = s.atomicWrite(filepath.Join(s.root, "datasets", name+".fp"), func(f *os.File) error {
 		_, err := fmt.Fprintln(f, graph.Fingerprint(g))
 		return err
 	})
@@ -164,7 +185,7 @@ func (s *Store) SaveDataset(name string, g *graph.Graph) error {
 		os.Remove(lpath)
 		return nil
 	}
-	return atomicWrite(lpath, func(f *os.File) error {
+	return s.atomicWrite(lpath, func(f *os.File) error {
 		for _, l := range g.Labels().Names() {
 			if strings.ContainsRune(l, '\n') {
 				return fmt.Errorf("datastore: label with newline: %q", l)
@@ -301,7 +322,7 @@ func (s *Store) SaveResult(taskID string, doc any) error {
 		return err
 	}
 	path := filepath.Join(s.root, "results", taskID+".json")
-	return atomicWrite(path, func(f *os.File) error {
+	return s.atomicWrite(path, func(f *os.File) error {
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
@@ -399,16 +420,21 @@ func (s *Store) saveArtifact(kind, graphFP, key string, data []byte) error {
 		// The fingerprint directory is new: sync its parent so the
 		// directory entry itself survives a crash — atomicWrite below
 		// only syncs the file and the fingerprint directory.
-		if err := syncDir(filepath.Join(s.root, kind)); err != nil {
+		if err := s.syncDir(filepath.Join(s.root, kind)); err != nil {
 			return err
 		}
 	}
-	return atomicWrite(filepath.Join(dir, key+ext), func(f *os.File) error {
+	t0 := time.Now()
+	err := s.atomicWrite(filepath.Join(dir, key+ext), func(f *os.File) error {
 		if _, err := f.Write(data); err != nil {
 			return fmt.Errorf("datastore: writing %s %s/%s: %w", kind, graphFP, key, err)
 		}
 		return nil
 	})
+	if err == nil {
+		s.artifactWriteSecs.ObserveSince(t0)
+	}
+	return err
 }
 
 // loadArtifact reads a persisted artifact. A missing artifact returns
@@ -427,10 +453,12 @@ func (s *Store) loadArtifact(kind, graphFP, key string) ([]byte, error) {
 		return nil, err
 	}
 	path := filepath.Join(s.root, kind, graphFP, key+ext)
+	t0 := time.Now()
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("datastore: %s %s/%s: %w", kind, graphFP, key, err)
 	}
+	s.artifactReadSecs.ObserveSince(t0)
 	now := time.Now()
 	_ = os.Chtimes(path, now, now)
 	return data, nil

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets is the platform's fixed exponential latency bucket
+// layout, in seconds: 100µs doubling up to ~52s (20 bounds, 21
+// buckets with the implicit +Inf). One shared layout keeps every
+// latency histogram comparable and lets dashboards aggregate across
+// phases.
+var LatencyBuckets = ExponentialBuckets(100e-6, 2, 20)
+
+// ExponentialBuckets returns n bucket upper bounds starting at start
+// and multiplying by factor. start must be positive and factor > 1.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: exponential buckets need start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram counts observations in fixed buckets. Observe is
+// lock-free and allocation-free: one binary search over the bounds,
+// two atomic adds, and a CAS loop for the float sum — cheap enough
+// for per-request hot paths.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending bucket
+// upper bounds (nil or empty selects LatencyBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. Prometheus bucket semantics: a value
+// lands in the first bucket whose upper bound is >= v (le =
+// "less than or equal"); values above every bound land in +Inf.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0 — the one-liner
+// for latency spans: defer h.ObserveSince(time.Now()).
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// HistogramSnapshot is a consistent-enough read of a histogram:
+// per-bucket (non-cumulative) counts aligned with Bounds plus the
+// +Inf bucket last, total count and sum. Concurrent observers may
+// make Count lag or lead the bucket total by in-flight observations;
+// exposition readers tolerate that (Prometheus scrapes are not
+// atomic either), and the rendered _count is derived from the bucket
+// total so the cumulative series is always self-consistent.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot returns the current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }

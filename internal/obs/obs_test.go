@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	c := NewCounter()
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := NewGauge()
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// le semantics: a value equal to a bound lands in that bound's
+	// bucket, not the next one.
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0.5, 0}, {1, 0}, {1.0000001, 1}, {2, 1}, {3, 2}, {4, 2}, {4.1, 3}, {1e9, 3},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	snap := h.Snapshot()
+	want := make([]int64, 4)
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	for i := range want {
+		if snap.Counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, snap.Counts[i], want[i], snap.Counts)
+		}
+	}
+	if snap.Count != int64(len(cases)) {
+		t.Errorf("count = %d, want %d", snap.Count, len(cases))
+	}
+	wantSum := 0.0
+	for _, c := range cases {
+		wantSum += c.v
+	}
+	if math.Abs(snap.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending bounds")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Deterministic spread across all four buckets.
+				h.Observe(float64((w*perWorker + i) % 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", snap.Count, workers*perWorker)
+	}
+	var total int64
+	for _, c := range snap.Counts {
+		total += c
+	}
+	if total != workers*perWorker {
+		t.Fatalf("bucket total = %d, want %d", total, workers*perWorker)
+	}
+	// Sum of (w*perWorker+i) % 200 over all observations: each worker
+	// covers perWorker/200 full cycles of 0..199.
+	cycles := workers * perWorker / 200
+	wantSum := float64(cycles) * (199.0 * 200.0 / 2.0)
+	if math.Abs(snap.Sum-wantSum) > 1e-6*wantSum {
+		t.Fatalf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	b := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", b, want)
+		}
+	}
+	if len(LatencyBuckets) != 20 || LatencyBuckets[0] != 100e-6 {
+		t.Fatalf("LatencyBuckets = %v", LatencyBuckets)
+	}
+}
+
+func TestRegistryGetOrRegister(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "help", "tier", "mem")
+	b := r.Counter("test_total", "help", "tier", "mem")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c := r.Counter("test_total", "help", "tier", "disk")
+	if a == c {
+		t.Fatal("different labels must return a distinct counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("test_total", "help")
+}
+
+func TestRegistryFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("depth", "queue depth", func() float64 { return 1 })
+	r.GaugeFunc("depth", "queue depth", func() float64 { return 2 })
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "depth 2") {
+		t.Fatalf("re-registered func sampler not used:\n%s", buf.String())
+	}
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries_total", "Total queries.", "algo", "bippr").Add(3)
+	r.Counter("queries_total", "Total queries.", "algo", "pprtarget").Add(1)
+	r.Gauge("queue_depth", "Tasks waiting.").Set(2)
+	h := r.Histogram("latency_seconds", "Query latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	// A second registry merging into the same exposition.
+	r2 := NewRegistry()
+	r2.Counter("other_total", "Other.").Inc()
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r, r2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP queries_total Total queries.",
+		"# TYPE queries_total counter",
+		`queries_total{algo="bippr"} 3`,
+		`queries_total{algo="pprtarget"} 1`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 2",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_sum 5.55",
+		"latency_seconds_count 3",
+		"other_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	names, err := CheckExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("CheckExposition rejected our own output: %v\n%s", err, out)
+	}
+	wantNames := []string{"latency_seconds", "other_total", "queries_total", "queue_depth"}
+	if len(names) != len(wantNames) {
+		t.Fatalf("names = %v, want %v", names, wantNames)
+	}
+	for i := range wantNames {
+		if names[i] != wantNames[i] {
+			t.Fatalf("names = %v, want %v", names, wantNames)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", "path", `a"b\c`).Inc()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("escaped labels rejected: %v\n%s", err, buf.String())
+	}
+}
+
+func TestCheckExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":        "orphan_metric 1\n",
+		"bad name":       "# TYPE 9bad counter\n9bad 1\n",
+		"bad value":      "# TYPE m counter\nm abc\n",
+		"bad type":       "# TYPE m flavor\n",
+		"dup series":     "# TYPE m counter\nm 1\nm 2\n",
+		"dup TYPE":       "# TYPE m counter\n# TYPE m counter\n",
+		"unquoted label": "# TYPE m counter\nm{a=b} 1\n",
+		"bad label name": "# TYPE m counter\nm{9a=\"b\"} 1\n",
+	}
+	for name, in := range cases {
+		if _, err := CheckExposition([]byte(in)); err == nil {
+			t.Errorf("%s: accepted malformed input %q", name, in)
+		}
+	}
+}
+
+func TestHandlerServesContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+}
+
+func TestAttachSharesMetric(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter()
+	r.AttachCounter("shared_total", "", c)
+	c.Add(7)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "shared_total 7") {
+		t.Fatalf("attached counter not exported:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family of the given registries in the
+// Prometheus text exposition format (version 0.0.4). Families with
+// the same name appearing in several registries are merged under one
+// HELP/TYPE header — the pattern behind a scrape endpoint that
+// combines the process-wide Default() registry with per-component
+// ones; a kind mismatch across registries is an error.
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	type mergedFamily struct {
+		help   string
+		k      Kind
+		series []*series
+	}
+	merged := make(map[string]*mergedFamily)
+	var names []string
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		for name, f := range r.families {
+			mf, ok := merged[name]
+			if !ok {
+				mf = &mergedFamily{help: f.help, k: f.k}
+				merged[name] = mf
+				names = append(names, name)
+			} else if mf.k != f.k {
+				r.mu.Unlock()
+				return fmt.Errorf("obs: family %q is %s in one registry, %s in another", name, mf.k, f.k)
+			}
+			mf.series = append(mf.series, f.series...)
+		}
+		r.mu.Unlock()
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		f := merged[name]
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, f.k)
+		for _, s := range f.series {
+			writeSeries(bw, name, s)
+		}
+	}
+	return bw.Flush()
+}
+
+// escapeHelp applies the exposition escapes for HELP text.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// writeSeries renders one series' sample lines.
+func writeSeries(w *bufio.Writer, name string, s *series) {
+	switch m := s.m.(type) {
+	case *Counter:
+		writeSample(w, name, s.labels, float64(m.Value()))
+	case *Gauge:
+		writeSample(w, name, s.labels, m.Value())
+	case funcMetric:
+		writeSample(w, name, s.labels, m.fn())
+	case *Histogram:
+		snap := m.Snapshot()
+		var cum int64
+		for i, bound := range snap.Bounds {
+			cum += snap.Counts[i]
+			writeSample(w, name+"_bucket", joinLabels(s.labels, fmt.Sprintf("le=%q", formatFloat(bound))), float64(cum))
+		}
+		cum += snap.Counts[len(snap.Counts)-1]
+		writeSample(w, name+"_bucket", joinLabels(s.labels, `le="+Inf"`), float64(cum))
+		writeSample(w, name+"_sum", s.labels, snap.Sum)
+		writeSample(w, name+"_count", s.labels, float64(cum))
+	}
+}
+
+// joinLabels appends one rendered pair to a (possibly empty) rendered
+// label set.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+func writeSample(w *bufio.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatFloat(v))
+}
+
+// formatFloat renders a sample value: integers without an exponent,
+// everything else in Go's shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// CheckExposition validates a Prometheus text exposition and returns
+// the sorted family names it declares. It enforces the subset of the
+// format the platform emits — and that monitoring systems require:
+//
+//   - every non-comment line parses as `name[{labels}] value`;
+//   - metric and label names match the Prometheus grammar, label
+//     values are correctly quoted, values parse as floats;
+//   - samples are preceded by a TYPE declaration for their family
+//     (histogram samples may use the _bucket/_sum/_count suffixes);
+//   - no duplicate series (same name and label set twice);
+//   - TYPE values are counter, gauge, histogram, summary or untyped.
+//
+// It is the shared validator behind the /metrics golden test and the
+// metricscheck CI gate.
+func CheckExposition(data []byte) ([]string, error) {
+	types := make(map[string]Kind)
+	seen := make(map[string]bool)
+	var names []string
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			name, kind, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if kind != "" {
+				if _, dup := types[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = kind
+				names = append(names, name)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return nil, fmt.Errorf("line %d: sample value %q is not a float", lineNo, value)
+		}
+		fam, ok := sampleFamily(name, types)
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding TYPE declaration", lineNo, name)
+		}
+		_ = fam
+		key := name + "{" + labels + "}"
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// parseComment validates a # line; TYPE lines return the declared
+// family name and kind, HELP and free comments return empty.
+func parseComment(line string) (name string, kind Kind, err error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return "", "", nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validName.MatchString(fields[2]) {
+			return "", "", fmt.Errorf("malformed HELP line %q", line)
+		}
+		return fields[2], "", nil
+	case "TYPE":
+		if len(fields) < 4 || !validName.MatchString(fields[2]) {
+			return "", "", fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+			return fields[2], Kind(fields[3]), nil
+		}
+		return "", "", fmt.Errorf("unknown metric type %q", fields[3])
+	}
+	return "", "", nil // free-form comment
+}
+
+// sampleFamily resolves a sample name to its declared family,
+// accepting the histogram/summary suffix conventions.
+func sampleFamily(name string, types map[string]Kind) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if k, ok := types[base]; ok && (k == KindHistogram || k == "summary") {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+// parseSample splits `name[{labels}] value` and validates the name
+// and label syntax. The returned labels string is the raw inner text.
+func parseSample(line string) (name, labels, value string, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", "", "", fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[brace+1 : end]
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", "", "", fmt.Errorf("no value in %q", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp+1:])
+	}
+	if !validName.MatchString(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if err := checkLabels(labels); err != nil {
+		return "", "", "", fmt.Errorf("%w in %q", err, line)
+	}
+	// A timestamp after the value is permitted by the format; the
+	// platform never emits one, but tolerate it.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	if rest == "" {
+		return "", "", "", fmt.Errorf("no value in %q", line)
+	}
+	return name, labels, rest, nil
+}
+
+// checkLabels validates the inner text of a label set.
+func checkLabels(labels string) error {
+	rest := labels
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair")
+		}
+		lname := rest[:eq]
+		if !validName.MatchString(lname) {
+			return fmt.Errorf("invalid label name %q", lname)
+		}
+		rest = rest[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value")
+		}
+		// Scan the quoted value honoring backslash escapes.
+		i := 1
+		for {
+			if i >= len(rest) {
+				return fmt.Errorf("unterminated label value")
+			}
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		rest = rest[i+1:]
+		if rest != "" {
+			if rest[0] != ',' {
+				return fmt.Errorf("missing comma between labels")
+			}
+			rest = rest[1:]
+		}
+	}
+	return nil
+}

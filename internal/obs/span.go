@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a traced request. All methods are
+// nil-safe: StartSpan on an untraced context returns a nil span, so
+// instrumentation points never branch on "is tracing on".
+type Span struct {
+	name    string
+	start   time.Time
+	end     time.Time
+	mu      sync.Mutex // guards metrics, children, end
+	metrics map[string]float64
+	childs  []*Span
+}
+
+// SetMetric attaches a named scalar to the span (push counts,
+// residual mass at stop, walks folded — whatever explains the
+// phase's duration).
+func (s *Span) SetMetric(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.metrics == nil {
+		s.metrics = make(map[string]float64)
+	}
+	s.metrics[name] = v
+	s.mu.Unlock()
+}
+
+// AddMetric accumulates into a named scalar — for phases that observe
+// the same quantity several times (per-chunk walk counts).
+func (s *Span) AddMetric(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.metrics == nil {
+		s.metrics = make(map[string]float64)
+	}
+	s.metrics[name] += v
+	s.mu.Unlock()
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// child creates and attaches a started sub-span.
+func (s *Span) child(name string) *Span {
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.childs = append(s.childs, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SpanNode is the exported form of a finished span tree — what a
+// Result's phases field and the -trace CLI flag render.
+type SpanNode struct {
+	Name       string             `json:"name"`
+	DurationMS float64            `json:"duration_ms"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Children   []SpanNode         `json:"children,omitempty"`
+}
+
+// node snapshots the span (and its subtree). An unfinished span is
+// measured up to now.
+func (s *Span) node() SpanNode {
+	s.mu.Lock()
+	end := s.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	n := SpanNode{
+		Name:       s.name,
+		DurationMS: float64(end.Sub(s.start)) / float64(time.Millisecond),
+	}
+	if len(s.metrics) > 0 {
+		n.Metrics = make(map[string]float64, len(s.metrics))
+		for k, v := range s.metrics {
+			n.Metrics[k] = v
+		}
+	}
+	childs := make([]*Span, len(s.childs))
+	copy(childs, s.childs)
+	s.mu.Unlock()
+	for _, c := range childs {
+		n.Children = append(n.Children, c.node())
+	}
+	return n
+}
+
+// Node snapshots this span's subtree as an exportable node — how a
+// batch executor captures one subquery's phases while the enclosing
+// trace keeps the full tree. Nil-safe: a nil span yields a zero node.
+func (s *Span) Node() SpanNode {
+	if s == nil {
+		return SpanNode{}
+	}
+	return s.node()
+}
+
+// Trace is a per-request span collector: the root of one request's
+// span tree. Opening a trace on a context is the sampling decision —
+// requests without one pay a single context lookup per StartSpan and
+// record nothing.
+type Trace struct {
+	root *Span
+}
+
+// traceKey is the context key carrying the *current span* of a trace.
+type traceKey struct{}
+
+// NewTrace opens a trace rooted at name and returns a derived context
+// that StartSpan calls below will attach to.
+func NewTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	t := &Trace{root: &Span{name: name, start: time.Now()}}
+	return context.WithValue(ctx, traceKey{}, t.root), t
+}
+
+// StartSpan opens a phase span nested under the context's current
+// span. The returned context carries the new span so deeper phases
+// nest beneath it; on an untraced context it returns (ctx, nil) and
+// the nil span's methods are no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(traceKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.child(name)
+	return context.WithValue(ctx, traceKey{}, c), c
+}
+
+// FromContext returns the context's current span (nil when untraced)
+// — for attaching metrics to an enclosing phase without opening a new
+// one.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(traceKey{}).(*Span)
+	return s
+}
+
+// End closes the trace's root span.
+func (t *Trace) End() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+}
+
+// Tree snapshots the trace as an exportable node tree.
+func (t *Trace) Tree() SpanNode {
+	if t == nil {
+		return SpanNode{}
+	}
+	return t.root.node()
+}
+
+// FormatTree renders a node tree as an indented text block — the
+// cyclerank -trace output and the slow-query log's human-readable
+// form.
+func FormatTree(n SpanNode) string {
+	var b strings.Builder
+	formatNode(&b, n, 0)
+	return b.String()
+}
+
+func formatNode(b *strings.Builder, n SpanNode, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(b, "%s %.3fms", n.Name, n.DurationMS)
+	if len(n.Metrics) > 0 {
+		keys := make([]string, 0, len(n.Metrics))
+		for k := range n.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("  [")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(b, "%s=%s", k, formatFloat(n.Metrics[k]))
+		}
+		b.WriteString("]")
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		formatNode(b, c, depth+1)
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanNilSafety(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "phase")
+	if s != nil {
+		t.Fatal("untraced context must yield a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("untraced StartSpan must return the context unchanged")
+	}
+	// All nil-span methods must be no-ops, not panics.
+	s.SetMetric("x", 1)
+	s.AddMetric("x", 1)
+	s.End()
+	if FromContext(ctx) != nil {
+		t.Fatal("FromContext on untraced context must be nil")
+	}
+	var tr *Trace
+	tr.End()
+}
+
+func TestSpanNesting(t *testing.T) {
+	ctx, tr := NewTrace(context.Background(), "query")
+	ctx1, outer := StartSpan(ctx, "reverse_push")
+	outer.SetMetric("pushes", 42)
+	_, inner := StartSpan(ctx1, "load_index")
+	inner.End()
+	outer.End()
+	_, sib := StartSpan(ctx, "walks")
+	sib.AddMetric("walks", 100)
+	sib.AddMetric("walks", 50)
+	sib.End()
+	tr.End()
+
+	n := tr.Tree()
+	if n.Name != "query" || len(n.Children) != 2 {
+		t.Fatalf("tree = %+v", n)
+	}
+	if n.Children[0].Name != "reverse_push" || n.Children[0].Metrics["pushes"] != 42 {
+		t.Fatalf("child 0 = %+v", n.Children[0])
+	}
+	if len(n.Children[0].Children) != 1 || n.Children[0].Children[0].Name != "load_index" {
+		t.Fatalf("nesting lost: %+v", n.Children[0])
+	}
+	if n.Children[1].Name != "walks" || n.Children[1].Metrics["walks"] != 150 {
+		t.Fatalf("child 1 = %+v", n.Children[1])
+	}
+	for _, c := range n.Children {
+		if c.DurationMS < 0 {
+			t.Fatalf("negative duration in %+v", c)
+		}
+	}
+}
+
+// spanSet flattens a tree into parent/child name pairs — the
+// order-independent identity that must not depend on worker
+// parallelism.
+func spanSet(n SpanNode, parent string, out map[string]int) {
+	out[parent+"/"+n.Name]++
+	for _, c := range n.Children {
+		spanSet(c, parent+"/"+n.Name, out)
+	}
+}
+
+func TestSpanSetStableUnderParallelism(t *testing.T) {
+	// Simulate the batch pool: N subquery spans opened concurrently
+	// under one trace, each with the same nested phases. The span
+	// *set* must be identical for any worker count.
+	run := func(workers int) map[string]int {
+		ctx, tr := NewTrace(context.Background(), "batch")
+		const subqueries = 8
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < subqueries; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				sctx, sub := StartSpan(ctx, "subquery")
+				_, push := StartSpan(sctx, "reverse_push")
+				push.End()
+				_, walk := StartSpan(sctx, "walks")
+				walk.End()
+				sub.End()
+			}()
+		}
+		wg.Wait()
+		tr.End()
+		set := make(map[string]int)
+		spanSet(tr.Tree(), "", set)
+		return set
+	}
+	base := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if len(got) != len(base) {
+			t.Fatalf("parallelism %d: span set %v != baseline %v", workers, got, base)
+		}
+		for k, v := range base {
+			if got[k] != v {
+				t.Fatalf("parallelism %d: span set %v != baseline %v", workers, got, base)
+			}
+		}
+	}
+}
+
+func TestSpanNodeJSONShape(t *testing.T) {
+	ctx, tr := NewTrace(context.Background(), "q")
+	_, s := StartSpan(ctx, "phase")
+	s.SetMetric("pushes", 3)
+	s.End()
+	tr.End()
+	b, err := json.Marshal(tr.Tree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"q"`, `"duration_ms"`, `"children"`, `"pushes":3`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("JSON missing %q: %s", want, b)
+		}
+	}
+}
+
+func TestFormatTree(t *testing.T) {
+	n := SpanNode{
+		Name: "query", DurationMS: 10.5,
+		Metrics:  map[string]float64{"pushes": 42},
+		Children: []SpanNode{{Name: "walks", DurationMS: 4}},
+	}
+	out := FormatTree(n)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %q", lines)
+	}
+	if !strings.HasPrefix(lines[0], "query 10.500ms") || !strings.Contains(lines[0], "pushes=42") {
+		t.Fatalf("root line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  walks") {
+		t.Fatalf("child line not indented: %q", lines[1])
+	}
+}

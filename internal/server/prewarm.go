@@ -7,6 +7,7 @@ import (
 
 	"github.com/cyclerank/cyclerank-go/internal/bippr"
 	"github.com/cyclerank/cyclerank-go/internal/datastore"
+	"github.com/cyclerank/cyclerank-go/internal/obs"
 )
 
 // PrewarmStatus is the startup pre-warm task's progress snapshot, the
@@ -38,38 +39,77 @@ type PrewarmStatus struct {
 	Errors int `json:"errors"`
 }
 
-// prewarmState guards the status snapshot.
+// prewarmState backs the "prewarm" status row with obs metrics: the
+// counters ARE the registry series the /metrics scrape exports, and
+// snapshot() assembles the legacy JSON shape from the same values —
+// the two views cannot drift. Only the state string stays a plain
+// mutex-guarded field (Prometheus has no string samples).
 type prewarmState struct {
-	mu sync.Mutex
-	st PrewarmStatus
+	mu    sync.Mutex
+	state string
+
+	datasetsTotal, nodesTotal *obs.Gauge
+	datasetsDone, nodesDone   *obs.Counter
+	indexesWarm, indexesComputed,
+	endpointsWarm, endpointsRecorded *obs.Counter
+	errors *obs.Counter
 }
 
-func (p *prewarmState) init(enabled bool) {
+func (p *prewarmState) init(enabled bool, reg *obs.Registry) {
+	p.datasetsTotal = reg.Gauge("cyclerank_prewarm_datasets",
+		"Catalog datasets the startup pre-warm covers.")
+	p.nodesTotal = reg.Gauge("cyclerank_prewarm_nodes",
+		"Suggested reference nodes the startup pre-warm covers.")
+	p.datasetsDone = reg.Counter("cyclerank_prewarm_datasets_done_total",
+		"Datasets the pre-warm finished (including skipped ones).")
+	p.nodesDone = reg.Counter("cyclerank_prewarm_nodes_done_total",
+		"Reference nodes the pre-warm finished (including failed ones).")
+	p.indexesWarm = reg.Counter("cyclerank_prewarm_indexes_total",
+		"Reverse-push indexes touched by the pre-warm, by outcome.", "outcome", "warm")
+	p.indexesComputed = reg.Counter("cyclerank_prewarm_indexes_total",
+		"Reverse-push indexes touched by the pre-warm, by outcome.", "outcome", "computed")
+	p.endpointsWarm = reg.Counter("cyclerank_prewarm_endpoints_total",
+		"Walk-endpoint recordings touched by the pre-warm, by outcome.", "outcome", "warm")
+	p.endpointsRecorded = reg.Counter("cyclerank_prewarm_endpoints_total",
+		"Walk-endpoint recordings touched by the pre-warm, by outcome.", "outcome", "recorded")
+	p.errors = reg.Counter("cyclerank_prewarm_errors_total",
+		"Nodes that failed to warm (load failures, unresolvable labels).")
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if enabled {
-		p.st.State = "running"
+		p.state = "running"
 	} else {
-		p.st.State = "disabled"
+		p.state = "disabled"
 	}
 }
 
 func (p *prewarmState) setTotals(datasets, nodes int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.st.DatasetsTotal, p.st.NodesTotal = datasets, nodes
+	p.datasetsTotal.Set(float64(datasets))
+	p.nodesTotal.Set(float64(nodes))
 }
 
-func (p *prewarmState) update(fn func(*PrewarmStatus)) {
+func (p *prewarmState) setState(state string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	fn(&p.st)
+	p.state = state
 }
 
 func (p *prewarmState) snapshot() PrewarmStatus {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.st
+	state := p.state
+	p.mu.Unlock()
+	return PrewarmStatus{
+		State:             state,
+		DatasetsTotal:     int(p.datasetsTotal.Value()),
+		DatasetsDone:      int(p.datasetsDone.Value()),
+		NodesTotal:        int(p.nodesTotal.Value()),
+		NodesDone:         int(p.nodesDone.Value()),
+		IndexesWarm:       int(p.indexesWarm.Value()),
+		IndexesComputed:   int(p.indexesComputed.Value()),
+		EndpointsWarm:     int(p.endpointsWarm.Value()),
+		EndpointsRecorded: int(p.endpointsRecorded.Value()),
+		Errors:            int(p.errors.Value()),
+	}
 }
 
 // runPrewarm is the startup pre-warm task: for every catalog dataset
@@ -107,74 +147,62 @@ func (s *Server) runPrewarm(ctx context.Context) {
 	cancelled := func() bool { return ctx.Err() != nil }
 	for _, j := range jobs {
 		if cancelled() {
-			s.prewarm.update(func(st *PrewarmStatus) { st.State = "cancelled" })
+			s.prewarm.setState("cancelled")
 			return
 		}
 		g, err := s.scheduler.LoadGraph(j.dataset)
 		if err != nil {
-			s.prewarm.update(func(st *PrewarmStatus) {
-				st.Errors += len(j.sources)
-				st.NodesDone += len(j.sources)
-				st.DatasetsDone++
-			})
+			s.prewarm.errors.Add(int64(len(j.sources)))
+			s.prewarm.nodesDone.Add(int64(len(j.sources)))
+			s.prewarm.datasetsDone.Inc()
 			continue
 		}
 		for _, label := range j.sources {
 			if cancelled() {
-				s.prewarm.update(func(st *PrewarmStatus) { st.State = "cancelled" })
+				s.prewarm.setState("cancelled")
 				return
 			}
 			node, ok := g.NodeByLabel(label)
 			if !ok {
-				s.prewarm.update(func(st *PrewarmStatus) { st.Errors++; st.NodesDone++ })
+				s.prewarm.errors.Inc()
+				s.prewarm.nodesDone.Inc()
 				continue
 			}
-			failed := false
 			_, tier, err := s.indexStore.GetOrCompute(ctx, g, node, p.Alpha, p.RMax,
 				func() (*bippr.TargetIndex, error) {
 					return bippr.ReversePush(ctx, g, node, p.Alpha, p.RMax)
 				})
-			if err != nil {
-				failed = true
-			}
 			_, warm, eErr := s.endpoints.GetOrRecord(ctx, g, node, p,
 				func() (*bippr.EndpointSet, error) {
 					w := bippr.NewWalkEstimator(g, p.Alpha, p.Seed, p.MaxSteps)
 					return w.Endpoints(ctx, node, p.Walks, p.Workers)
 				})
-			if eErr != nil {
-				failed = true
+			s.prewarm.nodesDone.Inc()
+			if err != nil || eErr != nil {
+				s.prewarm.errors.Inc()
 			}
-			s.prewarm.update(func(st *PrewarmStatus) {
-				st.NodesDone++
-				if failed {
-					st.Errors++
+			if err == nil {
+				if tier != bippr.TierComputed {
+					s.prewarm.indexesWarm.Inc()
+				} else {
+					s.prewarm.indexesComputed.Inc()
 				}
-				if err == nil {
-					if tier != bippr.TierComputed {
-						st.IndexesWarm++
-					} else {
-						st.IndexesComputed++
-					}
+			}
+			if eErr == nil {
+				if warm {
+					s.prewarm.endpointsWarm.Inc()
+				} else {
+					s.prewarm.endpointsRecorded.Inc()
 				}
-				if eErr == nil {
-					if warm {
-						st.EndpointsWarm++
-					} else {
-						st.EndpointsRecorded++
-					}
-				}
-			})
+			}
 		}
-		s.prewarm.update(func(st *PrewarmStatus) { st.DatasetsDone++ })
+		s.prewarm.datasetsDone.Inc()
 	}
-	s.prewarm.update(func(st *PrewarmStatus) {
-		if cancelled() {
-			st.State = "cancelled"
-		} else {
-			st.State = "done"
-		}
-	})
+	if cancelled() {
+		s.prewarm.setState("cancelled")
+	} else {
+		s.prewarm.setState("done")
+	}
 }
 
 // GCStatus is the artifact sweeper's snapshot, the "artifact_gc" row
@@ -188,28 +216,59 @@ type GCStatus struct {
 	LastSweep datastore.SweepStats `json:"last_sweep"`
 }
 
+// gcState backs the "artifact_gc" status row with obs metrics, like
+// prewarmState: the sweep counter and residency gauges live in the
+// server registry, and the JSON snapshot reads the same values. The
+// cumulative reaped counters outlive LastSweep, which only keeps the
+// most recent pass.
 type gcState struct {
-	mu sync.Mutex
-	st GCStatus
+	mu   sync.Mutex
+	last datastore.SweepStats
+
+	capBytes       *obs.Gauge
+	sweeps         *obs.Counter
+	reapedFiles    *obs.Counter
+	reapedBytes    *obs.Counter
+	remainingFiles *obs.Gauge
+	remainingBytes *obs.Gauge
 }
 
-func (g *gcState) init(capBytes int64) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.st.CapBytes = capBytes
+func (g *gcState) init(capBytes int64, reg *obs.Registry) {
+	g.capBytes = reg.Gauge("cyclerank_artifact_gc_cap_bytes",
+		"Size cap on persisted derived artifacts (0 = sweeper disabled).")
+	g.sweeps = reg.Counter("cyclerank_artifact_gc_sweeps_total",
+		"Completed artifact sweep passes.")
+	g.reapedFiles = reg.Counter("cyclerank_artifact_gc_reaped_files_total",
+		"Artifacts removed by the sweeper since startup.")
+	g.reapedBytes = reg.Counter("cyclerank_artifact_gc_reaped_bytes_total",
+		"Bytes reclaimed by the sweeper since startup.")
+	g.remainingFiles = reg.Gauge("cyclerank_artifact_gc_remaining_files",
+		"Artifacts remaining after the most recent sweep.")
+	g.remainingBytes = reg.Gauge("cyclerank_artifact_gc_remaining_bytes",
+		"Artifact bytes remaining after the most recent sweep.")
+	g.capBytes.Set(float64(capBytes))
 }
 
 func (g *gcState) record(st datastore.SweepStats) {
+	g.sweeps.Inc()
+	g.reapedFiles.Add(int64(st.Reaped))
+	g.reapedBytes.Add(st.ReapedBytes)
+	g.remainingFiles.Set(float64(st.Files))
+	g.remainingBytes.Set(float64(st.Bytes))
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.st.Sweeps++
-	g.st.LastSweep = st
+	g.last = st
+	g.mu.Unlock()
 }
 
 func (g *gcState) snapshot() GCStatus {
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.st
+	last := g.last
+	g.mu.Unlock()
+	return GCStatus{
+		CapBytes:  int64(g.capBytes.Value()),
+		Sweeps:    g.sweeps.Value(),
+		LastSweep: last,
+	}
 }
 
 // artifactSweepInterval paces the background GC: one pass at startup

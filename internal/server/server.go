@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -32,6 +33,7 @@ import (
 	"github.com/cyclerank/cyclerank-go/internal/datastore"
 	"github.com/cyclerank/cyclerank-go/internal/formats"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/obs"
 	"github.com/cyclerank/cyclerank-go/internal/task"
 )
 
@@ -64,6 +66,11 @@ type Server struct {
 	lifeWG     sync.WaitGroup
 	prewarm    prewarmState
 	gc         gcState
+
+	// reg holds the server's own metrics (prewarm, artifact GC); the
+	// /metrics scrape merges it with every component registry (see
+	// metricsRegistries).
+	reg *obs.Registry
 }
 
 // Config configures a Server.
@@ -112,6 +119,16 @@ type Config struct {
 	// past the cap (see datastore.SweepArtifacts). Zero means
 	// unlimited — no sweeper runs.
 	ArtifactCapBytes int64
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — CPU and
+	// heap profiles over the same listener as the API. Off by default:
+	// profiles expose internals a public deployment should not serve.
+	EnablePprof bool
+	// SlowQueryThreshold turns on the scheduler's slow-query log:
+	// every task running at least this long emits one structured line
+	// with its full phase breakdown. Zero disables it.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives the slow-query lines (default os.Stderr).
+	SlowQueryLog io.Writer
 }
 
 // New builds the gateway and its scheduler.
@@ -136,6 +153,7 @@ func New(cfg Config) (*Server, error) {
 		indexStore: cfg.IndexStore,
 		endpoints:  cfg.EndpointCache,
 		uploaded:   make(map[string]bool),
+		reg:        obs.NewRegistry(),
 	}
 	// Uploads that survived a restart are rediscovered from the store.
 	if names, err := cfg.Store.ListDatasets(); err == nil {
@@ -145,11 +163,13 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	sched, err := task.NewScheduler(task.SchedulerConfig{
-		Registry:    cfg.Registry,
-		Store:       cfg.Store,
-		Workers:     cfg.Workers,
-		TaskTimeout: cfg.TaskTimeout,
-		Load:        s.loadDataset,
+		Registry:           cfg.Registry,
+		Store:              cfg.Store,
+		Workers:            cfg.Workers,
+		TaskTimeout:        cfg.TaskTimeout,
+		Load:               s.loadDataset,
+		SlowQueryThreshold: cfg.SlowQueryThreshold,
+		SlowQueryLog:       cfg.SlowQueryLog,
 	})
 	if err != nil {
 		return nil, err
@@ -168,14 +188,22 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /compare/{id}", s.handleComparePage)
 	mux.HandleFunc("GET /instructions", s.handleInstructions)
 	s.registerExtensions(mux)
+	mux.Handle("GET /metrics", obs.Handler(s.metricsRegistries()...))
+	if cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 
 	// Background lifecycle work starts only when asked for, so test
 	// servers and embedded deployments pay nothing by default.
 	lifeCtx, lifeCancel := context.WithCancel(context.Background())
 	s.lifeCancel = lifeCancel
-	s.prewarm.init(cfg.PreWarm)
-	s.gc.init(cfg.ArtifactCapBytes)
+	s.prewarm.init(cfg.PreWarm, s.reg)
+	s.gc.init(cfg.ArtifactCapBytes, s.reg)
 	if cfg.PreWarm {
 		s.lifeWG.Add(1)
 		go s.runPrewarm(lifeCtx)
@@ -205,6 +233,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Scheduler exposes the underlying scheduler (used by tests and by
 // embedded deployments that submit tasks directly).
 func (s *Server) Scheduler() *task.Scheduler { return s.scheduler }
+
+// metricsRegistries collects every registry the /metrics scrape
+// merges: the process-wide default (bippr hot-path counters), the
+// per-instance component registries (scheduler, index store, endpoint
+// cache, datastore) and the server's own (prewarm, artifact GC). Nil
+// entries — a custom IndexStore without metrics — are skipped by the
+// writer.
+func (s *Server) metricsRegistries() []*obs.Registry {
+	return []*obs.Registry{
+		obs.Default(),
+		s.reg,
+		s.scheduler.MetricsRegistry(),
+		bippr.StoreMetricsRegistry(s.indexStore),
+		s.endpoints.MetricsRegistry(),
+		s.store.MetricsRegistry(),
+	}
+}
 
 // loadDataset resolves a dataset name: catalog datasets are generated,
 // uploaded datasets are read from the datastore.

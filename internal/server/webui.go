@@ -135,6 +135,12 @@ instead of re-walking (<code>GET /api/status</code> reports
 <code>endpoint_cache</code> hits, misses and walks avoided).
 The response carries a <code>comparison_id</code>; retrieve results at
 <code>/api/compare/{id}</code> or view them at <code>/compare/{id}</code>.</p>
+<h2>Observability</h2>
+<p>Done tasks report <code>wait_ms</code>/<code>run_ms</code> and a
+per-phase <code>phases</code> tree in their result;
+<code>GET /metrics</code> serves a Prometheus scrape of every component
+(engine counters, cache tiers, scheduler latencies). The repository's
+<code>docs/API.md</code> lists every metric family.</p>
 </body></html>{{end}}
 `))
 

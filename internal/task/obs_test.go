@@ -1,0 +1,260 @@
+package task
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/datastore"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/obs"
+)
+
+// runBatch submits one bippr batch at the given parallelism and
+// returns the completed result document.
+func runBatch(t *testing.T, cfgMut func(*SchedulerConfig), parallelism int) Result {
+	t.Helper()
+	store, err := datastore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(t)
+	cfg := SchedulerConfig{
+		Registry: algo.NewBuiltinRegistry(),
+		Store:    store,
+		Workers:  1,
+		Load:     func(string) (*graph.Graph, error) { return g, nil },
+	}
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	s, err := NewScheduler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	spec := Spec{Dataset: "demo", Algorithm: algo.NameBiPPRPair, Parallelism: parallelism}
+	for _, src := range []string{"a", "b", "ref"} {
+		spec.Queries = append(spec.Queries, SubSpec{
+			Algorithm: algo.NameBiPPRPair,
+			Params:    algo.Params{Source: src, Target: "ref", Walks: 256},
+		})
+	}
+	qs, ids, err := s.Submit([]Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tasks, err := s.WaitQuerySet(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks[0].State != StateDone {
+		t.Fatalf("batch state %s (error %q)", tasks[0].State, tasks[0].Error)
+	}
+	doc, err := s.LoadResult(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sub := range doc.Queries {
+		if sub.State != StateDone {
+			t.Fatalf("subquery %d state %s (error %q)", i, sub.State, sub.Error)
+		}
+	}
+	return doc
+}
+
+// flattenSpans collects parent/child name paths from a span forest —
+// the order-independent identity of a trace.
+func flattenSpans(nodes []obs.SpanNode, prefix string, out map[string]int) {
+	for _, n := range nodes {
+		p := prefix + "/" + n.Name
+		out[p]++
+		flattenSpans(n.Children, p, out)
+	}
+}
+
+func spanSetOf(doc Result) map[string]int {
+	set := make(map[string]int)
+	flattenSpans(doc.Phases, "", set)
+	return set
+}
+
+// TestBatchSpanSetStableAcrossParallelism is the satellite guarantee:
+// the span *set* of a batch (which phases ran, how often, how nested)
+// is identical at parallelism 1, 2 and 8 — only timings may differ.
+func TestBatchSpanSetStableAcrossParallelism(t *testing.T) {
+	base := spanSetOf(runBatch(t, nil, 1))
+	if len(base) == 0 {
+		t.Fatal("no spans recorded at parallelism 1")
+	}
+	if base["/subquery"] != 3 {
+		t.Fatalf("want 3 subquery spans, got %v", base)
+	}
+	// The bippr phases must appear nested under subqueries.
+	nested := 0
+	for path := range base {
+		if strings.HasPrefix(path, "/subquery/") {
+			nested++
+		}
+	}
+	if nested == 0 {
+		t.Fatalf("no phases nested under subqueries: %v", base)
+	}
+	for _, par := range []int{2, 8} {
+		got := spanSetOf(runBatch(t, nil, par))
+		if len(got) != len(base) {
+			t.Fatalf("parallelism %d span set %v != baseline %v", par, got, base)
+		}
+		for k, v := range base {
+			if got[k] != v {
+				t.Fatalf("parallelism %d span set %v != baseline %v", par, got, base)
+			}
+		}
+	}
+	// Per-subquery phase subtrees ride in the subresults too.
+	doc := runBatch(t, nil, 2)
+	for i, sub := range doc.Queries {
+		if len(sub.Phases) == 0 {
+			t.Fatalf("subresult %d has no phases", i)
+		}
+	}
+}
+
+// TestSingleTaskPhasesAndTiming checks that a plain (non-batch) task
+// result carries its phase tree and that wait_ms/run_ms are stamped.
+func TestSingleTaskPhasesAndTiming(t *testing.T) {
+	s := newScheduler(t, 1)
+	qs, ids, err := s.Submit([]Spec{{
+		Dataset:   "demo",
+		Algorithm: algo.NameBiPPRPair,
+		Params:    algo.Params{Source: "a", Target: "ref", Walks: 256},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tasks, err := s.WaitQuerySet(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := tasks[0]
+	if task.State != StateDone {
+		t.Fatalf("state %s (error %q)", task.State, task.Error)
+	}
+	if task.WaitMS < 0 || task.RunMS < 0 {
+		t.Fatalf("wait_ms=%d run_ms=%d must be non-negative", task.WaitMS, task.RunMS)
+	}
+	if got := task.Started.Sub(task.Submitted).Milliseconds(); task.WaitMS != got {
+		t.Fatalf("wait_ms=%d, want %d", task.WaitMS, got)
+	}
+	if got := task.Finished.Sub(task.Started).Milliseconds(); task.RunMS != got {
+		t.Fatalf("run_ms=%d, want %d", task.RunMS, got)
+	}
+	doc, err := s.LoadResult(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := spanSetOf(doc)
+	if len(set) == 0 {
+		t.Fatal("single-task result has no phases")
+	}
+	if set["/walks"] == 0 && set["/reverse_push"] == 0 {
+		t.Fatalf("no bippr phases in %v", set)
+	}
+	if doc.Task.WaitMS != task.WaitMS || doc.Task.RunMS != task.RunMS {
+		t.Fatalf("persisted timing %d/%d != live %d/%d", doc.Task.WaitMS, doc.Task.RunMS, task.WaitMS, task.RunMS)
+	}
+}
+
+// TestSlowQueryLog checks the structured slow-query line: with a zero
+// threshold every query qualifies, and each line parses as JSON with
+// the task identity, the wait/run split and the phase breakdown.
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	doc := runBatch(t, func(cfg *SchedulerConfig) {
+		cfg.SlowQueryThreshold = time.Nanosecond
+		cfg.SlowQueryLog = &buf
+	}, 1)
+	if doc.Task.State != StateDone {
+		t.Fatalf("batch state %s", doc.Task.State)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly 1 slow-query line, got %d:\n%s", len(lines), buf.String())
+	}
+	var entry struct {
+		Msg         string         `json:"msg"`
+		Task        string         `json:"task"`
+		Dataset     string         `json:"dataset"`
+		WaitMS      *int64         `json:"wait_ms"`
+		RunMS       *int64         `json:"run_ms"`
+		ThresholdMS int64          `json:"threshold_ms"`
+		Phases      []obs.SpanNode `json:"phases"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatalf("slow-query line is not JSON: %v\n%s", err, lines[0])
+	}
+	if entry.Msg != "slow query" || entry.Task != doc.Task.ID || entry.Dataset != "demo" {
+		t.Fatalf("entry = %+v", entry)
+	}
+	if entry.WaitMS == nil || entry.RunMS == nil {
+		t.Fatal("wait_ms/run_ms missing from slow-query line")
+	}
+	if len(entry.Phases) == 0 {
+		t.Fatal("phases missing from slow-query line")
+	}
+}
+
+// TestSchedulerMetricsRegistry checks the workload metrics the
+// scheduler exports: terminal counters and batch fan-out observations
+// land in the exposition.
+func TestSchedulerMetricsRegistry(t *testing.T) {
+	s := newScheduler(t, 1)
+	qs, _, err := s.Submit([]Spec{{
+		Dataset:   "demo",
+		Algorithm: algo.NamePPRTarget,
+		Params:    algo.Params{Target: "ref"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := s.WaitQuerySet(ctx, qs); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, s.MetricsRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`cyclerank_scheduler_tasks_total{state="done"} 1`,
+		"cyclerank_scheduler_queue_depth 0",
+		"cyclerank_scheduler_workers 1",
+		"cyclerank_scheduler_task_wait_seconds_count 1",
+		"cyclerank_scheduler_task_run_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		names, _ := obs.CheckExposition(buf.Bytes())
+		sort.Strings(names)
+		t.Logf("families: %v\n%s", names, out)
+	}
+}

@@ -2,8 +2,11 @@ package task
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -13,6 +16,7 @@ import (
 	"github.com/cyclerank/cyclerank-go/internal/algo"
 	"github.com/cyclerank/cyclerank-go/internal/datastore"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/obs"
 )
 
 // SchedulerConfig configures a Scheduler.
@@ -37,6 +41,12 @@ type SchedulerConfig struct {
 	// demo sets this so one pathological query (K=10 on a dense
 	// graph) cannot monopolize an executor forever.
 	TaskTimeout time.Duration
+	// SlowQueryThreshold turns on the slow-query log: every task whose
+	// execution takes at least this long emits one structured JSON
+	// line with its full phase breakdown. Zero disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives the slow-query lines (default os.Stderr).
+	SlowQueryLog io.Writer
 }
 
 func (c SchedulerConfig) validate() error {
@@ -69,6 +79,20 @@ type Scheduler struct {
 	wg      sync.WaitGroup
 	stop    context.CancelFunc
 	stopped chan struct{}
+
+	// Per-instance workload metrics, merged into the server's scrape
+	// endpoint through MetricsRegistry.
+	reg          *obs.Registry
+	tasksDone    *obs.Counter
+	tasksFailed  *obs.Counter
+	tasksCancel  *obs.Counter
+	waitSeconds  *obs.Histogram
+	runSeconds   *obs.Histogram
+	subqSeconds  *obs.Histogram
+	batchFanout  *obs.Histogram
+	batchQueries *obs.Counter
+
+	slowMu sync.Mutex // serializes slow-query log lines
 }
 
 // NewScheduler builds a scheduler and starts its executor pool.
@@ -85,7 +109,11 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	if cfg.TopK <= 0 {
 		cfg.TopK = 50
 	}
+	if cfg.SlowQueryLog == nil {
+		cfg.SlowQueryLog = os.Stderr
+	}
 	ctx, cancel := context.WithCancel(context.Background())
+	r := obs.NewRegistry()
 	s := &Scheduler{
 		cfg:     cfg,
 		queue:   make(chan string, cfg.QueueDepth),
@@ -95,7 +123,23 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 		cache:   make(map[string]*graph.Graph),
 		stop:    cancel,
 		stopped: make(chan struct{}),
+
+		reg:          r,
+		tasksDone:    r.Counter("cyclerank_scheduler_tasks_total", "Tasks reaching a terminal state.", "state", "done"),
+		tasksFailed:  r.Counter("cyclerank_scheduler_tasks_total", "Tasks reaching a terminal state.", "state", "failed"),
+		tasksCancel:  r.Counter("cyclerank_scheduler_tasks_total", "Tasks reaching a terminal state.", "state", "cancelled"),
+		waitSeconds:  r.Histogram("cyclerank_scheduler_task_wait_seconds", "Time a task spent queued before an executor picked it up.", nil),
+		runSeconds:   r.Histogram("cyclerank_scheduler_task_run_seconds", "Time a task spent executing.", nil),
+		subqSeconds:  r.Histogram("cyclerank_scheduler_subquery_seconds", "Per-subquery execution time inside batch tasks.", nil),
+		batchFanout:  r.Histogram("cyclerank_scheduler_batch_fanout", "Effective intra-batch worker pool size per batch task.", obs.ExponentialBuckets(1, 2, 9)),
+		batchQueries: r.Counter("cyclerank_scheduler_batch_queries_total", "Subqueries executed across all batch tasks."),
 	}
+	r.GaugeFunc("cyclerank_scheduler_queue_depth", "Task ids waiting in the queue buffer.", func() float64 {
+		return float64(len(s.queue))
+	})
+	r.GaugeFunc("cyclerank_scheduler_workers", "Executor pool size.", func() float64 {
+		return float64(cfg.Workers)
+	})
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.executor(ctx, i)
@@ -105,6 +149,26 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 		close(s.stopped)
 	}()
 	return s, nil
+}
+
+// MetricsRegistry returns the scheduler's workload metrics registry,
+// for merging into a scrape endpoint.
+func (s *Scheduler) MetricsRegistry() *obs.Registry { return s.reg }
+
+// stampTimesLocked derives a task's wait_ms/run_ms split from its
+// transition timestamps. Idempotent; called wherever Started or
+// Finished is set, under s.mu (or on a private copy).
+func stampTimesLocked(t *Task) {
+	switch {
+	case !t.Started.IsZero():
+		t.WaitMS = t.Started.Sub(t.Submitted).Milliseconds()
+		if !t.Finished.IsZero() {
+			t.RunMS = t.Finished.Sub(t.Started).Milliseconds()
+		}
+	case !t.Finished.IsZero():
+		// Never executed: the whole lifetime was queueing.
+		t.WaitMS = t.Finished.Sub(t.Submitted).Milliseconds()
+	}
 }
 
 // Submit schedules every spec of a query set and returns the query-set
@@ -231,7 +295,9 @@ func (s *Scheduler) Cancel(taskID string) error {
 	// Pending: mark cancelled now; the executor skips it when popped.
 	t.State = StateCancelled
 	t.Finished = time.Now()
+	stampTimesLocked(t)
 	finalizeQueryStatesLocked(t)
+	s.tasksCancel.Inc()
 	return nil
 }
 
@@ -299,7 +365,12 @@ func (s *Scheduler) failTask(id string, err error) {
 		t.State = StateFailed
 		t.Error = err.Error()
 		t.Finished = time.Now()
+		stampTimesLocked(t)
 		finalizeQueryStatesLocked(t)
+		s.tasksFailed.Inc()
+		if !t.Started.IsZero() {
+			s.runSeconds.Observe(t.Finished.Sub(t.Started).Seconds())
+		}
 	}
 }
 
@@ -363,6 +434,7 @@ func (s *Scheduler) execute(ctx context.Context, worker int, id string) {
 	}
 	t.State = StateRunning
 	t.Started = time.Now()
+	stampTimesLocked(t)
 	var (
 		taskCtx context.Context
 		cancel  context.CancelFunc
@@ -375,6 +447,12 @@ func (s *Scheduler) execute(ctx context.Context, worker int, id string) {
 	s.cancels[id] = cancel
 	snapshot := *t
 	s.mu.Unlock()
+	s.waitSeconds.Observe(snapshot.Started.Sub(snapshot.Submitted).Seconds())
+
+	// Every task runs under a trace so its result carries the phase
+	// breakdown; instrumented layers below (bippr, algo) attach their
+	// spans to this context.
+	taskCtx, trace := obs.NewTrace(taskCtx, "task")
 
 	defer func() {
 		cancel()
@@ -391,10 +469,11 @@ func (s *Scheduler) execute(ctx context.Context, worker int, id string) {
 		return
 	}
 	if snapshot.IsBatch() {
-		s.executeBatch(taskCtx, t, snapshot, g)
+		s.executeBatch(taskCtx, trace, t, snapshot, g)
 		return
 	}
 	res, err := algo.Run(taskCtx, s.cfg.Registry, snapshot.Algorithm, g, snapshot.Params)
+	trace.End()
 	if err != nil {
 		switch {
 		case errors.Is(taskCtx.Err(), context.DeadlineExceeded):
@@ -416,6 +495,7 @@ func (s *Scheduler) execute(ctx context.Context, worker int, id string) {
 		Cycles:     res.CyclesFound,
 		GraphNodes: g.NumNodes(),
 		GraphEdges: g.NumEdges(),
+		Phases:     trace.Tree().Children,
 	}
 
 	// Persist the result and the completion log BEFORE publishing the
@@ -426,6 +506,7 @@ func (s *Scheduler) execute(ctx context.Context, worker int, id string) {
 	done := *t
 	done.State = StateDone
 	done.Finished = finished
+	stampTimesLocked(&done)
 	s.mu.Unlock()
 	doc.Task = done
 
@@ -439,7 +520,50 @@ func (s *Scheduler) execute(ctx context.Context, worker int, id string) {
 	s.mu.Lock()
 	t.State = StateDone
 	t.Finished = finished
+	stampTimesLocked(t)
 	s.mu.Unlock()
+	s.tasksDone.Inc()
+	s.runSeconds.Observe(finished.Sub(done.Started).Seconds())
+	s.maybeLogSlow(done, doc.Phases)
+}
+
+// maybeLogSlow emits one structured JSON line for a task whose
+// execution met the slow-query threshold: the task identity, its
+// wait/run split, and the full phase breakdown — everything needed to
+// say where the milliseconds went without re-running the query.
+func (s *Scheduler) maybeLogSlow(t Task, phases []obs.SpanNode) {
+	if s.cfg.SlowQueryThreshold <= 0 || t.Started.IsZero() || t.Finished.Sub(t.Started) < s.cfg.SlowQueryThreshold {
+		return
+	}
+	line, err := json.Marshal(struct {
+		TS          string         `json:"ts"`
+		Msg         string         `json:"msg"`
+		Task        string         `json:"task"`
+		QuerySet    string         `json:"query_set"`
+		Dataset     string         `json:"dataset"`
+		Algorithm   string         `json:"algorithm"`
+		WaitMS      int64          `json:"wait_ms"`
+		RunMS       int64          `json:"run_ms"`
+		ThresholdMS int64          `json:"threshold_ms"`
+		Phases      []obs.SpanNode `json:"phases,omitempty"`
+	}{
+		TS:          t.Finished.UTC().Format(time.RFC3339Nano),
+		Msg:         "slow query",
+		Task:        t.ID,
+		QuerySet:    t.QuerySet,
+		Dataset:     t.Dataset,
+		Algorithm:   t.Algorithm,
+		WaitMS:      t.WaitMS,
+		RunMS:       t.RunMS,
+		ThresholdMS: s.cfg.SlowQueryThreshold.Milliseconds(),
+		Phases:      phases,
+	})
+	if err != nil {
+		return
+	}
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	fmt.Fprintln(s.cfg.SlowQueryLog, string(line))
 }
 
 // batchProgressInterval throttles mid-batch result persistence: at
@@ -488,7 +612,7 @@ func subqueryError(i int, q SubSpec, err error) string {
 // cancelled. Progress snapshots of the result document are persisted
 // while the batch runs (throttled to one per batchProgressInterval),
 // so polls of a running batch already see finished subresults.
-func (s *Scheduler) executeBatch(ctx context.Context, t *Task, snapshot Task, g *graph.Graph) {
+func (s *Scheduler) executeBatch(ctx context.Context, trace *obs.Trace, t *Task, snapshot Task, g *graph.Graph) {
 	id := snapshot.ID
 	subs := make([]SubResult, len(snapshot.Queries))
 	doc := Result{
@@ -504,6 +628,8 @@ func (s *Scheduler) executeBatch(ctx context.Context, t *Task, snapshot Task, g 
 
 	workers := clampParallelism(snapshot.Parallelism, len(snapshot.Queries))
 	s.log(id, fmt.Sprintf("batch: %d queries, parallelism %d", len(subs), workers))
+	s.batchFanout.Observe(float64(workers))
+	s.batchQueries.Add(int64(len(subs)))
 
 	var (
 		// subMu guards subs entries against the progress snapshots a
@@ -541,11 +667,21 @@ func (s *Scheduler) executeBatch(ctx context.Context, t *Task, snapshot Task, g 
 		}
 		s.setQueryState(id, i, StateRunning)
 		start := time.Now()
-		res, err := algo.Run(ctx, s.cfg.Registry, q.Algorithm, g, q.Params)
+		// Each subquery gets its own span under the batch trace; the
+		// span *set* is identical for every pool size because every
+		// subquery opens the same spans regardless of which worker or
+		// in what order it ran.
+		qctx, span := obs.StartSpan(ctx, "subquery")
+		span.SetMetric("index", float64(i))
+		res, err := algo.Run(qctx, s.cfg.Registry, q.Algorithm, g, q.Params)
+		span.End()
+		dur := time.Since(start)
+		s.subqSeconds.Observe(dur.Seconds())
 		sub := SubResult{
 			Algorithm:  q.Algorithm,
 			Params:     q.Params,
-			DurationMS: time.Since(start).Milliseconds(),
+			DurationMS: dur.Milliseconds(),
+			Phases:     span.Node().Children,
 		}
 		switch {
 		case err == nil:
@@ -627,12 +763,15 @@ func (s *Scheduler) executeBatch(ctx context.Context, t *Task, snapshot Task, g 
 
 	// Same publish ordering as single tasks: the result document is
 	// durable before any observer can see StateDone.
+	trace.End()
+	doc.Phases = trace.Tree().Children
 	finished := time.Now()
 	s.mu.Lock()
 	done := *t
 	s.mu.Unlock()
 	done.State = StateDone
 	done.Finished = finished
+	stampTimesLocked(&done)
 	doc.Task = done
 
 	if err := s.cfg.Store.SaveResult(id, doc); err != nil {
@@ -646,8 +785,12 @@ func (s *Scheduler) executeBatch(ctx context.Context, t *Task, snapshot Task, g 
 	if !t.State.Terminal() {
 		t.State = StateDone
 		t.Finished = finished
+		stampTimesLocked(t)
+		s.tasksDone.Inc()
+		s.runSeconds.Observe(finished.Sub(t.Started).Seconds())
 	}
 	s.mu.Unlock()
+	s.maybeLogSlow(done, doc.Phases)
 }
 
 // doneCount counts successful subresults.
@@ -698,7 +841,12 @@ func (s *Scheduler) cancelled(id string) {
 	if t, ok := s.tasks[id]; ok && !t.State.Terminal() {
 		t.State = StateCancelled
 		t.Finished = time.Now()
+		stampTimesLocked(t)
 		finalizeQueryStatesLocked(t)
+		s.tasksCancel.Inc()
+		if !t.Started.IsZero() {
+			s.runSeconds.Observe(t.Finished.Sub(t.Started).Seconds())
+		}
 	}
 	s.mu.Unlock()
 	s.log(id, "cancelled")

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/obs"
 	"github.com/cyclerank/cyclerank-go/internal/ranking"
 )
 
@@ -118,6 +119,15 @@ type Task struct {
 	Started   time.Time   `json:"started,omitempty"`
 	Finished  time.Time   `json:"finished,omitempty"`
 
+	// WaitMS is how long the task sat queued (submitted → started);
+	// RunMS how long it executed (started → finished). Stamped at the
+	// corresponding transitions, so a poll of a terminal task can
+	// always split queueing delay from execution time. A task that
+	// never started (cancelled while pending, queue-full failure)
+	// reports its wait as submitted → finished and no run time.
+	WaitMS int64 `json:"wait_ms,omitempty"`
+	RunMS  int64 `json:"run_ms,omitempty"`
+
 	Queries     []SubSpec `json:"queries,omitempty"`
 	QueryStates []State   `json:"query_states,omitempty"`
 	QueriesDone int       `json:"queries_done,omitempty"`
@@ -151,6 +161,10 @@ type Result struct {
 	GraphNodes int             `json:"graph_nodes"`
 	GraphEdges int64           `json:"graph_edges"`
 	Queries    []SubResult     `json:"queries,omitempty"`
+	// Phases is the task's span tree: where its execution milliseconds
+	// went (reverse push, walks, ...), recorded by the obs tracer the
+	// executor opens around every task.
+	Phases []obs.SpanNode `json:"phases,omitempty"`
 }
 
 // SubResult is the outcome of one batch subquery. A failed subquery
@@ -166,6 +180,8 @@ type SubResult struct {
 	Residual   float64         `json:"residual,omitempty"`
 	Cycles     int64           `json:"cycles,omitempty"`
 	DurationMS int64           `json:"duration_ms"`
+	// Phases is this subquery's span subtree (see Result.Phases).
+	Phases []obs.SpanNode `json:"phases,omitempty"`
 }
 
 // NewID generates a 128-bit random identifier formatted like the
