@@ -19,10 +19,11 @@ test: vet
 # test-race covers the packages with real concurrency: the index
 # store's single-flight, the walk worker pool, the walk-endpoint
 # cache (singleflight recording), the scheduler and its intra-batch
-# subquery pool (concurrent submit + mid-batch cancel), the HTTP
-# layer, and the obs registry's lock-free counters and histograms.
+# subquery pool (concurrent submit + mid-batch cancel, admission
+# floods), the HTTP layer, the traffic sketch hammered from many
+# recorders, and the obs registry's lock-free counters and histograms.
 test-race:
-	$(GO) test -race ./internal/obs/ ./internal/bippr/ ./internal/task/ ./internal/server/
+	$(GO) test -race ./internal/obs/ ./internal/bippr/ ./internal/task/ ./internal/server/ ./internal/traffic/
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
@@ -34,7 +35,7 @@ bench:
 # the pipe into the converter.
 bench-json:
 	@out=$$(mktemp); \
-	$(GO) test -run NONE -bench 'BiPPR|PPRTarget|TargetIndexStorage|EndpointPersist|ObsOverhead' -benchmem -benchtime $(BENCHTIME) . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
+	$(GO) test -run NONE -bench 'BiPPR|PPRTarget|TargetIndexStorage|EndpointPersist|ObsOverhead|AdmissionOverhead' -benchmem -benchtime $(BENCHTIME) . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
 	$(GO) run ./cmd/benchjson -out BENCH_bippr.json < $$out || { rm -f $$out; exit 1; }; \
 	rm -f $$out
 	@echo wrote BENCH_bippr.json

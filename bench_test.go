@@ -8,9 +8,11 @@ package cyclerank_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	cyclerank "github.com/cyclerank/cyclerank-go"
 	"github.com/cyclerank/cyclerank-go/internal/algo"
@@ -21,6 +23,7 @@ import (
 	"github.com/cyclerank/cyclerank-go/internal/experiments"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
 	"github.com/cyclerank/cyclerank-go/internal/pagerank"
+	"github.com/cyclerank/cyclerank-go/internal/ranking"
 	"github.com/cyclerank/cyclerank-go/internal/task"
 )
 
@@ -669,4 +672,69 @@ func BenchmarkObsOverhead(b *testing.B) {
 		defer bippr.SetMetricsEnabled(true)
 		run(b)
 	})
+}
+
+// BenchmarkAdmissionOverhead prices the fast-reject path: a blocker
+// holds the tier's only interactive slot, so every benchmarked Submit
+// is shed before any graph load or task registration. This is the
+// whole point of admission control — rejecting must cost microseconds
+// while serving costs milliseconds — so the number here is the
+// per-request overhead an overloaded server pays.
+func BenchmarkAdmissionOverhead(b *testing.B) {
+	store, err := datastore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := datasets.CompleteDigraph(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gate := make(chan struct{})
+	reg := algo.NewRegistry()
+	reg.Register(algo.Func{
+		AlgoName: "block",
+		AlgoDesc: "holds the interactive slot for the benchmark",
+		RunFunc: func(ctx context.Context, gr *graph.Graph, p algo.Params) (*ranking.Result, error) {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+			}
+			return ranking.NewResult("block", gr, make([]float64, gr.NumNodes()))
+		},
+	})
+	s, err := task.NewScheduler(task.SchedulerConfig{
+		Registry: reg,
+		Store:    store,
+		Workers:  1,
+		Load:     func(string) (*graph.Graph, error) { return g, nil },
+		Admission: task.AdmissionConfig{
+			InteractiveSlots: 1,
+			RetryAfter:       time.Second,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		close(gate)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	// The blocker owns the slot from the moment Submit returns.
+	if _, _, err := s.Submit([]task.Spec{{Dataset: "d", Algorithm: "block"}}); err != nil {
+		b.Fatal(err)
+	}
+
+	spec := task.Spec{Dataset: "d", Algorithm: "bippr-pair",
+		Params: algo.Params{Source: "0", Target: "1", Walks: 1000}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := s.Submit([]task.Spec{spec})
+		var shed *task.ShedError
+		if !errors.As(err, &shed) {
+			b.Fatalf("submit %d not shed: %v", i, err)
+		}
+	}
 }

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"github.com/cyclerank/cyclerank-go/internal/algo"
 	"github.com/cyclerank/cyclerank-go/internal/datasets"
@@ -37,6 +38,7 @@ import (
 	"github.com/cyclerank/cyclerank-go/internal/graph"
 	"github.com/cyclerank/cyclerank-go/internal/obs"
 	"github.com/cyclerank/cyclerank-go/internal/ranking"
+	"github.com/cyclerank/cyclerank-go/internal/task"
 )
 
 func main() {
@@ -66,6 +68,8 @@ func run(args []string, out io.Writer) error {
 		workers   = fs.Int("workers", 0, "bippr-pair walk worker pool size (default 1; results are bit-identical for any value)")
 		walkReuse = fs.Bool("walk-reuse", false, "bippr-pair: reuse recorded walk endpoints across targets of one source (bit-identical results; pairs well with -targets)")
 		seed      = fs.Int64("seed", 0, "random-walk RNG seed (default 1)")
+		class     = fs.String("class", "", "request class: interactive (low-latency presets: rmax 1e-3, 2000 walks) or batch (exhaustive defaults); empty keeps explicit flags untouched")
+		timeoutMS = fs.Int64("timeout-ms", 0, "cancel the run after this many milliseconds, keeping whatever phases completed in -trace (0 = no deadline)")
 		top       = fs.Int("top", 10, "how many results to print")
 		stats     = fs.Bool("stats", false, "print graph statistics before results")
 		trace     = fs.Bool("trace", false, "print a per-phase timing breakdown (reverse push, walks, ...) after the results")
@@ -120,6 +124,27 @@ func run(args []string, out io.Writer) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
+	// Request class and deadline mirror the server's serving tier: an
+	// explicit -class interactive fills cheap presets into unset
+	// parameter flags, and -timeout-ms bounds the whole run the same
+	// way timeout_ms bounds a submitted task.
+	reqClass, err := task.ParseClass(*class)
+	if err != nil {
+		return err
+	}
+	if *timeoutMS < 0 {
+		return fmt.Errorf("-timeout-ms must be >= 0, got %d", *timeoutMS)
+	}
+	effTimeout := time.Duration(*timeoutMS) * time.Millisecond
+	if effTimeout == 0 {
+		effTimeout = reqClass.DefaultTimeout()
+	}
+	if effTimeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, effTimeout)
+		defer tcancel()
+	}
+
 	if *trace {
 		var tr *obs.Trace
 		ctx, tr = obs.NewTrace(ctx, "cyclerank")
@@ -129,13 +154,13 @@ func run(args []string, out io.Writer) error {
 		}()
 	}
 
-	params := algo.Params{
+	params := reqClass.ApplyParams(algo.Params{
 		Source: *source, Target: *target,
 		K: *k, Scoring: *scoring, Alpha: *alpha,
 		RMax: *rmax, Walks: *walks, Eps: *eps,
 		Workers: *workers, Seed: *seed,
 		WalkReuse: *walkReuse,
-	}
+	})
 
 	if *algoList != "" {
 		if *targets != "" {

@@ -74,7 +74,7 @@ var artifactKinds = map[string]string{
 
 // Open creates (if needed) and opens a store rooted at dir.
 func Open(dir string) (*Store, error) {
-	for _, sub := range []string{"datasets", "results", "logs", "indexes", "endpoints"} {
+	for _, sub := range []string{"datasets", "results", "logs", "indexes", "endpoints", "traffic"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("datastore: %w", err)
 		}
@@ -563,64 +563,156 @@ type SweepStats struct {
 	ReapedBytes int64 `json:"reaped_bytes"`
 }
 
+// SweepPolicy configures an artifact sweep. Each limit is independent
+// and zero disables it.
+type SweepPolicy struct {
+	// TotalBytes caps the combined size of every derived artifact.
+	TotalBytes int64
+	// KindBytes caps each artifact kind ("indexes", "endpoints")
+	// separately — reverse-push indexes and walk-endpoint recordings
+	// age differently (indexes serve every query against a target,
+	// recordings only walk-reuse queries from a source), so one kind
+	// must not be able to evict the whole budget of the other.
+	KindBytes map[string]int64
+	// Pinned artifacts — keyed by store-relative slash path, e.g.
+	// "indexes/<graphFP>/<key>.idx" — are never reaped. The learned
+	// pre-warm pins the artifacts observed traffic is hottest on:
+	// pinning wins over every cap.
+	Pinned map[string]bool
+}
+
 // SweepArtifacts enforces a total size cap over every derived
-// artifact (indexes and endpoint recordings together): while the
-// total exceeds maxBytes, the least recently accessed artifact is
-// removed first — LRU by the mtime access clock loads refresh, with
-// the path as a deterministic tiebreak. maxBytes <= 0 means no cap:
-// the sweep only reports usage.
+// artifact (indexes and endpoint recordings together) — the
+// single-cap form of SweepArtifactsPolicy.
+func (s *Store) SweepArtifacts(maxBytes int64) (SweepStats, error) {
+	return s.SweepArtifactsPolicy(SweepPolicy{TotalBytes: maxBytes})
+}
+
+// sweepEntry is one artifact during a policy sweep.
+type sweepEntry struct {
+	artifactFile
+	kind    string
+	removed bool
+}
+
+// SweepArtifactsPolicy enforces a sweep policy: first each per-kind
+// cap, then the total cap, each reaping the least recently accessed
+// unpinned artifacts first — LRU by the mtime access clock loads
+// refresh, with the path as a deterministic tiebreak. A policy with
+// no caps only reports usage.
 //
 // Reaping never races a reader into corruption: loads open the file
 // before reading, and an unlinked-but-open file remains fully
 // readable (POSIX), so a concurrent load either sees the complete
 // artifact or a clean not-exist miss. Emptied fingerprint directories
 // are removed best-effort.
-func (s *Store) SweepArtifacts(maxBytes int64) (SweepStats, error) {
-	var all []artifactFile
+func (s *Store) SweepArtifactsPolicy(pol SweepPolicy) (SweepStats, error) {
+	var entries []*sweepEntry
+	kindBytes := make(map[string]int64)
 	for kind := range artifactKinds {
 		arts, err := s.walkArtifacts(kind)
 		if err != nil {
 			return SweepStats{}, err
 		}
-		all = append(all, arts...)
-	}
-	var total int64
-	for _, a := range all {
-		total += a.bytes
-	}
-	stats := SweepStats{Files: len(all), Bytes: total}
-	if maxBytes <= 0 || total <= maxBytes {
-		return stats, nil
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if !all[i].atime.Equal(all[j].atime) {
-			return all[i].atime.Before(all[j].atime)
+		for _, a := range arts {
+			entries = append(entries, &sweepEntry{artifactFile: a, kind: kind})
+			kindBytes[kind] += a.bytes
 		}
-		return all[i].path < all[j].path
+	}
+	stats := SweepStats{Files: len(entries)}
+	for _, e := range entries {
+		stats.Bytes += e.bytes
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].atime.Equal(entries[j].atime) {
+			return entries[i].atime.Before(entries[j].atime)
+		}
+		return entries[i].path < entries[j].path
 	})
-	for _, a := range all {
-		if stats.Bytes <= maxBytes {
-			break
+
+	pinned := func(e *sweepEntry) bool {
+		if len(pol.Pinned) == 0 {
+			return false
 		}
-		if err := os.Remove(a.path); err != nil {
+		rel, err := filepath.Rel(s.root, e.path)
+		return err == nil && pol.Pinned[filepath.ToSlash(rel)]
+	}
+	remove := func(e *sweepEntry) {
+		e.removed = true
+		if err := os.Remove(e.path); err != nil {
 			if errors.Is(err, fs.ErrNotExist) {
 				// Already gone (concurrent delete); treat as reaped
 				// space either way so the accounting cannot loop.
 				stats.Files--
-				stats.Bytes -= a.bytes
+				stats.Bytes -= e.bytes
+				kindBytes[e.kind] -= e.bytes
 			}
-			continue
+			return
 		}
 		stats.Files--
-		stats.Bytes -= a.bytes
+		stats.Bytes -= e.bytes
+		kindBytes[e.kind] -= e.bytes
 		stats.Reaped++
-		stats.ReapedBytes += a.bytes
+		stats.ReapedBytes += e.bytes
 		// Drop the fingerprint directory once its last artifact is
 		// gone; Remove refuses non-empty directories, so this is safe
 		// against concurrent writers.
-		_ = os.Remove(filepath.Dir(a.path))
+		_ = os.Remove(filepath.Dir(e.path))
+	}
+
+	for kind, limit := range pol.KindBytes {
+		if limit <= 0 {
+			continue
+		}
+		for _, e := range entries {
+			if kindBytes[kind] <= limit {
+				break
+			}
+			if e.removed || e.kind != kind || pinned(e) {
+				continue
+			}
+			remove(e)
+		}
+	}
+	if pol.TotalBytes > 0 {
+		for _, e := range entries {
+			if stats.Bytes <= pol.TotalBytes {
+				break
+			}
+			if e.removed || pinned(e) {
+				continue
+			}
+			remove(e)
+		}
 	}
 	return stats, nil
+}
+
+// SaveTrafficSketch durably persists the serving tier's
+// query-frequency sketch (an opaque blob; the traffic codec owns the
+// format), using the same atomic-write protocol as every artifact —
+// a crash mid-save costs the previous sketch nothing.
+func (s *Store) SaveTrafficSketch(data []byte) error {
+	return s.atomicWrite(filepath.Join(s.root, "traffic", "sketch.bin"), func(f *os.File) error {
+		if _, err := f.Write(data); err != nil {
+			return fmt.Errorf("datastore: writing traffic sketch: %w", err)
+		}
+		return nil
+	})
+}
+
+// LoadTrafficSketch reads the persisted query-frequency sketch blob.
+// A store that never saved one returns (nil, nil) — callers decode
+// nil as a cold sketch.
+func (s *Store) LoadTrafficSketch() ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.root, "traffic", "sketch.bin"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("datastore: traffic sketch: %w", err)
+	}
+	return data, nil
 }
 
 // DeleteArtifacts removes every persisted artifact (both kinds)

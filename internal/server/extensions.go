@@ -44,6 +44,13 @@ type statusResponse struct {
 	ArtifactGC GCStatus `json:"artifact_gc"`
 	// Prewarm reports the startup pre-warm task's progress.
 	Prewarm PrewarmStatus `json:"prewarm"`
+	// Serving reports the admission-controlled serving tier:
+	// interactive slots in use, queue depth, estimated backlog,
+	// admitted/shed totals and graph loads.
+	Serving task.AdmissionSnapshot `json:"serving"`
+	// Traffic reports the workload frequency sketch behind the
+	// learned pre-warm.
+	Traffic TrafficStatus `json:"traffic"`
 }
 
 // indexStoreStatus surfaces the target-index store's tiered counters
@@ -82,6 +89,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		EndpointCache: ep,
 		ArtifactGC:    s.gc.snapshot(),
 		Prewarm:       s.prewarm.snapshot(),
+		Serving:       s.scheduler.AdmissionStats(),
+		Traffic:       s.trafficStatus(),
 	})
 }
 

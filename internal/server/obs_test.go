@@ -174,7 +174,8 @@ func TestStatusJSONBackCompat(t *testing.T) {
 			"disk_bytes_written", "disk_errors", "disk_files", "disk_bytes"},
 		"prewarm": {"state", "datasets_total", "datasets_done", "nodes_total",
 			"nodes_done", "indexes_warm", "indexes_computed", "endpoints_warm",
-			"endpoints_recorded", "errors"},
+			"endpoints_recorded", "errors",
+			"learned_keys", "learned_warmed", "learned_errors"},
 		"artifact_gc": {"cap_bytes", "sweeps", "last_sweep"},
 	}
 	for row, fields := range want {

@@ -20,10 +20,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -35,6 +37,7 @@ import (
 	"github.com/cyclerank/cyclerank-go/internal/graph"
 	"github.com/cyclerank/cyclerank-go/internal/obs"
 	"github.com/cyclerank/cyclerank-go/internal/task"
+	"github.com/cyclerank/cyclerank-go/internal/traffic"
 )
 
 // maxUploadBytes caps dataset uploads (64 MiB).
@@ -60,12 +63,19 @@ type Server struct {
 	usageAt time.Time
 	usage   artifactUsage
 
-	// Background lifecycle work (startup pre-warm, artifact GC),
-	// cancelled by Close.
+	// Background lifecycle work (startup pre-warm, artifact GC,
+	// traffic-sketch persistence), cancelled by Close.
 	lifeCancel context.CancelFunc
 	lifeWG     sync.WaitGroup
 	prewarm    prewarmState
 	gc         gcState
+
+	// traffic is the workload frequency sketch behind the learned
+	// pre-warm (nil when disabled); trafficState tracks its
+	// persistence and the artifact pins it produced.
+	traffic      *traffic.Sketch
+	trafficState trafficState
+	sweepPolicy  datastore.SweepPolicy
 
 	// reg holds the server's own metrics (prewarm, artifact GC); the
 	// /metrics scrape merges it with every component registry (see
@@ -99,11 +109,28 @@ type Config struct {
 	// built with, and the status endpoint then reports this cache as
 	// idle.
 	EndpointCache *bippr.EndpointCache
-	// Workers sizes the executor pool (default 2).
+	// Workers sizes the interactive executor pool (default 2).
 	Workers int
+	// BatchWorkers sizes the batch-tier executor pool (default:
+	// Workers), so queued batch comparisons cannot starve interactive
+	// queries of executors — and vice versa.
+	BatchWorkers int
+	// Admission bounds the interactive tier: concurrency slots,
+	// queue depth and estimated-cost backlog, each checked on the
+	// submit fast path before any graph loads. Shed submissions
+	// return 429 with a Retry-After header. The zero value disables
+	// admission control (every submission is admitted, as before).
+	Admission task.AdmissionConfig
 	// TaskTimeout bounds a single task's execution; zero means no
-	// limit. Public deployments should set it.
+	// limit. Public deployments should set it. Requests may tighten
+	// (never loosen) it per task via the timeout_ms field.
 	TaskTimeout time.Duration
+	// TrafficTopK sizes the traffic sketch's heavy-hitter list — the
+	// keys the learned pre-warm warms and pins on the next boot. 0
+	// selects traffic.DefaultTopK; negative disables traffic
+	// learning entirely (no sketch, no persistence, no learned
+	// pre-warm).
+	TrafficTopK int
 	// PreWarm starts a background task at construction that loads
 	// every catalog dataset with suggested reference nodes and warms
 	// their reverse-push indexes and walk-endpoint recordings — from
@@ -119,6 +146,14 @@ type Config struct {
 	// past the cap (see datastore.SweepArtifacts). Zero means
 	// unlimited — no sweeper runs.
 	ArtifactCapBytes int64
+	// IndexCapBytes / EndpointCapBytes cap each artifact kind
+	// individually, layered under ArtifactCapBytes, so one hot kind
+	// cannot evict the other wholesale. Zero disables the per-kind
+	// cap; either one (or ArtifactCapBytes) being set runs the
+	// sweeper. Artifacts pinned by the learned pre-warm survive both
+	// passes.
+	IndexCapBytes    int64
+	EndpointCapBytes int64
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ — CPU and
 	// heap profiles over the same listener as the API. Off by default:
 	// profiles expose internals a public deployment should not serve.
@@ -154,6 +189,10 @@ func New(cfg Config) (*Server, error) {
 		endpoints:  cfg.EndpointCache,
 		uploaded:   make(map[string]bool),
 		reg:        obs.NewRegistry(),
+		sweepPolicy: datastore.SweepPolicy{
+			TotalBytes: cfg.ArtifactCapBytes,
+			KindBytes:  perKindCaps(cfg.IndexCapBytes, cfg.EndpointCapBytes),
+		},
 	}
 	// Uploads that survived a restart are rediscovered from the store.
 	if names, err := cfg.Store.ListDatasets(); err == nil {
@@ -162,11 +201,24 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
+	// The traffic sketch restores from its persisted artifact when one
+	// survives (corruption or version skew costs warmth, never a
+	// boot), so the learned pre-warm below can act on the PREVIOUS
+	// process's workload.
+	if cfg.TrafficTopK >= 0 {
+		data, _ := cfg.Store.LoadTrafficSketch()
+		s.traffic, s.trafficState.restored = traffic.Load(data, cfg.TrafficTopK)
+	}
+	s.trafficState.init(s.traffic, s.reg)
+
 	sched, err := task.NewScheduler(task.SchedulerConfig{
 		Registry:           cfg.Registry,
 		Store:              cfg.Store,
 		Workers:            cfg.Workers,
+		BatchWorkers:       cfg.BatchWorkers,
 		TaskTimeout:        cfg.TaskTimeout,
+		Admission:          cfg.Admission,
+		Traffic:            s.traffic,
 		Load:               s.loadDataset,
 		SlowQueryThreshold: cfg.SlowQueryThreshold,
 		SlowQueryLog:       cfg.SlowQueryLog,
@@ -208,18 +260,42 @@ func New(cfg Config) (*Server, error) {
 		s.lifeWG.Add(1)
 		go s.runPrewarm(lifeCtx)
 	}
-	if cfg.ArtifactCapBytes > 0 {
+	if cfg.ArtifactCapBytes > 0 || len(s.sweepPolicy.KindBytes) > 0 {
 		s.lifeWG.Add(1)
-		go s.runSweeper(lifeCtx, cfg.ArtifactCapBytes)
+		go s.runSweeper(lifeCtx)
+	}
+	if s.traffic != nil {
+		s.lifeWG.Add(1)
+		go s.runTrafficSaver(lifeCtx)
 	}
 	return s, nil
 }
 
+// perKindCaps assembles the sweep policy's per-kind cap map from the
+// two config fields, omitting unset kinds so the policy's "no cap"
+// semantics stay the map's absence, not a zero.
+func perKindCaps(idx, ep int64) map[string]int64 {
+	caps := make(map[string]int64, 2)
+	if idx > 0 {
+		caps["indexes"] = idx
+	}
+	if ep > 0 {
+		caps["endpoints"] = ep
+	}
+	if len(caps) == 0 {
+		return nil
+	}
+	return caps
+}
+
 // Close cancels the server's background lifecycle work (startup
-// pre-warm, artifact GC) and waits for it to stop. In-flight artifact
-// writes finish atomically, so a close mid-pre-warm never leaves a
-// partial artifact — at worst a missing one. Close does not stop the
-// scheduler; call Scheduler().Shutdown for that.
+// pre-warm, artifact GC, traffic persistence) and waits for it to
+// stop. The traffic saver writes the sketch one final time on the way
+// out, so the workload observed this boot informs the next boot's
+// learned pre-warm. In-flight artifact writes finish atomically, so a
+// close mid-pre-warm never leaves a partial artifact — at worst a
+// missing one. Close does not stop the scheduler; call
+// Scheduler().Shutdown for that.
 func (s *Server) Close() {
 	s.lifeCancel()
 	s.lifeWG.Wait()
@@ -437,6 +513,13 @@ type submitRequest struct {
 	// client expected to apply to every query would return plausible
 	// results computed with the wrong parameters.
 	Params algo.Params `json:"params,omitempty"`
+	// Class assigns the batch a request class ("interactive" or
+	// "batch"; default: batch for a queries submission). Tasks in the
+	// tasks array carry their own class field.
+	Class task.Class `json:"class,omitempty"`
+	// TimeoutMS tightens the batch's execution deadline below the
+	// server's TaskTimeout (it can never loosen it).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 type submitResponse struct {
@@ -477,6 +560,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			Algorithm:   req.Algorithm,
 			Queries:     req.Queries,
 			Parallelism: req.Parallelism,
+			Class:       req.Class,
+			TimeoutMS:   req.TimeoutMS,
 		}
 		if err := builder.Add(batch); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("batch: %w", err))
@@ -489,6 +574,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	qs, ids, err := s.scheduler.Submit(builder.Specs())
 	if err != nil {
+		// A shed is not a failure: admission control refused the work
+		// before anything was registered or loaded. 429 + Retry-After
+		// tells well-behaved clients exactly when to come back.
+		var shed *task.ShedError
+		if errors.As(err, &shed) {
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int((shed.RetryAfter+time.Second-1)/time.Second)))
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}

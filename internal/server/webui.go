@@ -135,6 +135,24 @@ instead of re-walking (<code>GET /api/status</code> reports
 <code>endpoint_cache</code> hits, misses and walks avoided).
 The response carries a <code>comparison_id</code>; retrieve results at
 <code>/api/compare/{id}</code> or view them at <code>/compare/{id}</code>.</p>
+<h2>Request classes and deadlines</h2>
+<p>Every task (and a top-level batch) accepts a <code>class</code>:
+<code>"interactive"</code> marks latency-sensitive traffic — it fills
+cheap parameter presets into unset fields (looser <code>rmax</code>,
+fewer <code>walks</code>), applies a strict default deadline, and is
+subject to admission control: an overloaded server fast-rejects it
+with <code>429 Too Many Requests</code> and a <code>Retry-After</code>
+header <em>before</em> loading any graph. <code>"batch"</code> marks
+throughput traffic — queued on a dedicated executor pool, never shed,
+parameters untouched. Omitting the class keeps historical behavior
+bit-identical (plain tasks route interactive without presets;
+<code>queries</code> submissions route batch).
+A <code>timeout_ms</code> field tightens the execution deadline below
+the server's limit; a task cancelled mid-walk or mid-push fails with
+an error naming the phase, keeping the phase traces it completed.
+Submitted tasks echo the scheduler's <code>estimated_cost</code> — the
+Lofgren balance-point cost estimate admission control prices the
+request with.</p>
 <h2>Observability</h2>
 <p>Done tasks report <code>wait_ms</code>/<code>run_ms</code> and a
 per-phase <code>phases</code> tree in their result;

@@ -1,0 +1,247 @@
+package task
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/bippr"
+	"github.com/cyclerank/cyclerank-go/internal/obs"
+	"github.com/cyclerank/cyclerank-go/internal/traffic"
+)
+
+// AdmissionConfig bounds the interactive tier. Every limit gates only
+// interactive-class tasks — the batch tier is queued, never shed —
+// and every check runs on Submit's fast path, pricing the request
+// from cached graph stats WITHOUT loading the graph: the whole point
+// of shedding is refusing work the server cannot afford, so the
+// refusal itself must cost nothing.
+//
+// Zero values disable each limit individually; the zero config
+// disables admission control entirely (every submission is admitted,
+// as before this tier existed).
+type AdmissionConfig struct {
+	// InteractiveSlots caps interactive tasks in flight — admitted and
+	// not yet terminal (the concurrency budget).
+	InteractiveSlots int
+	// MaxPendingInteractive caps interactive tasks admitted but not yet
+	// executing (the queue-depth cap).
+	MaxPendingInteractive int
+	// MaxBacklogUnits caps the summed estimated cost (EstimateCost
+	// units) of in-flight interactive tasks — the estimated-backlog
+	// cap: many cheap queries or few expensive ones, priced alike.
+	MaxBacklogUnits float64
+	// RetryAfter is the hint returned with a shed (HTTP Retry-After);
+	// default 1s.
+	RetryAfter time.Duration
+}
+
+// Enabled reports whether any admission limit is configured.
+func (c AdmissionConfig) Enabled() bool {
+	return c.InteractiveSlots > 0 || c.MaxPendingInteractive > 0 || c.MaxBacklogUnits > 0
+}
+
+func (c AdmissionConfig) retryAfter() time.Duration {
+	if c.RetryAfter > 0 {
+		return c.RetryAfter
+	}
+	return time.Second
+}
+
+// ShedError reports a submission refused by admission control. The
+// server maps it to 429 Too Many Requests with a Retry-After header.
+type ShedError struct {
+	// Reason names the exhausted limit: "slots", "queue" or "backlog".
+	Reason string
+	// RetryAfter is the suggested back-off.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("task: shed (%s limit reached), retry after %s", e.Reason, e.RetryAfter)
+}
+
+// admitRecord is one interactive task's admission reservation.
+type admitRecord struct {
+	units   float64
+	started bool
+}
+
+// tryAdmit reserves admission capacity for a set of interactive tasks
+// (id → estimated units), all-or-nothing: a query set either fits
+// within every limit or is shed whole — partial admission would run
+// half a comparison. Batch-class tasks never appear here.
+func (s *Scheduler) tryAdmit(reserve map[string]float64) *ShedError {
+	cfg := s.cfg.Admission
+	if !cfg.Enabled() || len(reserve) == 0 {
+		return nil
+	}
+	var units float64
+	for _, u := range reserve {
+		units += u
+	}
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	var reason string
+	switch {
+	case cfg.InteractiveSlots > 0 && len(s.admitted)+len(reserve) > cfg.InteractiveSlots:
+		reason = "slots"
+	case cfg.MaxPendingInteractive > 0 && s.admitPending+len(reserve) > cfg.MaxPendingInteractive:
+		reason = "queue"
+	case cfg.MaxBacklogUnits > 0 && s.admitBacklog+units > cfg.MaxBacklogUnits:
+		reason = "backlog"
+	}
+	if reason != "" {
+		s.shedByReason(reason).Add(int64(len(reserve)))
+		return &ShedError{Reason: reason, RetryAfter: cfg.retryAfter()}
+	}
+	for id, u := range reserve {
+		s.admitted[id] = &admitRecord{units: u}
+		s.admitPending++
+		s.admitBacklog += u
+	}
+	return nil
+}
+
+func (s *Scheduler) shedByReason(reason string) *obs.Counter {
+	switch reason {
+	case "slots":
+		return s.shedSlots
+	case "queue":
+		return s.shedQueue
+	default:
+		return s.shedBacklog
+	}
+}
+
+// admitStarted moves an admitted task from the pending to the running
+// share of its reservation.
+func (s *Scheduler) admitStarted(id string) {
+	s.admitMu.Lock()
+	if rec, ok := s.admitted[id]; ok && !rec.started {
+		rec.started = true
+		s.admitPending--
+	}
+	s.admitMu.Unlock()
+}
+
+// admitRelease returns a task's reservation. Idempotent — every
+// terminal transition path calls it, and a task reaches exactly one
+// terminal state but possibly through code paths that overlap.
+func (s *Scheduler) admitRelease(id string) {
+	s.admitMu.Lock()
+	if rec, ok := s.admitted[id]; ok {
+		delete(s.admitted, id)
+		if !rec.started {
+			s.admitPending--
+		}
+		s.admitBacklog -= rec.units
+		if len(s.admitted) == 0 {
+			// Squash float drift: an idle tier owes exactly zero.
+			s.admitBacklog = 0
+		}
+	}
+	s.admitMu.Unlock()
+}
+
+// AdmissionSnapshot is the serving tier's state for status endpoints.
+type AdmissionSnapshot struct {
+	Enabled               bool    `json:"enabled"`
+	InteractiveSlots      int     `json:"interactive_slots,omitempty"`
+	MaxPendingInteractive int     `json:"max_pending_interactive,omitempty"`
+	MaxBacklogUnits       float64 `json:"max_backlog_units,omitempty"`
+	BatchWorkers          int     `json:"batch_workers"`
+	Inflight              int     `json:"inflight"`
+	PendingInteractive    int     `json:"pending_interactive"`
+	BacklogUnits          float64 `json:"backlog_units"`
+	AdmittedInteractive   int64   `json:"admitted_interactive"`
+	AdmittedBatch         int64   `json:"admitted_batch"`
+	ShedSlots             int64   `json:"shed_slots"`
+	ShedQueue             int64   `json:"shed_queue"`
+	ShedBacklog           int64   `json:"shed_backlog"`
+	DeadlineExceeded      int64   `json:"deadline_exceeded"`
+	GraphLoads            int64   `json:"graph_loads"`
+}
+
+// AdmissionStats returns the serving tier's current state.
+func (s *Scheduler) AdmissionStats() AdmissionSnapshot {
+	s.admitMu.Lock()
+	snap := AdmissionSnapshot{
+		Enabled:               s.cfg.Admission.Enabled(),
+		InteractiveSlots:      s.cfg.Admission.InteractiveSlots,
+		MaxPendingInteractive: s.cfg.Admission.MaxPendingInteractive,
+		MaxBacklogUnits:       s.cfg.Admission.MaxBacklogUnits,
+		BatchWorkers:          s.cfg.BatchWorkers,
+		Inflight:              len(s.admitted),
+		PendingInteractive:    s.admitPending,
+		BacklogUnits:          s.admitBacklog,
+	}
+	s.admitMu.Unlock()
+	snap.AdmittedInteractive = s.admittedInt.Value()
+	snap.AdmittedBatch = s.admittedBat.Value()
+	snap.ShedSlots = s.shedSlots.Value()
+	snap.ShedQueue = s.shedQueue.Value()
+	snap.ShedBacklog = s.shedBacklog.Value()
+	snap.DeadlineExceeded = s.deadlineExc.Value()
+	snap.GraphLoads = s.graphLoads.Value()
+	return snap
+}
+
+// CostStats returns the cached graph statistics for a dataset (zero
+// if nothing has loaded it this boot — EstimateCost then prices with
+// fallback defaults). Never loads the graph.
+func (s *Scheduler) CostStats(dataset string) CostStats {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	return s.stats[dataset]
+}
+
+// recordTraffic counts the spec's warmable artifact keys in the
+// workload sketch: a bippr-pair query demands a reverse-push index
+// for its target and a walk-endpoint recording for its source; a
+// ppr-target query just the index. Parameters are recorded
+// defaults-applied, so the pre-warm recomputes byte-identical cache
+// keys. Other algorithms have no persisted artifacts to warm.
+func recordTraffic(sk *traffic.Sketch, spec Spec) {
+	if sk == nil {
+		return
+	}
+	record := func(algorithm string, p algo.Params) {
+		var withIndex, withEndpoints bool
+		switch algorithm {
+		case "bippr-pair":
+			withIndex, withEndpoints = true, true
+		case "ppr-target":
+			withIndex = true
+		default:
+			return
+		}
+		bp := bippr.Params{
+			Alpha: p.Alpha, RMax: p.RMax,
+			Walks: p.Walks, Eps: p.Eps, Seed: p.Seed,
+		}.WithDefaults()
+		if withIndex && p.Target != "" {
+			sk.Record(traffic.WarmKey{
+				Kind: traffic.KindIndex, Dataset: spec.Dataset, Node: p.Target,
+				Alpha: bp.Alpha, RMax: bp.RMax,
+			}.String())
+		}
+		if withEndpoints && p.Source != "" {
+			sk.Record(traffic.WarmKey{
+				Kind: traffic.KindEndpoints, Dataset: spec.Dataset, Node: p.Source,
+				Alpha: bp.Alpha, Seed: bp.Seed, MaxSteps: bp.MaxSteps, Walks: bp.Walks,
+			}.String())
+		}
+	}
+	if spec.IsBatch() {
+		for _, q := range spec.Queries {
+			alg := q.Algorithm
+			if alg == "" {
+				alg = spec.Algorithm
+			}
+			record(alg, q.Params)
+		}
+		return
+	}
+	record(spec.Algorithm, spec.Params)
+}

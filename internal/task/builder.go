@@ -39,6 +39,15 @@ func (b *Builder) Add(s Spec) error {
 	if b.exists != nil && !b.exists(s.Dataset) {
 		return fmt.Errorf("task: unknown dataset %q", s.Dataset)
 	}
+	if _, err := ParseClass(string(s.Class)); err != nil {
+		return err
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("task: timeout_ms=%d must not be negative", s.TimeoutMS)
+	}
+	// Class presets are applied before validation so what is validated
+	// (and later executed and reported) is exactly the normalized spec.
+	s = applyClassPresets(s)
 	if s.IsBatch() {
 		return b.addBatch(s)
 	}
@@ -81,6 +90,9 @@ func (b *Builder) addBatch(s Spec) error {
 		}
 		if q.Algorithm == "" {
 			return fmt.Errorf("task: batch query %d names no algorithm and the batch has no default", i)
+		}
+		if q.TimeoutMS < 0 {
+			return fmt.Errorf("task: batch query %d: timeout_ms=%d must not be negative", i, q.TimeoutMS)
 		}
 		if err := b.checkQuery(q.Algorithm, q.Params); err != nil {
 			return fmt.Errorf("task: batch query %d: %w", i, err)

@@ -17,6 +17,7 @@ import (
 	"github.com/cyclerank/cyclerank-go/internal/datastore"
 	"github.com/cyclerank/cyclerank-go/internal/graph"
 	"github.com/cyclerank/cyclerank-go/internal/obs"
+	"github.com/cyclerank/cyclerank-go/internal/traffic"
 )
 
 // SchedulerConfig configures a Scheduler.
@@ -27,10 +28,21 @@ type SchedulerConfig struct {
 	Load LoaderFunc
 	// Store persists results and logs; required.
 	Store *datastore.Store
-	// Workers is the executor pool size (default 2). The paper's
-	// computational nodes "can be scaled up or down depending on the
-	// system's workload".
+	// Workers is the interactive executor pool size (default 2). The
+	// paper's computational nodes "can be scaled up or down depending
+	// on the system's workload".
 	Workers int
+	// BatchWorkers is the batch-tier executor pool size (default:
+	// Workers). Batch-class tasks run on their own bounded pool so an
+	// interactive flood cannot starve queued batches and a long batch
+	// cannot occupy an interactive executor.
+	BatchWorkers int
+	// Admission bounds the interactive tier (see AdmissionConfig). The
+	// zero value admits everything.
+	Admission AdmissionConfig
+	// Traffic, when non-nil, receives the warmable artifact keys of
+	// every admitted submission, feeding the learned pre-warm.
+	Traffic *traffic.Sketch
 	// QueueDepth is the pending-task buffer (default 128). Submission
 	// fails fast when the queue is full rather than blocking the API.
 	QueueDepth int
@@ -65,8 +77,9 @@ func (c SchedulerConfig) validate() error {
 // Scheduler owns the task queue, the executor pool, the dataset cache
 // and the in-memory task table. It is safe for concurrent use.
 type Scheduler struct {
-	cfg   SchedulerConfig
-	queue chan string // task ids
+	cfg        SchedulerConfig
+	queue      chan string // interactive-tier task ids
+	batchQueue chan string // batch-tier task ids
 
 	mu      sync.RWMutex
 	tasks   map[string]*Task
@@ -75,6 +88,15 @@ type Scheduler struct {
 
 	cacheMu sync.Mutex
 	cache   map[string]*graph.Graph
+	stats   map[string]CostStats // per-dataset cost-model stats
+
+	// Admission state (see admission.go): interactive reservations by
+	// task id, pending (admitted, not yet executing) count, and the
+	// summed estimated-cost backlog.
+	admitMu      sync.Mutex
+	admitted     map[string]*admitRecord
+	admitPending int
+	admitBacklog float64
 
 	wg      sync.WaitGroup
 	stop    context.CancelFunc
@@ -91,6 +113,14 @@ type Scheduler struct {
 	subqSeconds  *obs.Histogram
 	batchFanout  *obs.Histogram
 	batchQueries *obs.Counter
+	graphLoads   *obs.Counter
+	admittedInt  *obs.Counter
+	admittedBat  *obs.Counter
+	shedSlots    *obs.Counter
+	shedQueue    *obs.Counter
+	shedBacklog  *obs.Counter
+	deadlineExc  *obs.Counter
+	costPerMS    *obs.Histogram
 
 	slowMu sync.Mutex // serializes slow-query log lines
 }
@@ -102,6 +132,9 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
+	}
+	if cfg.BatchWorkers <= 0 {
+		cfg.BatchWorkers = cfg.Workers
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 128
@@ -115,14 +148,17 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	r := obs.NewRegistry()
 	s := &Scheduler{
-		cfg:     cfg,
-		queue:   make(chan string, cfg.QueueDepth),
-		tasks:   make(map[string]*Task),
-		cancels: make(map[string]context.CancelFunc),
-		sets:    make(map[string][]string),
-		cache:   make(map[string]*graph.Graph),
-		stop:    cancel,
-		stopped: make(chan struct{}),
+		cfg:        cfg,
+		queue:      make(chan string, cfg.QueueDepth),
+		batchQueue: make(chan string, cfg.QueueDepth),
+		tasks:      make(map[string]*Task),
+		cancels:    make(map[string]context.CancelFunc),
+		sets:       make(map[string][]string),
+		cache:      make(map[string]*graph.Graph),
+		stats:      make(map[string]CostStats),
+		admitted:   make(map[string]*admitRecord),
+		stop:       cancel,
+		stopped:    make(chan struct{}),
 
 		reg:          r,
 		tasksDone:    r.Counter("cyclerank_scheduler_tasks_total", "Tasks reaching a terminal state.", "state", "done"),
@@ -133,16 +169,44 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 		subqSeconds:  r.Histogram("cyclerank_scheduler_subquery_seconds", "Per-subquery execution time inside batch tasks.", nil),
 		batchFanout:  r.Histogram("cyclerank_scheduler_batch_fanout", "Effective intra-batch worker pool size per batch task.", obs.ExponentialBuckets(1, 2, 9)),
 		batchQueries: r.Counter("cyclerank_scheduler_batch_queries_total", "Subqueries executed across all batch tasks."),
+		graphLoads:   r.Counter("cyclerank_scheduler_graph_loads_total", "Dataset graphs actually loaded (graph-cache misses). The admission fast-reject path never increments this."),
+		admittedInt:  r.Counter("cyclerank_admission_admitted_total", "Tasks admitted by the serving tier.", "class", "interactive"),
+		admittedBat:  r.Counter("cyclerank_admission_admitted_total", "Tasks admitted by the serving tier.", "class", "batch"),
+		shedSlots:    r.Counter("cyclerank_admission_shed_total", "Submissions shed by admission control.", "reason", "slots"),
+		shedQueue:    r.Counter("cyclerank_admission_shed_total", "Submissions shed by admission control.", "reason", "queue"),
+		shedBacklog:  r.Counter("cyclerank_admission_shed_total", "Submissions shed by admission control.", "reason", "backlog"),
+		deadlineExc:  r.Counter("cyclerank_admission_deadline_exceeded_total", "Tasks and batch subqueries failed by a propagated deadline."),
+		costPerMS:    r.Histogram("cyclerank_cost_units_per_ms", "Post-hoc estimator calibration: estimated cost units per measured run millisecond of completed tasks.", obs.ExponentialBuckets(1, 4, 12)),
 	}
-	r.GaugeFunc("cyclerank_scheduler_queue_depth", "Task ids waiting in the queue buffer.", func() float64 {
+	r.GaugeFunc("cyclerank_scheduler_queue_depth", "Task ids waiting in the interactive queue buffer.", func() float64 {
 		return float64(len(s.queue))
 	})
-	r.GaugeFunc("cyclerank_scheduler_workers", "Executor pool size.", func() float64 {
+	r.GaugeFunc("cyclerank_scheduler_batch_queue_depth", "Task ids waiting in the batch queue buffer.", func() float64 {
+		return float64(len(s.batchQueue))
+	})
+	r.GaugeFunc("cyclerank_scheduler_workers", "Interactive executor pool size.", func() float64 {
 		return float64(cfg.Workers)
+	})
+	r.GaugeFunc("cyclerank_scheduler_batch_workers", "Batch executor pool size.", func() float64 {
+		return float64(cfg.BatchWorkers)
+	})
+	r.GaugeFunc("cyclerank_admission_backlog_units", "Summed estimated cost of in-flight interactive tasks.", func() float64 {
+		s.admitMu.Lock()
+		defer s.admitMu.Unlock()
+		return s.admitBacklog
+	})
+	r.GaugeFunc("cyclerank_admission_inflight", "Interactive tasks admitted and not yet terminal.", func() float64 {
+		s.admitMu.Lock()
+		defer s.admitMu.Unlock()
+		return float64(len(s.admitted))
 	})
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
-		go s.executor(ctx, i)
+		go s.executor(ctx, i, s.queue)
+	}
+	for i := 0; i < cfg.BatchWorkers; i++ {
+		s.wg.Add(1)
+		go s.executor(ctx, cfg.Workers+i, s.batchQueue)
 	}
 	go func() {
 		s.wg.Wait()
@@ -173,6 +237,12 @@ func stampTimesLocked(t *Task) {
 
 // Submit schedules every spec of a query set and returns the query-set
 // (comparison) id plus the individual task ids, in spec order.
+//
+// Admission runs here, on the fast path: every spec is priced from
+// cached graph stats (EstimateCost — no graph load), interactive-class
+// specs reserve capacity all-or-nothing, and an over-budget query set
+// returns *ShedError with nothing registered, nothing enqueued and no
+// graph touched. Batch-class specs are never shed.
 func (s *Scheduler) Submit(specs []Spec) (querySet string, taskIDs []string, err error) {
 	if len(specs) == 0 {
 		return "", nil, fmt.Errorf("task: empty query set")
@@ -186,19 +256,23 @@ func (s *Scheduler) Submit(specs []Spec) (querySet string, taskIDs []string, err
 	// Create all tasks first so a full queue cannot leave a partially
 	// registered query set.
 	created := make([]*Task, len(specs))
+	reserve := make(map[string]float64)
 	for i, spec := range specs {
 		id, err := NewID()
 		if err != nil {
 			return "", nil, err
 		}
 		t := &Task{
-			ID:        id,
-			QuerySet:  querySet,
-			Dataset:   spec.Dataset,
-			Algorithm: spec.Algorithm,
-			Params:    spec.Params,
-			State:     StatePending,
-			Submitted: now,
+			ID:            id,
+			QuerySet:      querySet,
+			Dataset:       spec.Dataset,
+			Algorithm:     spec.Algorithm,
+			Params:        spec.Params,
+			State:         StatePending,
+			Submitted:     now,
+			Class:         resolveClass(spec),
+			TimeoutMS:     spec.TimeoutMS,
+			EstimatedCost: EstimateCost(spec, s.CostStats(spec.Dataset)),
 		}
 		if spec.IsBatch() {
 			if len(spec.Queries) > MaxBatchQueries {
@@ -211,7 +285,24 @@ func (s *Scheduler) Submit(specs []Spec) (querySet string, taskIDs []string, err
 			}
 			t.Parallelism = spec.Parallelism
 		}
+		if t.Class == ClassInteractive {
+			reserve[id] = t.EstimatedCost
+		}
 		created[i] = t
+	}
+
+	if shed := s.tryAdmit(reserve); shed != nil {
+		return "", nil, shed
+	}
+	for _, t := range created {
+		if t.Class == ClassInteractive {
+			s.admittedInt.Inc()
+		} else {
+			s.admittedBat.Inc()
+		}
+	}
+	for _, spec := range specs {
+		recordTraffic(s.cfg.Traffic, spec)
 	}
 
 	s.mu.Lock()
@@ -223,8 +314,12 @@ func (s *Scheduler) Submit(specs []Spec) (querySet string, taskIDs []string, err
 	s.mu.Unlock()
 
 	for _, t := range created {
+		tier := s.queue
+		if t.Class == ClassBatch {
+			tier = s.batchQueue
+		}
 		select {
-		case s.queue <- t.ID:
+		case tier <- t.ID:
 		default:
 			s.failTask(t.ID, fmt.Errorf("task: queue full"))
 		}
@@ -298,6 +393,7 @@ func (s *Scheduler) Cancel(taskID string) error {
 	stampTimesLocked(t)
 	finalizeQueryStatesLocked(t)
 	s.tasksCancel.Inc()
+	s.admitRelease(taskID)
 	return nil
 }
 
@@ -360,7 +456,6 @@ func (s *Scheduler) WaitQuerySet(ctx context.Context, id string) ([]Task, error)
 
 func (s *Scheduler) failTask(id string, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if t, ok := s.tasks[id]; ok && !t.State.Terminal() {
 		t.State = StateFailed
 		t.Error = err.Error()
@@ -372,6 +467,8 @@ func (s *Scheduler) failTask(id string, err error) {
 			s.runSeconds.Observe(t.Finished.Sub(t.Started).Seconds())
 		}
 	}
+	s.mu.Unlock()
+	s.admitRelease(id)
 }
 
 // LoadGraph fetches a dataset through the scheduler's per-name graph
@@ -398,8 +495,12 @@ func (s *Scheduler) loadGraph(name string) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.graphLoads.Inc()
 	s.cacheMu.Lock()
 	s.cache[name] = g
+	// Remember the shape for the cost model: the admission fast path
+	// prices later submissions from these numbers without loading.
+	s.stats[name] = CostStats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
 	s.cacheMu.Unlock()
 	return g, nil
 }
@@ -408,21 +509,36 @@ func (s *Scheduler) loadGraph(name string) (*graph.Graph, error) {
 func (s *Scheduler) InvalidateDataset(name string) {
 	s.cacheMu.Lock()
 	delete(s.cache, name)
+	delete(s.stats, name)
 	s.cacheMu.Unlock()
 }
 
-// executor is one computational worker: it pops task ids, runs the
-// algorithm, and persists the result and log.
-func (s *Scheduler) executor(ctx context.Context, worker int) {
+// executor is one computational worker: it pops task ids from its
+// tier's queue, runs the algorithm, and persists the result and log.
+func (s *Scheduler) executor(ctx context.Context, worker int, queue <-chan string) {
 	defer s.wg.Done()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case id := <-s.queue:
+		case id := <-queue:
 			s.execute(ctx, worker, id)
 		}
 	}
+}
+
+// effectiveTimeout resolves a task's deadline: the tighter of the
+// scheduler-wide TaskTimeout and the spec's own timeout_ms. Zero
+// means unlimited.
+func (s *Scheduler) effectiveTimeout(t *Task) time.Duration {
+	timeout := s.cfg.TaskTimeout
+	if t.TimeoutMS > 0 {
+		spec := time.Duration(t.TimeoutMS) * time.Millisecond
+		if timeout == 0 || spec < timeout {
+			timeout = spec
+		}
+	}
+	return timeout
 }
 
 func (s *Scheduler) execute(ctx context.Context, worker int, id string) {
@@ -439,14 +555,16 @@ func (s *Scheduler) execute(ctx context.Context, worker int, id string) {
 		taskCtx context.Context
 		cancel  context.CancelFunc
 	)
-	if s.cfg.TaskTimeout > 0 {
-		taskCtx, cancel = context.WithTimeout(ctx, s.cfg.TaskTimeout)
+	timeout := s.effectiveTimeout(t)
+	if timeout > 0 {
+		taskCtx, cancel = context.WithTimeout(ctx, timeout)
 	} else {
 		taskCtx, cancel = context.WithCancel(ctx)
 	}
 	s.cancels[id] = cancel
 	snapshot := *t
 	s.mu.Unlock()
+	s.admitStarted(id)
 	s.waitSeconds.Observe(snapshot.Started.Sub(snapshot.Submitted).Seconds())
 
 	// Every task runs under a trace so its result carries the phase
@@ -469,7 +587,7 @@ func (s *Scheduler) execute(ctx context.Context, worker int, id string) {
 		return
 	}
 	if snapshot.IsBatch() {
-		s.executeBatch(taskCtx, trace, t, snapshot, g)
+		s.executeBatch(taskCtx, trace, t, snapshot, g, timeout)
 		return
 	}
 	res, err := algo.Run(taskCtx, s.cfg.Registry, snapshot.Algorithm, g, snapshot.Params)
@@ -478,8 +596,11 @@ func (s *Scheduler) execute(ctx context.Context, worker int, id string) {
 		switch {
 		case errors.Is(taskCtx.Err(), context.DeadlineExceeded):
 			// Timeouts are failures, not user cancellations: the user
-			// should see why their task produced no result.
-			s.finish(id, fmt.Errorf("task: execution exceeded %s timeout", s.cfg.TaskTimeout))
+			// should see why their task produced no result. The wrapped
+			// error names the phase the deadline landed in (e.g. "bippr:
+			// reverse push cancelled", "bippr: walks cancelled").
+			s.deadlineExc.Inc()
+			s.finish(id, fmt.Errorf("task: execution exceeded %s timeout: %w", timeout, err))
 		case taskCtx.Err() != nil:
 			s.cancelled(id)
 		default:
@@ -522,9 +643,21 @@ func (s *Scheduler) execute(ctx context.Context, worker int, id string) {
 	t.Finished = finished
 	stampTimesLocked(t)
 	s.mu.Unlock()
+	s.admitRelease(id)
 	s.tasksDone.Inc()
 	s.runSeconds.Observe(finished.Sub(done.Started).Seconds())
+	s.observeCost(done)
 	s.maybeLogSlow(done, doc.Phases)
+}
+
+// observeCost feeds the estimator-calibration histogram: how many
+// predicted work units the task turned out to burn per millisecond.
+// A drifting distribution here means the cost model's constants need
+// re-calibrating against the hardware.
+func (s *Scheduler) observeCost(t Task) {
+	if t.EstimatedCost > 0 && t.RunMS > 0 {
+		s.costPerMS.Observe(t.EstimatedCost / float64(t.RunMS))
+	}
 }
 
 // maybeLogSlow emits one structured JSON line for a task whose
@@ -612,7 +745,7 @@ func subqueryError(i int, q SubSpec, err error) string {
 // cancelled. Progress snapshots of the result document are persisted
 // while the batch runs (throttled to one per batchProgressInterval),
 // so polls of a running batch already see finished subresults.
-func (s *Scheduler) executeBatch(ctx context.Context, trace *obs.Trace, t *Task, snapshot Task, g *graph.Graph) {
+func (s *Scheduler) executeBatch(ctx context.Context, trace *obs.Trace, t *Task, snapshot Task, g *graph.Graph, timeout time.Duration) {
 	id := snapshot.ID
 	subs := make([]SubResult, len(snapshot.Queries))
 	doc := Result{
@@ -673,7 +806,14 @@ func (s *Scheduler) executeBatch(ctx context.Context, trace *obs.Trace, t *Task,
 		// in what order it ran.
 		qctx, span := obs.StartSpan(ctx, "subquery")
 		span.SetMetric("index", float64(i))
+		// A subquery deadline nests inside the batch's: the qctx expires
+		// alone, the batch ctx stays live, and siblings keep running.
+		var qcancel context.CancelFunc = func() {}
+		if q.TimeoutMS > 0 {
+			qctx, qcancel = context.WithTimeout(qctx, time.Duration(q.TimeoutMS)*time.Millisecond)
+		}
 		res, err := algo.Run(qctx, s.cfg.Registry, q.Algorithm, g, q.Params)
+		qcancel()
 		span.End()
 		dur := time.Since(start)
 		s.subqSeconds.Observe(dur.Seconds())
@@ -694,6 +834,14 @@ func (s *Scheduler) executeBatch(ctx context.Context, trace *obs.Trace, t *Task,
 			sub.State = StateCancelled
 			sub.Error = subqueryError(i, q, err)
 			interrupted.Store(true)
+		case errors.Is(qctx.Err(), context.DeadlineExceeded):
+			// Only this subquery's own deadline fired: it fails alone,
+			// the batch is NOT interrupted. The wrapped error names the
+			// phase the deadline landed in.
+			s.deadlineExc.Inc()
+			sub.State = StateFailed
+			sub.Error = subqueryError(i, q, fmt.Errorf("execution exceeded %s timeout: %w",
+				time.Duration(q.TimeoutMS)*time.Millisecond, err))
 		default:
 			sub.State = StateFailed
 			sub.Error = subqueryError(i, q, err)
@@ -752,8 +900,9 @@ func (s *Scheduler) executeBatch(ctx context.Context, trace *obs.Trace, t *Task,
 	// errors are sticky).
 	if interrupted.Load() {
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.deadlineExc.Inc()
 			s.finish(id, fmt.Errorf("task: execution exceeded %s timeout after %d/%d batch queries",
-				s.cfg.TaskTimeout, doneCount(subs), len(subs)))
+				timeout, doneCount(subs), len(subs)))
 		} else {
 			s.cancelled(id)
 		}
@@ -790,6 +939,8 @@ func (s *Scheduler) executeBatch(ctx context.Context, trace *obs.Trace, t *Task,
 		s.runSeconds.Observe(finished.Sub(t.Started).Seconds())
 	}
 	s.mu.Unlock()
+	s.admitRelease(id)
+	s.observeCost(done)
 	s.maybeLogSlow(done, doc.Phases)
 }
 
@@ -849,6 +1000,7 @@ func (s *Scheduler) cancelled(id string) {
 		}
 	}
 	s.mu.Unlock()
+	s.admitRelease(id)
 	s.log(id, "cancelled")
 }
 

@@ -67,6 +67,10 @@ func (s State) Terminal() bool {
 type SubSpec struct {
 	Algorithm string      `json:"algorithm,omitempty"`
 	Params    algo.Params `json:"params"`
+	// TimeoutMS is an optional per-subquery deadline in milliseconds,
+	// nested inside the batch's own deadline. A subquery that exceeds it
+	// fails alone — siblings keep running and the batch still reports.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Spec is a user-submitted task description: the (dataset, algorithm,
@@ -93,6 +97,17 @@ type Spec struct {
 	// completion order cannot change any answer. Only meaningful on
 	// batch specs; the builder rejects it elsewhere.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Class selects the serving tier (see Class). Empty keeps the shape
+	// default: plain specs route interactive, batches route batch, and
+	// no parameter presets are applied.
+	Class Class `json:"class,omitempty"`
+	// TimeoutMS is the task's deadline in milliseconds, counted from
+	// execution start. The effective deadline is the minimum of this and
+	// the scheduler's TaskTimeout; zero inherits the scheduler's alone.
+	// The deadline propagates into the algorithm via context, so a task
+	// is cancelled mid-push or mid-walk, keeps the partial phase trace,
+	// and leaves no partial artifacts on disk.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // IsBatch reports whether the spec is a batch submission.
@@ -132,6 +147,16 @@ type Task struct {
 	QueryStates []State   `json:"query_states,omitempty"`
 	QueriesDone int       `json:"queries_done,omitempty"`
 	Parallelism int       `json:"parallelism,omitempty"`
+
+	// Class is the resolved serving tier the scheduler admitted the
+	// task under (never empty on a scheduled task).
+	Class Class `json:"class,omitempty"`
+	// TimeoutMS echoes the spec's deadline, if any.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// EstimatedCost is the admission-time work prediction in abstract
+	// units (see EstimateCost), stamped at submit so a poll can compare
+	// the prediction against the eventual RunMS.
+	EstimatedCost float64 `json:"estimated_cost,omitempty"`
 }
 
 // IsBatch reports whether the task is a batch.

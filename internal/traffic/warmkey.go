@@ -1,0 +1,132 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Warm-key kinds: which artifact a recorded key would pre-warm.
+const (
+	// KindIndex is a reverse-push target index (.idx artifact), keyed
+	// by (dataset, target, alpha, rmax).
+	KindIndex = "idx"
+	// KindEndpoints is a walk-endpoint recording (.ep artifact), keyed
+	// by (dataset, source, alpha, seed, maxSteps, walks).
+	KindEndpoints = "ep"
+)
+
+// WarmKey identifies one warmable artifact in workload terms: the
+// dataset and node LABELS plus the exact parameters the queries used.
+// Its string form is what the Sketch counts, so the pre-warm task can
+// parse the top-K back and recompute precisely the artifacts the
+// observed traffic would hit.
+//
+// Floats travel as IEEE-754 bit patterns, not decimal, because the
+// artifact caches key on exact float values — a key that round-trips
+// through decimal could warm a neighboring cache entry instead.
+type WarmKey struct {
+	Kind     string  // KindIndex or KindEndpoints
+	Dataset  string  // dataset name
+	Node     string  // target label (idx) or source label (ep)
+	Alpha    float64 // damping
+	RMax     float64 // idx only
+	Seed     int64   // ep only
+	MaxSteps int     // ep only
+	Walks    int     // ep only
+}
+
+// String encodes the key into its sketch form:
+//
+//	idx|dataset|node|a<bits>|r<bits>
+//	ep|dataset|node|a<bits>|s<seed>|m<maxSteps>|w<walks>
+//
+// Dataset and node are query-escaped so labels may contain '|'.
+func (k WarmKey) String() string {
+	ds, node := url.QueryEscape(k.Dataset), url.QueryEscape(k.Node)
+	switch k.Kind {
+	case KindIndex:
+		return fmt.Sprintf("idx|%s|%s|a%016x|r%016x", ds, node,
+			math.Float64bits(k.Alpha), math.Float64bits(k.RMax))
+	case KindEndpoints:
+		return fmt.Sprintf("ep|%s|%s|a%016x|s%d|m%d|w%d", ds, node,
+			math.Float64bits(k.Alpha), k.Seed, k.MaxSteps, k.Walks)
+	}
+	return ""
+}
+
+// ParseWarmKey decodes a sketch key back into a WarmKey. Unparseable
+// keys (e.g. from a future format) return an error; pre-warm skips
+// them.
+func ParseWarmKey(s string) (WarmKey, error) {
+	parts := strings.Split(s, "|")
+	if len(parts) < 3 {
+		return WarmKey{}, fmt.Errorf("traffic: warm key %q: too few fields", s)
+	}
+	ds, err := url.QueryUnescape(parts[1])
+	if err != nil {
+		return WarmKey{}, fmt.Errorf("traffic: warm key %q: dataset: %w", s, err)
+	}
+	node, err := url.QueryUnescape(parts[2])
+	if err != nil {
+		return WarmKey{}, fmt.Errorf("traffic: warm key %q: node: %w", s, err)
+	}
+	k := WarmKey{Kind: parts[0], Dataset: ds, Node: node}
+	rest := parts[3:]
+	switch k.Kind {
+	case KindIndex:
+		if len(rest) != 2 {
+			return WarmKey{}, fmt.Errorf("traffic: warm key %q: idx wants 2 params, got %d", s, len(rest))
+		}
+		if k.Alpha, err = parseFloatBits(rest[0], 'a'); err == nil {
+			k.RMax, err = parseFloatBits(rest[1], 'r')
+		}
+		if err != nil {
+			return WarmKey{}, fmt.Errorf("traffic: warm key %q: %w", s, err)
+		}
+	case KindEndpoints:
+		if len(rest) != 4 {
+			return WarmKey{}, fmt.Errorf("traffic: warm key %q: ep wants 4 params, got %d", s, len(rest))
+		}
+		if k.Alpha, err = parseFloatBits(rest[0], 'a'); err != nil {
+			return WarmKey{}, fmt.Errorf("traffic: warm key %q: %w", s, err)
+		}
+		var seed, steps, walks int64
+		if seed, err = parseInt(rest[1], 's'); err == nil {
+			if steps, err = parseInt(rest[2], 'm'); err == nil {
+				walks, err = parseInt(rest[3], 'w')
+			}
+		}
+		if err != nil {
+			return WarmKey{}, fmt.Errorf("traffic: warm key %q: %w", s, err)
+		}
+		k.Seed, k.MaxSteps, k.Walks = seed, int(steps), int(walks)
+	default:
+		return WarmKey{}, fmt.Errorf("traffic: warm key %q: unknown kind %q", s, k.Kind)
+	}
+	return k, nil
+}
+
+func parseFloatBits(field string, prefix byte) (float64, error) {
+	if len(field) == 0 || field[0] != prefix {
+		return 0, fmt.Errorf("field %q: want prefix %q", field, string(prefix))
+	}
+	bits, err := strconv.ParseUint(field[1:], 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("field %q: %w", field, err)
+	}
+	return math.Float64frombits(bits), nil
+}
+
+func parseInt(field string, prefix byte) (int64, error) {
+	if len(field) == 0 || field[0] != prefix {
+		return 0, fmt.Errorf("field %q: want prefix %q", field, string(prefix))
+	}
+	v, err := strconv.ParseInt(field[1:], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("field %q: %w", field, err)
+	}
+	return v, nil
+}
