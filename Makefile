@@ -17,7 +17,8 @@ test: vet
 	$(GO) test ./...
 
 # test-race covers the packages with real concurrency: the index
-# store's single-flight, the walk worker pool, the walk-endpoint
+# store's single-flight, the walk worker pool (including the batched
+# cohort stepper's pooled per-worker scratch), the walk-endpoint
 # cache (singleflight recording), the scheduler and its intra-batch
 # subquery pool (concurrent submit + mid-batch cancel, admission
 # floods), the HTTP layer, the traffic sketch hammered from many
@@ -35,7 +36,7 @@ bench:
 # the pipe into the converter.
 bench-json:
 	@out=$$(mktemp); \
-	$(GO) test -run NONE -bench 'BiPPR|PPRTarget|TargetIndexStorage|EndpointPersist|ObsOverhead|AdmissionOverhead' -benchmem -benchtime $(BENCHTIME) . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
+	$(GO) test -run NONE -bench 'BiPPR|PPRTarget|TargetIndexStorage|EndpointPersist|ObsOverhead|AdmissionOverhead|WalkBatch|EndpointCodec|CSRLayout' -benchmem -benchtime $(BENCHTIME) . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
 	$(GO) run ./cmd/benchjson -out BENCH_bippr.json < $$out || { rm -f $$out; exit 1; }; \
 	rm -f $$out
 	@echo wrote BENCH_bippr.json

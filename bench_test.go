@@ -516,6 +516,112 @@ func BenchmarkPPRTarget(b *testing.B) {
 	})
 }
 
+// --- Ablation A8: hot-path bandwidth (walk batching, endpoint codec, CSR layout) ---
+
+// BenchmarkWalkBatch isolates the pure walk phase under both
+// substream steppers: the serial per-walk reference and the batched
+// level-synchronous cohort every query runs by default. Estimates are
+// bit-identical (test-enforced by TestBatchedSteppingBitIdentical);
+// only the CSR traversal order differs. For the comparison against
+// the pre-substream chunk-RNG walk phase, run `crbench -ablation
+// walk-batch`, which replays the legacy path too.
+func BenchmarkWalkBatch(b *testing.B) {
+	g := loadGraph(b, "enwiki-2018")
+	src := mustNode(b, g, "Brian May")
+	values := make([]float64, g.NumNodes())
+	for i := range values {
+		values[i] = float64(i%13) * 1e-5
+	}
+	wv := bippr.NewDenseVector(values)
+	const walks = 50000
+	for _, tc := range []struct {
+		name    string
+		batched bool
+	}{{"per-walk", false}, {"batched", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			w := bippr.NewWalkEstimator(g, 0.85, 1, 0)
+			w.SetBatchStepping(tc.batched)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.EstimateSum(context.Background(), src, walks, wv, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEndpointCodec prices both on-disk framings of one real
+// walk recording: the legacy fixed-width v1 layout and the
+// delta-varint v2 the cache writes now. The bytes/artifact metric is
+// the size each codec produces for the same recording — the bandwidth
+// the disk tier moves per endpoint artifact.
+func BenchmarkEndpointCodec(b *testing.B) {
+	g := loadGraph(b, "enwiki-2018")
+	src := mustNode(b, g, "Brian May")
+	w := bippr.NewWalkEstimator(g, 0.85, 1, 0)
+	set, err := w.Endpoints(context.Background(), src, 50000, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	art := bippr.EndpointArtifact{Source: src, Alpha: 0.85, Seed: 1, MaxSteps: bippr.DefaultMaxSteps, Set: set}
+	codecs := []struct {
+		name   string
+		encode func(bippr.EndpointArtifact) ([]byte, error)
+	}{
+		{"v1", bippr.EncodeEndpointsV1},
+		{"v2", bippr.EncodeEndpoints},
+	}
+	for _, c := range codecs {
+		data, err := c.encode(art)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("encode/"+c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ReportMetric(float64(len(data)), "artifact-bytes")
+			for i := 0; i < b.N; i++ {
+				if _, err := c.encode(art); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("decode/"+c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ReportMetric(float64(len(data)), "artifact-bytes")
+			for i := 0; i < b.N; i++ {
+				if _, err := bippr.DecodeEndpointsSized(data, g.NumNodes()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCSRLayout contrasts a deep reverse push over the original
+// CSR with the degree-descending remapped view on the largest catalog
+// graph. Both drive every residual below rmax; the delta is purely
+// where the frontier's hub revisits land in memory.
+func BenchmarkCSRLayout(b *testing.B) {
+	g := loadGraph(b, "ba-large")
+	tgt := mustNode(b, g, "17")
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"original", g.WithoutLayout()},
+		{"remapped", g},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bippr.ReversePush(context.Background(), tc.g, tgt, 0.85, 1e-6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablation A4: scoring functions ---
 
 func BenchmarkCycleRankScoring(b *testing.B) {

@@ -69,6 +69,7 @@ func main() {
 	threshold := flag.Float64("threshold", 2.0, "compare/history mode: flag ns/op ratios above this as regressions")
 	history := flag.String("history", "", "history mode: compare new.json against the rolling median of this window file, then append it")
 	window := flag.Int("window", 8, "history mode: how many runs the window file retains")
+	minIters := flag.Int64("miniters", 2, "parse mode: warn on stderr for benchmarks that ran fewer iterations than this (0 disables)")
 	flag.Parse()
 	if *history != "" {
 		if flag.NArg() != 1 {
@@ -112,17 +113,18 @@ func main() {
 		}
 		return
 	}
-	if err := run(os.Stdin, *out); err != nil {
+	if err := run(os.Stdin, *out, *minIters); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, outPath string) error {
+func run(in io.Reader, outPath string, minIters int64) error {
 	report, err := parse(in)
 	if err != nil {
 		return err
 	}
+	warnLowIterations(os.Stderr, report, minIters)
 	var w io.Writer = os.Stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)
@@ -135,6 +137,24 @@ func run(in io.Reader, outPath string) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// warnLowIterations flags benchmarks that ran fewer than minIters
+// iterations. A single-iteration benchmark is one sample — its ns/op
+// carries the full noise of one run, which poisons every later
+// -compare and -history verdict against it. It warns rather than
+// fails (the CI smoke pass legitimately runs -benchtime 1x), so the
+// archived artifact's weakness is visible in the log that produced it.
+func warnLowIterations(w io.Writer, report *Report, minIters int64) {
+	if minIters <= 0 {
+		return
+	}
+	for _, b := range report.Benchmarks {
+		if b.Iterations < minIters {
+			fmt.Fprintf(w, "benchjson: warning: %s ran %d iteration(s), below the -miniters floor %d; raise -benchtime before tracking these numbers\n",
+				b.Name, b.Iterations, minIters)
+		}
+	}
 }
 
 func parse(in io.Reader) (*Report, error) {

@@ -43,6 +43,30 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestWarnLowIterations pins the -miniters floor: single-sample
+// benchmarks are named on the warning stream, healthy ones are not,
+// and a zero floor disables the check entirely.
+func TestWarnLowIterations(t *testing.T) {
+	report := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkOneShot", Iterations: 1, NsPerOp: 500},
+		{Name: "BenchmarkHealthy", Iterations: 1204, NsPerOp: 100},
+	}}
+	var out strings.Builder
+	warnLowIterations(&out, report, 2)
+	text := out.String()
+	if !strings.Contains(text, "BenchmarkOneShot") || !strings.Contains(text, "floor 2") {
+		t.Errorf("one-iteration benchmark not warned: %q", text)
+	}
+	if strings.Contains(text, "BenchmarkHealthy") {
+		t.Errorf("healthy benchmark warned: %q", text)
+	}
+	out.Reset()
+	warnLowIterations(&out, report, 0)
+	if out.Len() != 0 {
+		t.Errorf("disabled floor still warned: %q", out.String())
+	}
+}
+
 func TestParseEmptyInput(t *testing.T) {
 	report, err := parse(strings.NewReader("no benchmarks here\n"))
 	if err != nil {

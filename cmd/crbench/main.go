@@ -34,7 +34,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("crbench", flag.ContinueOnError)
 	var (
 		table    = fs.Int("table", 0, "table to regenerate (1-3 from the paper, 4 = target-relevance extension); 0 = all")
-		ablation = fs.String("ablation", "", "ablation to run: k-sweep, pruned-vs-naive, ppr-engines, scoring, scale, agreement, weighted, alpha-sweep, bippr, bippr-sharding, bippr-persist, walk-reuse, endpoint-persist, all")
+		ablation = fs.String("ablation", "", "ablation to run: k-sweep, pruned-vs-naive, ppr-engines, scoring, scale, agreement, weighted, alpha-sweep, bippr, bippr-sharding, bippr-persist, walk-reuse, endpoint-persist, walk-batch, ep-codec, csr-layout, all")
 		format   = fs.String("format", "text", "output format: text, markdown, csv")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -111,8 +111,20 @@ func run(args []string, out io.Writer) error {
 		"endpoint-persist": func() (*experiments.Table, error) {
 			return experiments.EndpointPersist(ctx, "enwiki-2018", "Brian May", "Freddie Mercury", 0)
 		},
+		"walk-batch": func() (*experiments.Table, error) {
+			return experiments.WalkBatch(ctx, "enwiki-2018", "Brian May", 0)
+		},
+		"ep-codec": func() (*experiments.Table, error) {
+			return experiments.EndpointCodec(ctx, "enwiki-2018", "Brian May", 0)
+		},
+		"csr-layout": func() (*experiments.Table, error) {
+			// The layout's locality win needs a graph whose CSR outgrows
+			// cache; ba-large's 50k-node scale-free topology is the
+			// largest catalog dataset with hub-heavy pushes.
+			return experiments.CSRLayout(ctx, "ba-large", []string{"0", "17", "123"}, 0)
+		},
 	}
-	ablationOrder := []string{"k-sweep", "pruned-vs-naive", "ppr-engines", "scoring", "scale", "agreement", "weighted", "alpha-sweep", "bippr", "bippr-sharding", "bippr-persist", "walk-reuse", "endpoint-persist"}
+	ablationOrder := []string{"k-sweep", "pruned-vs-naive", "ppr-engines", "scoring", "scale", "agreement", "weighted", "alpha-sweep", "bippr", "bippr-sharding", "bippr-persist", "walk-reuse", "endpoint-persist", "walk-batch", "ep-codec", "csr-layout"}
 
 	switch {
 	case *ablation != "":

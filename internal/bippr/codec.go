@@ -222,10 +222,22 @@ func decodeVector(r *byteReader, n int) (*Vector, error) {
 //	maxSteps int64
 //	walks    int64
 //	chunks   int64    must equal numChunks(walks)
-//	per chunk:
+//	per chunk (version 2, the written format):
+//	  n      uvarint  RLE entries
+//	  n × (delta uvarint, count-1 uvarint)
+//	per chunk (version 1, still decoded):
 //	  n      int64    RLE entries
 //	  n × (node int32, count int32)   nodes strictly increasing
 //	crc32    uint32   IEEE checksum of everything above
+//
+// Version 2 exploits the chunk invariants the decoder has always
+// enforced: nodes are strictly increasing, so the first entry stores
+// the node id itself and every later entry stores the gap minus one
+// (node_i − node_{i−1} − 1); counts are at least 1, so count−1 is
+// stored. Both go out as unsigned varints. Typical recordings spread
+// a chunk's ≤128 endpoints across a large id space with small counts,
+// so most entries cost 2-4 bytes instead of v1's fixed 8 — about half
+// the file and, downstream, half the disk-tier read bandwidth.
 //
 // A recorded endpoint set is a pure function of (graph structure,
 // source, alpha, seed, maxSteps, walks) — the same purity that makes
@@ -234,11 +246,18 @@ func decodeVector(r *byteReader, n int) (*Vector, error) {
 // request. Like the index format, the trailing checksum plus the
 // version field make loads corruption-tolerant: a damaged artifact
 // fails to decode, the caller re-walks and overwrites, and a bad file
-// can cost time, never correctness.
+// can cost time, never correctness. Decoding yields the same
+// in-memory per-chunk sorted counts for either version, and fold
+// order is untouched — a reused v1 recording stays bit-identical.
 
-// endpointCodecVersion is bumped whenever the layout above changes;
-// decoding any other version fails with ErrEndpointsVersion.
-const endpointCodecVersion uint16 = 1
+// endpointCodecVersion is the version EncodeEndpoints writes; the
+// decoder additionally reads endpointCodecV1 files (pre-existing
+// artifacts stay servable across the codec upgrade). Any other
+// version fails with ErrEndpointsVersion.
+const (
+	endpointCodecV1      uint16 = 1
+	endpointCodecVersion uint16 = 2
+)
 
 var endpointMagic = [4]byte{'B', 'P', 'E', 'P'}
 
@@ -263,8 +282,53 @@ type EndpointArtifact struct {
 }
 
 // EncodeEndpoints serializes a recorded walk pass into the versioned
-// binary artifact format above.
+// binary artifact format above (version 2, delta-varint entries).
 func EncodeEndpoints(a EndpointArtifact) ([]byte, error) {
+	buf, err := encodeEndpointHeader(a, endpointCodecVersion)
+	if err != nil {
+		return nil, err
+	}
+	for _, chunk := range a.Set.chunks {
+		writeUvarint(buf, uint64(len(chunk)))
+		prev := graph.NodeID(-1)
+		for _, e := range chunk {
+			// Strictly increasing nodes: the gap is at least 1, so
+			// store gap−1 (and the raw id for the first entry).
+			writeUvarint(buf, uint64(uint32(e.Node-prev))-1)
+			writeUvarint(buf, uint64(uint32(e.Count))-1)
+			prev = e.Node
+		}
+	}
+	writeU32(buf, crc32.ChecksumIEEE(buf.Bytes()))
+	return buf.Bytes(), nil
+}
+
+// EncodeEndpointsV1 serializes a recorded walk pass in the legacy
+// fixed-width version-1 layout. New recordings always persist as
+// version 2; this encoder exists so mixed-version disk tiers can be
+// constructed — the version-negotiation tests and the ep-codec
+// ablation's size comparison — and so pre-upgrade artifacts remain a
+// reproducible fixture.
+func EncodeEndpointsV1(a EndpointArtifact) ([]byte, error) {
+	buf, err := encodeEndpointHeader(a, endpointCodecV1)
+	if err != nil {
+		return nil, err
+	}
+	for _, chunk := range a.Set.chunks {
+		writeU64(buf, uint64(len(chunk)))
+		for _, e := range chunk {
+			writeU32(buf, uint32(e.Node))
+			writeU32(buf, uint32(e.Count))
+		}
+	}
+	writeU32(buf, crc32.ChecksumIEEE(buf.Bytes()))
+	return buf.Bytes(), nil
+}
+
+// encodeEndpointHeader validates the artifact and writes the shared
+// header — identical across codec versions, so version negotiation is
+// purely about the chunk payload encoding.
+func encodeEndpointHeader(a EndpointArtifact, version uint16) (*bytes.Buffer, error) {
 	if a.Set == nil || a.Set.Walks <= 0 {
 		return nil, fmt.Errorf("bippr: cannot encode empty endpoint set")
 	}
@@ -274,22 +338,14 @@ func EncodeEndpoints(a EndpointArtifact) ([]byte, error) {
 	}
 	var buf bytes.Buffer
 	buf.Write(endpointMagic[:])
-	writeU16(&buf, endpointCodecVersion)
+	writeU16(&buf, version)
 	writeU32(&buf, uint32(a.Source))
 	writeU64(&buf, math.Float64bits(a.Alpha))
 	writeU64(&buf, uint64(a.Seed))
 	writeU64(&buf, uint64(a.MaxSteps))
 	writeU64(&buf, uint64(a.Set.Walks))
 	writeU64(&buf, uint64(len(a.Set.chunks)))
-	for _, chunk := range a.Set.chunks {
-		writeU64(&buf, uint64(len(chunk)))
-		for _, e := range chunk {
-			writeU32(&buf, uint32(e.Node))
-			writeU32(&buf, uint32(e.Count))
-		}
-	}
-	writeU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
-	return buf.Bytes(), nil
+	return &buf, nil
 }
 
 // DecodeEndpoints parses an artifact written by EncodeEndpoints,
@@ -317,7 +373,7 @@ func DecodeEndpointsSized(data []byte, wantNodes int) (EndpointArtifact, error) 
 	if err != nil {
 		return a, fmt.Errorf("%w: truncated header", ErrEndpointsCorrupt)
 	}
-	if version != endpointCodecVersion {
+	if version != endpointCodecV1 && version != endpointCodecVersion {
 		return a, fmt.Errorf("%w: file version %d, codec version %d",
 			ErrEndpointsVersion, version, endpointCodecVersion)
 	}
@@ -356,39 +412,14 @@ func DecodeEndpointsSized(data []byte, wantNodes int) (EndpointArtifact, error) 
 	a.MaxSteps = int(maxSteps)
 	set := &EndpointSet{Walks: int(walks), chunks: make([][]EndpointCount, chunks)}
 	for c := range set.chunks {
-		n, err := r.u64()
+		var chunk []EndpointCount
+		if version == endpointCodecV1 {
+			chunk, err = decodeChunkV1(r, int(walks), c, wantNodes)
+		} else {
+			chunk, err = decodeChunkV2(r, int(walks), c, wantNodes)
+		}
 		if err != nil {
-			return a, fmt.Errorf("%w: truncated chunk header", ErrEndpointsCorrupt)
-		}
-		// A chunk records at most one endpoint per walk; each entry is
-		// 8 bytes, so a claimed count the buffer cannot hold is
-		// rejected before allocating for it.
-		if n > uint64(chunkCount(int(walks), c)) || n*8 > uint64(r.remaining()) {
-			return a, fmt.Errorf("%w: chunk %d claims %d endpoints", ErrEndpointsCorrupt, c, n)
-		}
-		chunk := make([]EndpointCount, n)
-		var total int64
-		for i := range chunk {
-			node, err1 := r.u32()
-			count, err2 := r.u32()
-			if err := errors.Join(err1, err2); err != nil {
-				return a, fmt.Errorf("%w: truncated chunk entries", ErrEndpointsCorrupt)
-			}
-			if wantNodes >= 0 && node >= uint32(wantNodes) {
-				return a, fmt.Errorf("%w: node %d outside [0,%d)", ErrEndpointsCorrupt, node, wantNodes)
-			}
-			if i > 0 && graph.NodeID(node) <= chunk[i-1].Node {
-				return a, fmt.Errorf("%w: chunk %d nodes not strictly increasing", ErrEndpointsCorrupt, c)
-			}
-			if count == 0 || int64(count) > int64(chunkCount(int(walks), c)) {
-				return a, fmt.Errorf("%w: chunk %d implausible count %d", ErrEndpointsCorrupt, c, count)
-			}
-			total += int64(count)
-			chunk[i] = EndpointCount{Node: graph.NodeID(node), Count: int32(count)}
-		}
-		if total > int64(chunkCount(int(walks), c)) {
-			return a, fmt.Errorf("%w: chunk %d records %d endpoints for %d walks",
-				ErrEndpointsCorrupt, c, total, chunkCount(int(walks), c))
+			return a, err
 		}
 		set.chunks[c] = chunk
 	}
@@ -397,6 +428,90 @@ func DecodeEndpointsSized(data []byte, wantNodes int) (EndpointArtifact, error) 
 	}
 	a.Set = set
 	return a, nil
+}
+
+// decodeChunkV1 parses one fixed-width legacy chunk.
+func decodeChunkV1(r *byteReader, walks, c, wantNodes int) ([]EndpointCount, error) {
+	n, err := r.u64()
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated chunk header", ErrEndpointsCorrupt)
+	}
+	// A chunk records at most one endpoint per walk; each entry is
+	// 8 bytes, so a claimed count the buffer cannot hold is
+	// rejected before allocating for it.
+	if n > uint64(chunkCount(walks, c)) || n*8 > uint64(r.remaining()) {
+		return nil, fmt.Errorf("%w: chunk %d claims %d endpoints", ErrEndpointsCorrupt, c, n)
+	}
+	chunk := make([]EndpointCount, n)
+	var total int64
+	for i := range chunk {
+		node, err1 := r.u32()
+		count, err2 := r.u32()
+		if err := errors.Join(err1, err2); err != nil {
+			return nil, fmt.Errorf("%w: truncated chunk entries", ErrEndpointsCorrupt)
+		}
+		if wantNodes >= 0 && node >= uint32(wantNodes) {
+			return nil, fmt.Errorf("%w: node %d outside [0,%d)", ErrEndpointsCorrupt, node, wantNodes)
+		}
+		if i > 0 && graph.NodeID(node) <= chunk[i-1].Node {
+			return nil, fmt.Errorf("%w: chunk %d nodes not strictly increasing", ErrEndpointsCorrupt, c)
+		}
+		if count == 0 || int64(count) > int64(chunkCount(walks, c)) {
+			return nil, fmt.Errorf("%w: chunk %d implausible count %d", ErrEndpointsCorrupt, c, count)
+		}
+		total += int64(count)
+		chunk[i] = EndpointCount{Node: graph.NodeID(node), Count: int32(count)}
+	}
+	if total > int64(chunkCount(walks, c)) {
+		return nil, fmt.Errorf("%w: chunk %d records %d endpoints for %d walks",
+			ErrEndpointsCorrupt, c, total, chunkCount(walks, c))
+	}
+	return chunk, nil
+}
+
+// decodeChunkV2 parses one delta-varint chunk, re-accumulating the
+// gap-minus-one deltas into the strictly increasing node sequence —
+// which makes the ordering invariant free: any decoded sequence is
+// strictly increasing by construction, and overflow past the graph or
+// id-space bound is what rejects a garbled delta.
+func decodeChunkV2(r *byteReader, walks, c, wantNodes int) ([]EndpointCount, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated chunk header", ErrEndpointsCorrupt)
+	}
+	// Each entry is at least two varint bytes, so a claimed count the
+	// buffer cannot hold is rejected before allocating for it.
+	if n > uint64(chunkCount(walks, c)) || n*2 > uint64(r.remaining()) {
+		return nil, fmt.Errorf("%w: chunk %d claims %d endpoints", ErrEndpointsCorrupt, c, n)
+	}
+	chunk := make([]EndpointCount, n)
+	var total int64
+	node := int64(-1)
+	for i := range chunk {
+		delta, err1 := r.uvarint()
+		count, err2 := r.uvarint()
+		if err := errors.Join(err1, err2); err != nil {
+			return nil, fmt.Errorf("%w: truncated chunk entries", ErrEndpointsCorrupt)
+		}
+		node += int64(delta) + 1
+		limit := int64(graph.MaxNodeID) + 1
+		if wantNodes >= 0 {
+			limit = int64(wantNodes)
+		}
+		if delta > uint64(graph.MaxNodeID) || node >= limit {
+			return nil, fmt.Errorf("%w: node %d outside [0,%d)", ErrEndpointsCorrupt, node, limit)
+		}
+		if count+1 > uint64(chunkCount(walks, c)) {
+			return nil, fmt.Errorf("%w: chunk %d implausible count %d", ErrEndpointsCorrupt, c, count+1)
+		}
+		total += int64(count) + 1
+		chunk[i] = EndpointCount{Node: graph.NodeID(node), Count: int32(count) + 1}
+	}
+	if total > int64(chunkCount(walks, c)) {
+		return nil, fmt.Errorf("%w: chunk %d records %d endpoints for %d walks",
+			ErrEndpointsCorrupt, c, total, chunkCount(walks, c))
+	}
+	return chunk, nil
 }
 
 // --- little-endian helpers over bytes.Buffer / []byte ---
@@ -417,6 +532,11 @@ func writeU64(buf *bytes.Buffer, x uint64) {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], x)
 	buf.Write(b[:])
+}
+
+func writeUvarint(buf *bytes.Buffer, x uint64) {
+	var b [binary.MaxVarintLen64]byte
+	buf.Write(b[:binary.PutUvarint(b[:], x)])
 }
 
 // byteReader is a bounds-checked cursor over the artifact bytes;
@@ -466,4 +586,16 @@ func (r *byteReader) u64() (uint64, error) {
 	var b [8]byte
 	err := r.read(b[:])
 	return binary.LittleEndian.Uint64(b[:]), err
+}
+
+// uvarint reads one unsigned varint without crossing the reader's
+// limit; a truncated or over-long (>10 byte) encoding is an error.
+func (r *byteReader) uvarint() (uint64, error) {
+	end := r.pos + r.remaining()
+	x, n := binary.Uvarint(r.data[r.pos:end])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", ErrIndexCorrupt)
+	}
+	r.pos += n
+	return x, nil
 }

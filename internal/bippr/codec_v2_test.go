@@ -1,0 +1,212 @@
+package bippr
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/cyclerank/cyclerank-go/internal/datastore"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestEndpointCodecV1RoundTrip keeps the legacy fixed-width writer
+// honest: a v1-encoded artifact must decode to the same set the v2
+// path round-trips, through the same version-dispatching decoder.
+func TestEndpointCodecV1RoundTrip(t *testing.T) {
+	for _, walks := range []int{1, 127, 128, 129, 1000} {
+		a, g := recordArtifact(t, walks)
+		data, err := EncodeEndpointsV1(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := binary.LittleEndian.Uint16(data[4:6]); v != uint16(endpointCodecV1) {
+			t.Fatalf("walks=%d: v1 encoder wrote version %d", walks, v)
+		}
+		got, err := DecodeEndpointsSized(data, g.NumNodes())
+		if err != nil {
+			t.Fatalf("walks=%d: %v", walks, err)
+		}
+		if got.Source != a.Source || got.Alpha != a.Alpha || got.Seed != a.Seed || got.MaxSteps != a.MaxSteps {
+			t.Fatalf("walks=%d: header mismatch: %+v vs %+v", walks, got, a)
+		}
+		endpointSetsEqual(t, a.Set, got.Set)
+	}
+}
+
+// TestEndpointCodecV1Corruption runs the corruption matrix against the
+// legacy framing — the disk tier keeps pre-upgrade files around, so
+// damaged v1 artifacts must keep failing closed too.
+func TestEndpointCodecV1Corruption(t *testing.T) {
+	a, g := recordArtifact(t, 512)
+	data, err := EncodeEndpointsV1(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/3] },
+		"bit-flip":  func(b []byte) []byte { b = append([]byte(nil), b...); b[len(b)/2] ^= 0x20; return b },
+		"garbage":   func([]byte) []byte { return []byte("not a recording") },
+		"empty":     func([]byte) []byte { return nil },
+	} {
+		if _, err := DecodeEndpointsSized(mutate(append([]byte(nil), data...)), g.NumNodes()); !errors.Is(err, ErrEndpointsCorrupt) {
+			t.Errorf("v1 %s decoded as %v, want ErrEndpointsCorrupt", name, err)
+		}
+	}
+	if _, err := DecodeEndpointsSized(data, 2); !errors.Is(err, ErrEndpointsCorrupt) {
+		t.Errorf("v1 undersized graph decode = %v, want ErrEndpointsCorrupt", err)
+	}
+}
+
+// TestEndpointCodecV2DeltaOverflow rejects a structurally valid v2
+// file whose accumulated delta escapes the graph's id space — the CRC
+// is re-sealed so only the decoder's range check can catch it.
+func TestEndpointCodecV2DeltaOverflow(t *testing.T) {
+	a := EndpointArtifact{Source: 0, Alpha: 0.85, Seed: 1, MaxSteps: DefaultMaxSteps,
+		Set: &EndpointSet{Walks: 2, chunks: [][]EndpointCount{{{Node: 5, Count: 2}}}}}
+	data, err := EncodeEndpoints(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Body: 50-byte header, then chunk 0 = n(1), delta(5), count-1(1).
+	// Overwrite the one-byte delta with an id far past a 10-node graph.
+	if len(data) != 57 || data[51] != 5 {
+		t.Fatalf("framing shifted (len=%d, delta byte=%d); update the offsets", len(data), data[51])
+	}
+	data[51] = 200
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(data[:len(data)-4]))
+	if _, err := DecodeEndpointsSized(data, 10); !errors.Is(err, ErrEndpointsCorrupt) {
+		t.Fatalf("out-of-range delta decoded as %v, want ErrEndpointsCorrupt", err)
+	}
+}
+
+// TestEndpointCodecV2Smaller pins the codec upgrade's point: on a real
+// recording the delta-varint framing must shrink the artifact by at
+// least 1.8x vs the fixed-width layout.
+func TestEndpointCodecV2Smaller(t *testing.T) {
+	a, _ := recordArtifact(t, 4096)
+	v1, err := EncodeEndpointsV1(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := EncodeEndpoints(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(v1)) / float64(len(v2)); ratio < 1.8 {
+		t.Errorf("v2 is only %.2fx smaller than v1 (%d vs %d bytes), want >= 1.8x", ratio, len(v1), len(v2))
+	}
+}
+
+// TestEndpointCodecMixedVersionsDiskTier is the version-negotiation
+// test: a disk tier holding BOTH a pre-upgrade v1 artifact and a
+// current v2 artifact must serve each as a disk hit, with no re-walk.
+func TestEndpointCodecMixedVersionsDiskTier(t *testing.T) {
+	g := randomGraph(t, 70, 300, 19, true)
+	w := NewWalkEstimator(g, 0.85, 5, 0)
+	dir := t.TempDir()
+	fp := sharedFingerprints.get(g)
+
+	record := func(source graph.NodeID, walks int) (Params, *EndpointSet) {
+		set, err := w.Endpoints(context.Background(), source, walks, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Params{Alpha: 0.85, Seed: 5, MaxSteps: DefaultMaxSteps, Walks: walks}, set
+	}
+
+	// Plant the v1 artifact by hand, as if written before the upgrade.
+	p1, set1 := record(4, 300)
+	v1Data, err := EncodeEndpointsV1(EndpointArtifact{
+		Source: 4, Alpha: p1.Alpha, Seed: p1.Seed, MaxSteps: p1.MaxSteps, Set: set1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := datastore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SaveEndpoints(fp, EndpointFileKey(4, p1.Alpha, p1.Seed, p1.MaxSteps, p1.Walks), v1Data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Record the v2 artifact through the cache itself.
+	cache := NewTieredEndpointCache(4, ds)
+	p2, set2 := record(9, 300)
+	if _, _, err := cache.GetOrRecord(context.Background(), g, 9, p2, func() (*EndpointSet, error) {
+		return set2, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh cache over the same files must disk-hit both.
+	reopened := NewTieredEndpointCache(4, ds)
+	for _, q := range []struct {
+		source graph.NodeID
+		p      Params
+		want   *EndpointSet
+	}{{4, p1, set1}, {9, p2, set2}} {
+		got, cached, err := reopened.GetOrRecord(context.Background(), g, q.source, q.p, func() (*EndpointSet, error) {
+			t.Errorf("source %d: walk pass re-ran; expected a disk-tier hit", q.source)
+			return q.want, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cached {
+			t.Errorf("source %d: not reported cached", q.source)
+		}
+		endpointSetsEqual(t, q.want, got)
+	}
+	if s := reopened.Stats(); s.DiskHits != 2 || s.DiskErrors != 0 {
+		t.Errorf("mixed-tier stats = %+v, want two disk hits and no errors", s)
+	}
+}
+
+// TestEndpointCodecV2Golden freezes the v2 wire format: a
+// hand-constructed (RNG-independent) endpoint set must encode to the
+// exact bytes in testdata, so any framing drift — header field order,
+// varint packing, the gap-minus-one convention — fails loudly instead
+// of silently orphaning every persisted artifact. Regenerate with
+// `go test -run TestEndpointCodecV2Golden -update` after a DELIBERATE
+// format change (which must also bump endpointCodecVersion).
+func TestEndpointCodecV2Golden(t *testing.T) {
+	set := &EndpointSet{Walks: 200, chunks: [][]EndpointCount{
+		{{Node: 0, Count: 1}, {Node: 7, Count: 3}, {Node: 1000, Count: 120}},
+		{{Node: 16383, Count: 1}, {Node: 16384, Count: 71}},
+	}}
+	data, err := EncodeEndpoints(EndpointArtifact{
+		Source: 42, Alpha: 0.85, Seed: -1, MaxSteps: DefaultMaxSteps, Set: set,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "endpoints_v2.ep")
+	if *updateGolden {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, golden) {
+		t.Fatalf("encoded bytes drifted from golden file (%d vs %d bytes); if the wire format "+
+			"changed deliberately, bump endpointCodecVersion and regenerate with -update", len(data), len(golden))
+	}
+	// And the golden file itself must keep decoding to the same set.
+	got, err := DecodeEndpoints(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endpointSetsEqual(t, set, got.Set)
+}

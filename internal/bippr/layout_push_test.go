@@ -1,0 +1,90 @@
+package bippr
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// TestLayoutPushMappedVsDirect compares the layout-mapped push (the
+// default on every built graph) against the direct original-id push on
+// a WithoutLayout copy. Remapping reorders residual accumulation, so
+// the two are not bit-identical — but both must satisfy the
+// TargetIndex invariant, which bounds any node's estimate within rmax
+// of the true π, hence within 2·rmax of each other; residuals must
+// stay below rmax in both.
+func TestLayoutPushMappedVsDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 5; trial++ {
+		n := 50 + rng.Intn(150)
+		g := randomGraph(t, n, n*5, rng.Int63(), trial%2 == 0)
+		if g.Layout() == nil {
+			t.Fatal("built graph has no layout; dispatch cannot be exercised")
+		}
+		bare := g.WithoutLayout()
+		target := graph.NodeID(rng.Intn(n))
+		const rmax = 1e-4
+
+		mapped, err := ReversePush(context.Background(), g, target, 0.85, rmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := ReversePush(context.Background(), bare, target, 0.85, rmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mapped.MaxResidual >= rmax || direct.MaxResidual >= rmax {
+			t.Fatalf("trial %d: max residuals %v / %v not below rmax %v",
+				trial, mapped.MaxResidual, direct.MaxResidual, rmax)
+		}
+		if mapped.Target != target {
+			t.Fatalf("trial %d: mapped push reported target %d, want %d", trial, mapped.Target, target)
+		}
+		for s := 0; s < n; s++ {
+			dm := mapped.Estimates.Get(graph.NodeID(s)) - direct.Estimates.Get(graph.NodeID(s))
+			if dm > 2*rmax || dm < -2*rmax {
+				t.Errorf("trial %d: estimate at node %d differs by %v (> 2·rmax)", trial, s, dm)
+			}
+		}
+		// The mapped residual vector is in original id space: folding it
+		// with per-node weights must index the same nodes the direct
+		// vector does. A translation bug would shift mass between nodes
+		// and blow well past the invariant bound.
+		mapped.Residuals.ForEach(func(v graph.NodeID, val float64) bool {
+			if val >= rmax {
+				t.Errorf("trial %d: residual %v at node %d not below rmax", trial, val, v)
+			}
+			return true
+		})
+	}
+}
+
+// TestLayoutPushStorageBitIdentical re-pins the storage equivalence on
+// the mapped path explicitly: with the layout engaged, dense, sparse,
+// and auto pushes still perform identical float operations in
+// identical order.
+func TestLayoutPushStorageBitIdentical(t *testing.T) {
+	g := randomGraph(t, 300, 2100, 29, true)
+	dense, err := ReversePushStored(context.Background(), g, 7, 0.85, 1e-4, StorageDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, storage := range []Storage{StorageSparse, StorageAuto} {
+		got, err := ReversePushStored(context.Background(), g, 7, 0.85, 1e-4, storage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Pushes != dense.Pushes || got.MaxResidual != dense.MaxResidual {
+			t.Fatalf("storage %d: pushes/maxres %d/%v, dense %d/%v",
+				storage, got.Pushes, got.MaxResidual, dense.Pushes, dense.MaxResidual)
+		}
+		for s := 0; s < g.NumNodes(); s++ {
+			v := graph.NodeID(s)
+			if got.Estimates.Get(v) != dense.Estimates.Get(v) || got.Residuals.Get(v) != dense.Residuals.Get(v) {
+				t.Fatalf("storage %d: node %d differs from dense push", storage, s)
+			}
+		}
+	}
+}

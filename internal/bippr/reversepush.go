@@ -66,6 +66,16 @@ func ReversePush(ctx context.Context, g *graph.Graph, target graph.NodeID, alpha
 // performs identical float operations in identical order under every
 // Storage, so the resulting indexes are bit-identical; only memory
 // layout differs.
+//
+// When the graph carries a layout view (see graph.Layout), the
+// frontier runs entirely in the remapped id space — hubs packed at
+// the low end, so the queue's repeated returns to high-degree nodes
+// touch a compact prefix of the in-CSR instead of scattering — and
+// the result vectors are translated back to original ids before
+// return. Remapping changes the order residual mass accumulates, so
+// a mapped and a direct push agree to the rmax guarantee (both
+// satisfy the TargetIndex invariant), not bit-for-bit; within either
+// mode all Storage choices remain bit-identical.
 func ReversePushStored(ctx context.Context, g *graph.Graph, target graph.NodeID, alpha, rmax float64, storage Storage) (*TargetIndex, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -87,7 +97,54 @@ func ReversePushStored(ctx context.Context, g *graph.Graph, target graph.NodeID,
 	ctx, span := obs.StartSpan(ctx, "reverse_push")
 	defer span.End()
 
-	n := g.NumNodes()
+	var idx *TargetIndex
+	var err error
+	if lay := g.Layout(); lay != nil {
+		idx, err = pushLoop(ctx, mappedAdj{lay}, g.NumNodes(), lay.ToNew(target), alpha, rmax, storage)
+		if err == nil {
+			idx.Estimates = remapVector(idx.Estimates, lay)
+			idx.Residuals = remapVector(idx.Residuals, lay)
+			idx.Target = target
+		}
+	} else {
+		idx, err = pushLoop(ctx, directAdj{g}, g.NumNodes(), target, alpha, rmax, storage)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	span.SetMetric("pushes", float64(idx.Pushes))
+	span.SetMetric("max_residual", idx.MaxResidual)
+	if m := metrics.Load(); m != nil {
+		m.pushRuns.Inc()
+		m.pushOps.Add(idx.Pushes)
+		m.pushSeconds.ObserveSince(start)
+	}
+	return idx, nil
+}
+
+// adjacency is the in-neighborhood view the push loop walks: the
+// graph's own CSR, or the layout's remapped copy. pushLoop is generic
+// over the concrete view so each instantiation compiles to direct
+// array walks — no interface dispatch on the innermost loop.
+type adjacency interface {
+	in(v graph.NodeID) []graph.NodeID
+	outDegree(v graph.NodeID) int
+}
+
+type directAdj struct{ g *graph.Graph }
+
+func (a directAdj) in(v graph.NodeID) []graph.NodeID { return a.g.In(v) }
+func (a directAdj) outDegree(v graph.NodeID) int     { return a.g.OutDegree(v) }
+
+type mappedAdj struct{ l *graph.Layout }
+
+func (a mappedAdj) in(v graph.NodeID) []graph.NodeID { return a.l.In(v) }
+func (a mappedAdj) outDegree(v graph.NodeID) int     { return a.l.OutDegree(v) }
+
+// pushLoop is the reverse-push worklist over one adjacency view; node
+// ids are whatever space the view speaks.
+func pushLoop[A adjacency](ctx context.Context, adj A, n int, target graph.NodeID, alpha, rmax float64, storage Storage) (*TargetIndex, error) {
 	idx := &TargetIndex{
 		Target:    target,
 		Alpha:     alpha,
@@ -140,8 +197,8 @@ func ReversePushStored(ctx context.Context, g *graph.Graph, target graph.NodeID,
 		// move v's residual to its in-neighbors, scaled by their
 		// out-degrees. Dangling nodes never appear as in-neighbors, so
 		// outdeg(u) ≥ 1 here.
-		for _, u := range g.In(v) {
-			res.add(u, alpha*r/float64(g.OutDegree(u)))
+		for _, u := range adj.in(v) {
+			res.add(u, alpha*r/float64(adj.outDegree(u)))
 			if !inQueue.has(u) && res.Get(u) >= rmax {
 				inQueue.insert(u)
 				queue = append(queue, u)
@@ -150,12 +207,26 @@ func ReversePushStored(ctx context.Context, g *graph.Graph, target graph.NodeID,
 	}
 
 	idx.MaxResidual = res.Max()
-	span.SetMetric("pushes", float64(idx.Pushes))
-	span.SetMetric("max_residual", idx.MaxResidual)
-	if m := metrics.Load(); m != nil {
-		m.pushRuns.Inc()
-		m.pushOps.Add(idx.Pushes)
-		m.pushSeconds.ObserveSince(start)
-	}
 	return idx, nil
+}
+
+// remapVector translates a layout-space vector back to original node
+// ids, preserving the representation (a dense index stays dense, a
+// sparse one sparse) so Storage round-trips exactly as before.
+func remapVector(x *Vector, lay *graph.Layout) *Vector {
+	out := &Vector{n: x.n, auto: x.auto}
+	if x.dense != nil {
+		out.dense = make([]float64, x.n)
+		for v, val := range x.dense {
+			if val != 0 {
+				out.dense[lay.ToOld(graph.NodeID(v))] = val
+			}
+		}
+		return out
+	}
+	out.sparse = make(map[graph.NodeID]float64, len(x.sparse))
+	for v, val := range x.sparse {
+		out.sparse[lay.ToOld(v)] = val
+	}
+	return out
 }

@@ -3,7 +3,6 @@ package bippr
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"slices"
 	"sync"
@@ -14,14 +13,16 @@ import (
 	"github.com/cyclerank/cyclerank-go/internal/obs"
 )
 
-// walkChunk is the number of walks one RNG stream covers. Walks are
-// partitioned into fixed chunks so that a worker pool can claim chunks
-// independently while the final estimate stays bit-identical to the
-// serial path: chunk c of source s always uses the RNG derived from
-// (seed, s, c) and partial sums are always reduced in chunk order,
-// regardless of how many workers ran them or in what order they
-// finished. 128 walks amortize the RNG construction without starving a
-// pool of schedulable units at typical walk counts.
+// walkChunk is the number of walks one deterministic unit of work
+// covers. Walks are partitioned into fixed chunks so that a worker
+// pool can claim chunks independently while the final estimate stays
+// bit-identical to the serial path: walk j of chunk c of source s
+// always draws from the substream derived from (seed, s, c·128+j) and
+// partial sums are always reduced in chunk order, regardless of how
+// many workers ran them or in what order they finished. 128 walks
+// form a cohort large enough for the batched stepper to amortize CSR
+// row loads without starving a pool of schedulable units at typical
+// walk counts.
 const walkChunk = 128
 
 // WalkEstimator simulates damped forward random walks over the
@@ -30,17 +31,39 @@ const walkChunk = 128
 // which is exactly the sampling distribution the bidirectional
 // estimator needs for its correction term Σ_v π(s,v)·r_t(v).
 //
-// Walks are seeded deterministically per (source, chunk): two
+// Walks are seeded deterministically per (source, chunk, walk): two
 // estimators built with the same seed produce identical estimates for
-// the same source regardless of query order or worker count, making
-// results reproducible under concurrent server traffic and across
-// machine sizes.
+// the same source regardless of query order, worker count or stepping
+// mode, making results reproducible under concurrent server traffic
+// and across machine sizes.
 type WalkEstimator struct {
 	g        *graph.Graph
 	alpha    float64
 	seed     int64
 	maxSteps int
+	// serial selects the per-walk reference stepper instead of the
+	// default batched cohort stepper. The two are bit-identical by
+	// construction (per-walk RNG substreams, see walkRNG); the flag
+	// exists for the equivalence property tests and the walk-batch
+	// ablation baseline.
+	serial bool
+	// sortCohort enables the batched stepper's per-level sort of the
+	// live cohort. Sorting buys row-load sharing only when CSR rows
+	// actually miss cache; on a cache-resident graph it is pure
+	// overhead, so it is switched off below cohortSortBytes. Either
+	// setting produces bit-identical estimates — every walk draws from
+	// its private substream and endpoint accumulation is
+	// order-independent — so this is a pure bandwidth knob.
+	sortCohort bool
 }
+
+// cohortSortBytes is the graph footprint above which the batched
+// stepper sorts each level's live walks by current node. Below it the
+// CSR sits in cache and a row load is as cheap as the sort comparisons
+// that would deduplicate it — measured on the walk-batch ablation, the
+// sort only starts paying once the adjacency arrays outgrow the
+// last-level cache, so the bound sits at LLC scale rather than L2.
+const cohortSortBytes = 32 << 20
 
 // NewWalkEstimator builds a walk estimator with damping alpha,
 // base RNG seed and per-walk step cap (0 selects DefaultMaxSteps).
@@ -48,52 +71,157 @@ func NewWalkEstimator(g *graph.Graph, alpha float64, seed int64, maxSteps int) *
 	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps
 	}
-	return &WalkEstimator{g: g, alpha: alpha, seed: seed, maxSteps: maxSteps}
+	return &WalkEstimator{
+		g: g, alpha: alpha, seed: seed, maxSteps: maxSteps,
+		sortCohort: g.MemoryFootprint() >= cohortSortBytes,
+	}
 }
 
-// chunkRNG derives the deterministic RNG of one walk chunk.
-// SplitMix-style mixing keeps nearby (seed, source, chunk) triples
-// uncorrelated; the chunk index extends the original per-source
-// seeding so shards draw from disjoint, reproducible streams.
-func (w *WalkEstimator) chunkRNG(source graph.NodeID, chunk int) *rand.Rand {
-	x := uint64(w.seed)*0x9e3779b97f4a7c15 +
-		uint64(uint32(source))*0xbf58476d1ce4e5b9 +
-		uint64(chunk)*0x2545f4914f6cdd1d
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return rand.New(rand.NewSource(int64(x)))
-}
+// SetBatchStepping selects between the batched cohort stepper (the
+// default) and the serial per-walk stepper. Both consume identical
+// RNG draws — draw i of walk j is a pure function of (seed, source,
+// walk index) — so estimates and recorded endpoints are bit-identical
+// either way; the toggle exists so tests can prove exactly that and
+// so the walk-batch ablation can time the difference.
+func (w *WalkEstimator) SetBatchStepping(enabled bool) { w.serial = !enabled }
 
-// endpoint simulates one walk from source. ok is false when the walk
-// was absorbed by a dangling node before stopping; such walks carry
-// no endpoint mass.
-func (w *WalkEstimator) endpoint(rng *rand.Rand, source graph.NodeID) (end graph.NodeID, ok bool) {
+// walkEndpoint simulates one walk from source on its own substream.
+// ok is false when the walk was absorbed by a dangling node before
+// stopping; such walks carry no endpoint mass.
+func (w *WalkEstimator) walkEndpoint(rng *walkRNG, source graph.NodeID) (end graph.NodeID, ok bool) {
 	v := source
 	for step := 0; step < w.maxSteps; step++ {
-		if rng.Float64() >= w.alpha {
+		if rng.float64() >= w.alpha {
 			return v, true // stop here
 		}
 		out := w.g.Out(v)
 		if len(out) == 0 {
 			return v, false // absorbed
 		}
-		v = out[rng.Intn(len(out))]
+		v = out[rng.intn(len(out))]
 	}
 	// Truncation: treat the surviving walk as stopping at its current
 	// node; at default parameters this biases by < 1e-7.
 	return v, true
 }
 
-// endpointScratch is one worker's reusable buffers for summarizing a
-// chunk: the raw endpoint list and its run-length-encoded counts.
-// Reusing them across a worker's chunks keeps the fresh-walk hot path
-// (reuse off, the default) free of per-chunk allocations.
-type endpointScratch struct {
+// walkKeyBits positions a walk's current node in the high bits of its
+// packed cohort key, with the walk's index within the chunk in the
+// low bits: sorting the plain []uint64 keys groups same-node walks
+// (ties broken by walk index) with a branch-free primitive sort — no
+// comparison closure, no struct moves. The static assert below keeps
+// the index field wide enough for walkChunk.
+const (
+	walkKeyBits = 7
+	walkKeyMask = 1<<walkKeyBits - 1
+)
+
+var _ = [1]struct{}{}[(walkChunk-1)>>walkKeyBits] // walkChunk must fit walkKeyBits
+
+// walkScratch is one worker's reusable buffers for a chunk: the raw
+// endpoint list, its run-length-encoded counts, and the batched
+// stepper's cohort (per-walk RNG streams plus the packed node|index
+// keys of the live walks). Buffers live in walkScratchPool across
+// passes, so the steady-state walk path allocates nothing per chunk
+// or per pass.
+type walkScratch struct {
 	ends   []graph.NodeID
 	counts []EndpointCount
+	rngs   []walkRNG
+	keys   []uint64
+}
+
+// walkScratchPool pools walkScratch per worker across walk passes —
+// a pass borrows one scratch per worker and returns it at the end.
+var walkScratchPool = sync.Pool{New: func() any { return new(walkScratch) }}
+
+// borrowScratch takes n pooled scratches (one per worker).
+func borrowScratch(n int) []*walkScratch {
+	sc := make([]*walkScratch, n)
+	for i := range sc {
+		sc[i] = walkScratchPool.Get().(*walkScratch)
+	}
+	return sc
+}
+
+// returnScratch gives the borrowed scratches back to the pool.
+func returnScratch(sc []*walkScratch) {
+	for _, s := range sc {
+		walkScratchPool.Put(s)
+	}
+}
+
+// appendEndpointsSerial walks the chunk one walk at a time — the
+// reference stepper: the straightforward consumption order of the
+// per-walk substreams. Absorbed walks append nothing.
+func (w *WalkEstimator) appendEndpointsSerial(ends []graph.NodeID, source graph.NodeID, chunk, count int) []graph.NodeID {
+	base := uint64(chunk) * walkChunk
+	for i := 0; i < count; i++ {
+		rng := newWalkRNG(w.seed, source, base+uint64(i))
+		if end, ok := w.walkEndpoint(&rng, source); ok {
+			ends = append(ends, end)
+		}
+	}
+	return ends
+}
+
+// appendEndpointsBatched advances the whole chunk as a
+// struct-of-arrays cohort, level-synchronously: at each step the live
+// walks are sorted by current node (when the graph outgrows
+// cohortSortBytes), so one CSR row load serves every walk sitting on
+// that node — the cache-miss-per-hop of the serial stepper becomes a
+// miss per *distinct* node per level, and early levels (all walks
+// still near the source) are nearly free.
+//
+// Equivalence to the serial stepper is exact, not statistical: walk
+// j's k-th draw comes from its private substream in both steppers
+// (stop test first, then the out-edge pick — walkEndpoint's order),
+// reordering walks within a level touches no stream, and the endpoint
+// list is sorted before run-length encoding so its accumulation order
+// never depends on cohort order. TestBatchedSteppingBitIdentical
+// holds the two steppers to bit-equality.
+func (w *WalkEstimator) appendEndpointsBatched(ends []graph.NodeID, sc *walkScratch, source graph.NodeID, chunk, count int) []graph.NodeID {
+	rngs := sc.rngs[:0]
+	live := sc.keys[:0]
+	base := uint64(chunk) * walkChunk
+	for i := 0; i < count; i++ {
+		rngs = append(rngs, newWalkRNG(w.seed, source, base+uint64(i)))
+		live = append(live, uint64(uint32(source))<<walkKeyBits|uint64(i))
+	}
+	sc.rngs, sc.keys = rngs, live
+
+	for step := 0; step < w.maxSteps && len(live) > 0; step++ {
+		if step > 0 && w.sortCohort {
+			// Group same-node walks; step 0 is all-at-source already.
+			slices.Sort(live)
+		}
+		var row []graph.NodeID
+		rowNode := graph.NodeID(-1)
+		kept := live[:0]
+		for _, key := range live {
+			node := graph.NodeID(key >> walkKeyBits)
+			rng := &rngs[key&walkKeyMask]
+			if rng.float64() >= w.alpha {
+				ends = append(ends, node) // stopped here
+				continue
+			}
+			if node != rowNode {
+				rowNode = node
+				row = w.g.Out(rowNode)
+			}
+			if len(row) == 0 {
+				continue // absorbed: no endpoint mass
+			}
+			next := row[rng.intn(len(row))]
+			kept = append(kept, uint64(uint32(next))<<walkKeyBits|key&walkKeyMask)
+		}
+		live = kept
+	}
+	// Truncation: surviving walks stop at their current node.
+	for _, key := range live {
+		ends = append(ends, graph.NodeID(key>>walkKeyBits))
+	}
+	return ends
 }
 
 // chunkEndpointsInto simulates the walks of one chunk and returns its
@@ -104,13 +232,12 @@ type endpointScratch struct {
 // summary: both the fresh-walk path and the endpoint-reuse path fold
 // it with weighChunk, so a recorded chunk re-weighted for a new
 // target performs float operations identical to re-walking.
-func (w *WalkEstimator) chunkEndpointsInto(sc *endpointScratch, source graph.NodeID, chunk, count int) []EndpointCount {
-	rng := w.chunkRNG(source, chunk)
+func (w *WalkEstimator) chunkEndpointsInto(sc *walkScratch, source graph.NodeID, chunk, count int) []EndpointCount {
 	ends := sc.ends[:0]
-	for i := 0; i < count; i++ {
-		if end, ok := w.endpoint(rng, source); ok {
-			ends = append(ends, end)
-		}
+	if w.serial {
+		ends = w.appendEndpointsSerial(ends, source, chunk, count)
+	} else {
+		ends = w.appendEndpointsBatched(ends, sc, source, chunk, count)
 	}
 	slices.Sort(ends)
 	out := sc.counts[:0]
@@ -140,7 +267,7 @@ func weighChunk(endpoints []EndpointCount, weight *Vector) float64 {
 
 // chunkSum runs the walks of one chunk and returns Σ count·weight over
 // its endpoints.
-func (w *WalkEstimator) chunkSum(sc *endpointScratch, source graph.NodeID, chunk, count int, weight *Vector) float64 {
+func (w *WalkEstimator) chunkSum(sc *walkScratch, source graph.NodeID, chunk, count int, weight *Vector) float64 {
 	return weighChunk(w.chunkEndpointsInto(sc, source, chunk, count), weight)
 }
 
@@ -219,10 +346,11 @@ func (w *WalkEstimator) EstimateSum(ctx context.Context, source graph.NodeID, wa
 	defer span.End()
 
 	partial := make([]float64, chunks)
-	scratch := make([]endpointScratch, workers)
+	scratch := borrowScratch(workers)
 	err = forEachChunk(ctx, chunks, workers, func(worker, c int) {
-		partial[c] = w.chunkSum(&scratch[worker], source, c, chunkCount(walks, c), weight)
+		partial[c] = w.chunkSum(scratch[worker], source, c, chunkCount(walks, c), weight)
 	})
+	returnScratch(scratch)
 	if err != nil {
 		return 0, err
 	}
@@ -261,11 +389,12 @@ func (w *WalkEstimator) Endpoints(ctx context.Context, source graph.NodeID, walk
 	defer span.End()
 
 	set := &EndpointSet{Walks: walks, chunks: make([][]EndpointCount, chunks)}
-	scratch := make([]endpointScratch, workers)
+	scratch := borrowScratch(workers)
 	err = forEachChunk(ctx, chunks, workers, func(worker, c int) {
 		// The recorded set outlives the pass; clone out of the scratch.
-		set.chunks[c] = slices.Clone(w.chunkEndpointsInto(&scratch[worker], source, c, chunkCount(walks, c)))
+		set.chunks[c] = slices.Clone(w.chunkEndpointsInto(scratch[worker], source, c, chunkCount(walks, c)))
 	})
+	returnScratch(scratch)
 	if err != nil {
 		return nil, err
 	}
@@ -361,7 +490,7 @@ func forEachChunk(ctx context.Context, chunks, workers int, fn func(worker, c in
 
 // Distribution estimates the endpoint distribution π(source,·) from
 // walks samples — a testing and diagnostics aid; pair queries use
-// EstimateSum directly. It draws from the same chunked RNG streams as
+// EstimateSum directly. It draws from the same per-walk substreams as
 // EstimateSum but always runs serially: parallel merging of the
 // per-node histogram would make the float accumulation order (and so
 // the low bits) depend on the worker count.
@@ -386,9 +515,10 @@ func (w *WalkEstimator) Distribution(ctx context.Context, source graph.NodeID, w
 			return nil, fmt.Errorf("bippr: walks cancelled: %w", ctx.Err())
 		default:
 		}
-		rng := w.chunkRNG(source, c)
+		base := uint64(c) * walkChunk
 		for i := 0; i < chunkCount(walks, c); i++ {
-			if end, ok := w.endpoint(rng, source); ok {
+			rng := newWalkRNG(w.seed, source, base+uint64(i))
+			if end, ok := w.walkEndpoint(&rng, source); ok {
 				dist[end] += inc
 			}
 		}

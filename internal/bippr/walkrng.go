@@ -1,0 +1,71 @@
+package bippr
+
+import (
+	"math/bits"
+
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// walkRNG is the deterministic random stream of ONE walk: a splitmix64
+// generator seeded from (seed, source, global walk index).
+//
+// Giving every walk its own substream — rather than one shared stream
+// per chunk consumed walk-after-walk — is what makes the batched
+// cohort stepper (see appendEndpointsBatched) exactly equivalent to
+// the per-walk path: draw i of walk j is a pure function of
+// (seed, source, chunk·walkChunk+j, i), so the two steppers consume
+// identical draws no matter how they interleave walks. A shared
+// sequential stream cannot offer that: walk j's draws would start
+// where walk j−1's data-dependent trajectory ended, an order a
+// level-synchronous stepper cannot reproduce without first running
+// every walk serially.
+//
+// The generator is also much cheaper than the previous per-chunk
+// math/rand source — no 607-word seeding pass per chunk, no interface
+// call per draw — which is a real share of the walk phase's speedup.
+type walkRNG struct {
+	state uint64
+}
+
+// newWalkRNG derives walk number walk's substream. The SplitMix-style
+// finalizer decorrelates nearby (seed, source, walk) triples, the same
+// idiom the per-chunk seeding used.
+func newWalkRNG(seed int64, source graph.NodeID, walk uint64) walkRNG {
+	x := uint64(seed)*0x9e3779b97f4a7c15 +
+		uint64(uint32(source))*0xbf58476d1ce4e5b9 +
+		walk*0x2545f4914f6cdd1d
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return walkRNG{state: x}
+}
+
+// next returns the stream's next 64 random bits (splitmix64).
+func (r *walkRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// float64 returns a uniform draw in [0,1) with 53 random bits.
+func (r *walkRNG) float64() float64 {
+	return float64(r.next()>>11) * 0x1.0p-53
+}
+
+// intn returns a uniform draw in [0,n) for 0 < n ≤ MaxInt32 via
+// Lemire's multiply-shift reduction; the bias is at most n/2⁶⁴ — far
+// below anything a Monte-Carlo estimate at MaxWalks samples could
+// resolve — and unlike rejection sampling it consumes exactly one
+// 64-bit draw, keeping the per-walk draw count a pure function of the
+// trajectory length.
+func (r *walkRNG) intn(n int) int {
+	hi, _ := bits.Mul64(r.next(), uint64(n))
+	return int(hi)
+}

@@ -1,0 +1,386 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/bippr"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// bestOf runs fn reps times and returns the fastest duration — the
+// right statistic for a bandwidth micro-comparison, where the noise
+// (scheduler preemption, cache pollution from the other mode) is
+// strictly additive.
+func bestOf(reps int, fn func() error) (time.Duration, error) {
+	var best time.Duration
+	for i := 0; i < reps; i++ {
+		d, err := timed(fn)
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// legacyChunkRNG rebuilds the walk RNG the package used before
+// per-walk substreams: one math/rand stream per chunk, seeded by
+// SplitMix-mixing (seed, source, chunk). rand.NewSource alone runs a
+// ~1800-division Lehmer warm-up per chunk, which is most of what the
+// substream rewrite deleted.
+func legacyChunkRNG(seed int64, source graph.NodeID, chunk int) *rand.Rand {
+	x := uint64(seed)*0x9e3779b97f4a7c15 +
+		uint64(uint32(source))*0xbf58476d1ce4e5b9 +
+		uint64(chunk)*0x2545f4914f6cdd1d
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return rand.New(rand.NewSource(int64(x)))
+}
+
+// legacyEndpoint is the pre-substream per-walk stepper: stop test,
+// out-edge pick, and a truncated walk stops where it stands. ok is
+// false only for walks absorbed by a dangling node.
+func legacyEndpoint(g *graph.Graph, rng *rand.Rand, source graph.NodeID, alpha float64, maxSteps int) (graph.NodeID, bool) {
+	v := source
+	for step := 0; step < maxSteps; step++ {
+		if rng.Float64() >= alpha {
+			return v, true
+		}
+		out := g.Out(v)
+		if len(out) == 0 {
+			return v, false
+		}
+		v = out[rng.Intn(len(out))]
+	}
+	return v, true
+}
+
+// legacyEstimateSum replays the pre-substream walk phase end to end —
+// per-chunk math/rand streams, one walk at a time, per-chunk sorted
+// run-length fold, chunk-order reduction — so the walk-batch ablation
+// can price this PR's walk path against what the tree shipped before
+// it. The estimate differs from the substream steppers only in RNG
+// stream (same distribution; the caller checks statistical agreement).
+func legacyEstimateSum(ctx context.Context, g *graph.Graph, alpha float64, seed int64, src graph.NodeID, walks int, weight *bippr.Vector, workers int) (float64, error) {
+	const chunkSize = 128
+	maxSteps := bippr.DefaultMaxSteps
+	chunks := (walks + chunkSize - 1) / chunkSize
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	partial := make([]float64, chunks)
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		cancelled atomic.Bool
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ends []graph.NodeID
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				select {
+				case <-ctx.Done():
+					cancelled.Store(true)
+					return
+				default:
+				}
+				count := chunkSize
+				if rem := walks - c*chunkSize; rem < count {
+					count = rem
+				}
+				rng := legacyChunkRNG(seed, src, c)
+				ends = ends[:0]
+				for w := 0; w < count; w++ {
+					if end, ok := legacyEndpoint(g, rng, src, alpha, maxSteps); ok {
+						ends = append(ends, end)
+					}
+				}
+				slices.Sort(ends)
+				var sum float64
+				for j := 0; j < len(ends); {
+					k := j + 1
+					for k < len(ends) && ends[k] == ends[j] {
+						k++
+					}
+					sum += float64(k-j) * weight.Get(ends[j])
+					j = k
+				}
+				partial[c] = sum
+			}
+		}()
+	}
+	wg.Wait()
+	if cancelled.Load() {
+		return 0, fmt.Errorf("experiments: legacy walks cancelled: %w", ctx.Err())
+	}
+	var sum float64
+	for _, p := range partial {
+		sum += p
+	}
+	return sum / float64(walks), nil
+}
+
+// WalkBatch isolates this PR's walk phase against two baselines on the
+// pure walk workload (EstimateSum over a fixed weight vector): the
+// pre-substream legacy path (per-chunk math/rand streams, replayed
+// above) anchors the speedup column, and the serial per-walk substream
+// stepper is the batched cohort's equivalence reference. The substream
+// steppers consume identical per-walk RNG draws, so their estimate
+// column must match bit-for-bit — the function errors out if it ever
+// differs, making the table an equivalence proof as much as a timing.
+// The legacy stream is different RNG, so it is held only to
+// statistical agreement (0.5%% at the default 200k walks).
+func WalkBatch(ctx context.Context, dataset, source string, walks int) (*Table, error) {
+	g, err := loadDataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	src, ok := g.NodeByLabel(source)
+	if !ok {
+		return nil, fmt.Errorf("experiments: source %q not in %s", source, dataset)
+	}
+	if walks == 0 {
+		walks = 200000
+	}
+	// A deterministic non-uniform weight vector stands in for a target
+	// index's residuals; the fold cost is identical either way.
+	values := make([]float64, g.NumNodes())
+	for i := range values {
+		values[i] = float64(i%13) * 1e-5
+	}
+	wv := bippr.NewDenseVector(values)
+
+	serial := bippr.NewWalkEstimator(g, 0.85, 42, 0)
+	serial.SetBatchStepping(false)
+	batched := bippr.NewWalkEstimator(g, 0.85, 42, 0)
+
+	t := &Table{
+		ID: "ablation-walk-batch",
+		Title: fmt.Sprintf("Walk phase: legacy chunk-RNG vs per-walk substreams vs batched cohort, source %q on %s (%d walks, alpha=0.85)",
+			source, dataset, walks),
+		Headers: []string{"workers", "mode", "estimate", "walk phase", "vs legacy"},
+	}
+	for _, workers := range []int{1, 4} {
+		var legacyEst, serialEst, batchedEst float64
+		legacyDur, err := bestOf(3, func() error {
+			var err error
+			legacyEst, err = legacyEstimateSum(ctx, g, 0.85, 42, src, walks, wv, workers)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		serialDur, err := bestOf(3, func() error {
+			var err error
+			serialEst, err = serial.EstimateSum(ctx, src, walks, wv, workers)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		batchedDur, err := bestOf(3, func() error {
+			var err error
+			batchedEst, err = batched.EstimateSum(ctx, src, walks, wv, workers)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if batchedEst != serialEst {
+			return nil, fmt.Errorf("experiments: workers=%d: batched estimate %v != serial %v — stepping must be bit-identical",
+				workers, batchedEst, serialEst)
+		}
+		if diff := legacyEst - batchedEst; diff > 0.005*batchedEst || diff < -0.005*batchedEst {
+			return nil, fmt.Errorf("experiments: workers=%d: legacy estimate %v disagrees with substream %v beyond 0.5%%",
+				workers, legacyEst, batchedEst)
+		}
+		speedup := func(d time.Duration) string {
+			if d <= 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1fx", float64(legacyDur)/float64(d))
+		}
+		w := fmt.Sprint(workers)
+		t.Rows = append(t.Rows,
+			[]string{w, "legacy chunk-rng", fmt.Sprintf("%.6g", legacyEst), legacyDur.Round(time.Microsecond).String(), "1.0x"},
+			[]string{w, "per-walk", fmt.Sprintf("%.6g", serialEst), serialDur.Round(time.Microsecond).String(), speedup(serialDur)},
+			[]string{w, "batched", fmt.Sprintf("%.6g", batchedEst), batchedDur.Round(time.Microsecond).String(), speedup(batchedDur)},
+		)
+	}
+	return t, nil
+}
+
+// EndpointCodec sizes one real walk recording under both on-disk
+// framings: the legacy fixed-width v1 layout and the delta-varint v2
+// the cache now writes. Both decoders must reproduce the recording
+// exactly — the fold column is computed from each decoded set and the
+// function errors out on any mismatch — and v2 must come in at least
+// 1.8x smaller, the bound the codec upgrade is specified to hold on
+// this dataset.
+func EndpointCodec(ctx context.Context, dataset, source string, walks int) (*Table, error) {
+	g, err := loadDataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	src, ok := g.NodeByLabel(source)
+	if !ok {
+		return nil, fmt.Errorf("experiments: source %q not in %s", source, dataset)
+	}
+	if walks == 0 {
+		walks = 200000
+	}
+	w := bippr.NewWalkEstimator(g, 0.85, 42, 0)
+	set, err := w.Endpoints(ctx, src, walks, 0)
+	if err != nil {
+		return nil, err
+	}
+	art := bippr.EndpointArtifact{Source: src, Alpha: 0.85, Seed: 42, MaxSteps: bippr.DefaultMaxSteps, Set: set}
+	values := make([]float64, g.NumNodes())
+	for i := range values {
+		values[i] = float64(i%13) * 1e-5
+	}
+	wv := bippr.NewDenseVector(values)
+	wantFold := set.EstimateSum(wv)
+
+	type codec struct {
+		name   string
+		encode func(bippr.EndpointArtifact) ([]byte, error)
+	}
+	t := &Table{
+		ID: "ablation-ep-codec",
+		Title: fmt.Sprintf("Endpoint artifact codec v1 vs v2 for source %q on %s (%d walks, %d recorded pairs)",
+			source, dataset, walks, set.NonZeros()),
+		Headers: []string{"codec", "bytes", "bytes/pair", "encode", "decode", "vs v1"},
+	}
+	var v1Size int
+	for _, c := range []codec{{"v1 fixed-width", bippr.EncodeEndpointsV1}, {"v2 delta-varint", bippr.EncodeEndpoints}} {
+		var data []byte
+		encDur, err := bestOf(5, func() error {
+			var err error
+			data, err = c.encode(art)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		var decoded bippr.EndpointArtifact
+		decDur, err := bestOf(5, func() error {
+			var err error
+			decoded, err = bippr.DecodeEndpointsSized(data, g.NumNodes())
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if fold := decoded.Set.EstimateSum(wv); fold != wantFold {
+			return nil, fmt.Errorf("experiments: %s: decoded fold %v != recorded %v — persistence must be bit-identical",
+				c.name, fold, wantFold)
+		}
+		ratio := "1.0x"
+		if v1Size == 0 {
+			v1Size = len(data)
+		} else {
+			r := float64(v1Size) / float64(len(data))
+			if r < 1.8 {
+				return nil, fmt.Errorf("experiments: v2 artifact only %.2fx smaller than v1 (%d vs %d bytes), want >= 1.8x",
+					r, v1Size, len(data))
+			}
+			ratio = fmt.Sprintf("%.1fx smaller", r)
+		}
+		t.Rows = append(t.Rows, []string{
+			c.name,
+			fmt.Sprint(len(data)),
+			fmt.Sprintf("%.2f", float64(len(data))/float64(set.NonZeros())),
+			encDur.Round(time.Microsecond).String(),
+			decDur.Round(time.Microsecond).String(),
+			ratio,
+		})
+	}
+	return t, nil
+}
+
+// CSRLayout compares reverse pushes run directly over the original
+// CSR (a WithoutLayout copy) against the degree-descending remapped
+// view every built graph now carries. Both runs drive residuals below
+// rmax — the function checks the invariant on each — so the timing
+// difference is purely memory behaviour: the mapped frontier's hub
+// revisits land in a compact array prefix. The title reports the
+// footprint both ways, because the layout view is residency capacity
+// planning must see (MemoryFootprint includes it).
+func CSRLayout(ctx context.Context, dataset string, targets []string, rmax float64) (*Table, error) {
+	g, err := loadDataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	if g.Layout() == nil {
+		return nil, fmt.Errorf("experiments: %s has no layout view", dataset)
+	}
+	bare := g.WithoutLayout()
+	if rmax == 0 {
+		rmax = 1e-6
+	}
+	t := &Table{
+		ID: "ablation-csr-layout",
+		Title: fmt.Sprintf("Reverse push over original vs degree-remapped CSR on %s (rmax=%.0e; footprint %d bytes of which layout %d)",
+			dataset, rmax, g.MemoryFootprint(), g.LayoutBytes()),
+		Headers: []string{"target", "mode", "pushes", "max residual", "push time", "speedup"},
+	}
+	for _, label := range targets {
+		tgt, ok := g.NodeByLabel(label)
+		if !ok {
+			return nil, fmt.Errorf("experiments: target %q not in %s", label, dataset)
+		}
+		var direct, mapped *bippr.TargetIndex
+		directDur, err := bestOf(3, func() error {
+			var err error
+			direct, err = bippr.ReversePush(ctx, bare, tgt, 0.85, rmax)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		mappedDur, err := bestOf(3, func() error {
+			var err error
+			mapped, err = bippr.ReversePush(ctx, g, tgt, 0.85, rmax)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for mode, idx := range map[string]*bippr.TargetIndex{"original": direct, "remapped": mapped} {
+			if idx.MaxResidual >= rmax {
+				return nil, fmt.Errorf("experiments: target %q %s push left residual %v >= rmax %v",
+					label, mode, idx.MaxResidual, rmax)
+			}
+		}
+		speedup := "-"
+		if mappedDur > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(directDur)/float64(mappedDur))
+		}
+		t.Rows = append(t.Rows,
+			[]string{label, "original ids", fmt.Sprint(direct.Pushes), fmt.Sprintf("%.3g", direct.MaxResidual), directDur.Round(time.Microsecond).String(), "1.0x"},
+			[]string{label, "remapped ids", fmt.Sprint(mapped.Pushes), fmt.Sprintf("%.3g", mapped.MaxResidual), mappedDur.Round(time.Microsecond).String(), speedup},
+		)
+	}
+	return t, nil
+}

@@ -186,6 +186,7 @@ func (b *Builder) Build() (*Graph, error) {
 		}
 		g.labels = lt
 	}
+	g.layout = buildLayout(g)
 	return g, nil
 }
 

@@ -46,6 +46,11 @@ type Graph struct {
 
 	labels *LabelTable // nil when the graph is unlabeled
 
+	// layout is the cache-conscious node reordering view built
+	// alongside the CSR (see Layout); nil on zero graphs, Transpose
+	// views, and WithoutLayout copies.
+	layout *Layout
+
 	numEdges int64
 }
 
@@ -141,7 +146,9 @@ func (g *Graph) Edges(fn func(from, to NodeID) bool) {
 
 // Transpose returns a view of g with every edge reversed. The view
 // shares storage with g: building it is O(1) and mutating neither is
-// possible. Labels are shared.
+// possible. Labels are shared. The layout view does not transfer —
+// it remaps g's in-CSR, which is the view's out-CSR — so algorithms
+// running on a transpose fall back to original-id traversal.
 func (g *Graph) Transpose() *Graph {
 	return &Graph{
 		outOff:   g.inOff,
@@ -202,7 +209,12 @@ func (g *Graph) DanglingNodes() []NodeID {
 const MaxNodeID = math.MaxInt32 - 1
 
 // MemoryFootprint returns an estimate, in bytes, of the graph's
-// in-memory size (CSR arrays only, labels excluded).
+// in-memory size: the CSR arrays plus the layout view's permutation
+// and remapped arrays when present (labels excluded). Capacity
+// planning must see the layout's residency — it is about half the
+// CSR again — which is why it is included here rather than only in
+// LayoutBytes.
 func (g *Graph) MemoryFootprint() int64 {
-	return int64(len(g.outOff)+len(g.inOff))*8 + int64(len(g.outAdj)+len(g.inAdj))*4
+	return int64(len(g.outOff)+len(g.inOff))*8 + int64(len(g.outAdj)+len(g.inAdj))*4 +
+		g.layout.Bytes()
 }

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomLayoutGraph(t *testing.T, n, m int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestLayoutPermutationInvariants checks the reordering is a proper
+// degree-descending permutation whose remapped in-CSR is exactly the
+// original in-CSR seen through the rename.
+func TestLayoutPermutationInvariants(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := randomLayoutGraph(t, 200, 1400, seed)
+		l := g.Layout()
+		if l == nil {
+			t.Fatal("built graph has no layout")
+		}
+		n := g.NumNodes()
+		seen := make([]bool, n)
+		for old := 0; old < n; old++ {
+			new := l.ToNew(NodeID(old))
+			if l.ToOld(new) != NodeID(old) {
+				t.Fatalf("perm/inv disagree at node %d", old)
+			}
+			if seen[new] {
+				t.Fatalf("new id %d assigned twice", new)
+			}
+			seen[new] = true
+		}
+		deg := func(v NodeID) int { return g.InDegree(v) + g.OutDegree(v) }
+		for new := 1; new < n; new++ {
+			a, b := l.ToOld(NodeID(new-1)), l.ToOld(NodeID(new))
+			if deg(a) < deg(b) {
+				t.Fatalf("layout not degree-descending: new %d (old %d, deg %d) before new %d (old %d, deg %d)",
+					new-1, a, deg(a), new, b, deg(b))
+			}
+			if deg(a) == deg(b) && a > b {
+				t.Fatalf("degree tie between old %d and %d not broken by ascending id", a, b)
+			}
+		}
+		for new := 0; new < n; new++ {
+			old := l.ToOld(NodeID(new))
+			if l.OutDegree(NodeID(new)) != g.OutDegree(old) {
+				t.Fatalf("out-degree of new %d (old %d): layout %d, graph %d",
+					new, old, l.OutDegree(NodeID(new)), g.OutDegree(old))
+			}
+			row := l.In(NodeID(new))
+			orig := g.In(old)
+			if len(row) != len(orig) {
+				t.Fatalf("in-row of new %d: %d entries, want %d", new, len(row), len(orig))
+			}
+			// Same predecessor set through the rename, sorted in new ids.
+			back := make(map[NodeID]bool, len(row))
+			for i, u := range row {
+				if i > 0 && row[i-1] >= u {
+					t.Fatalf("in-row of new %d not strictly sorted", new)
+				}
+				back[l.ToOld(u)] = true
+			}
+			for _, u := range orig {
+				if !back[u] {
+					t.Fatalf("predecessor %d of old %d missing from remapped row", u, old)
+				}
+			}
+		}
+	}
+}
+
+// TestLayoutDoesNotChangeFingerprint pins the artifact-key invariant:
+// the structural fingerprint hashes the original CSR only, so adding,
+// carrying, or dropping the layout view never churns content-addressed
+// artifacts.
+func TestLayoutDoesNotChangeFingerprint(t *testing.T) {
+	g := randomLayoutGraph(t, 100, 600, 7)
+	if Fingerprint(g) != Fingerprint(g.WithoutLayout()) {
+		t.Error("dropping the layout changed the fingerprint")
+	}
+	bare := *g
+	bare.layout = nil
+	if Fingerprint(g) != Fingerprint(&bare) {
+		t.Error("layout view participates in the fingerprint")
+	}
+}
+
+// TestLayoutFootprintAccounting checks MemoryFootprint reports the
+// layout's residency and that WithoutLayout / Transpose views carry
+// none.
+func TestLayoutFootprintAccounting(t *testing.T) {
+	g := randomLayoutGraph(t, 100, 600, 7)
+	if g.LayoutBytes() == 0 {
+		t.Fatal("built graph reports zero layout bytes")
+	}
+	bare := g.WithoutLayout()
+	if bare.Layout() != nil || bare.LayoutBytes() != 0 {
+		t.Error("WithoutLayout copy still carries a layout")
+	}
+	if got, want := g.MemoryFootprint()-bare.MemoryFootprint(), g.LayoutBytes(); got != want {
+		t.Errorf("footprint delta %d, want layout bytes %d", got, want)
+	}
+	if tr := g.Transpose(); tr.Layout() != nil {
+		t.Error("transpose view inherited a layout remapping the wrong CSR")
+	}
+}
+
+// TestLayoutEmptyGraph keeps the zero/empty cases safe.
+func TestLayoutEmptyGraph(t *testing.T) {
+	g, err := NewBuilder(0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Layout() == nil {
+		t.Fatal("empty built graph has no layout")
+	}
+	if g.LayoutBytes() == 0 {
+		t.Fatal("empty layout still has an offset array")
+	}
+	var zero Graph
+	if zero.Layout() != nil || zero.LayoutBytes() != 0 || zero.MemoryFootprint() != 0 {
+		t.Error("zero graph reports a layout")
+	}
+}

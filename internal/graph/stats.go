@@ -23,6 +23,11 @@ type Stats struct {
 	AvgDegree    float64 `json:"avg_degree"` // M / N
 	SCCs         int     `json:"sccs"`
 	LargestSCC   int     `json:"largest_scc"`
+	// MemoryBytes is the graph's resident CSR size including the
+	// cache-conscious layout view; LayoutBytes is the layout's share of
+	// it. Capacity planning reads these from /api/datasets/{name}.
+	MemoryBytes int64 `json:"memory_bytes"`
+	LayoutBytes int64 `json:"layout_bytes"`
 }
 
 // ComputeStats collects the full Stats for g. It is O(N + M) plus one
@@ -34,6 +39,8 @@ func ComputeStats(g *Graph) Stats {
 		Edges:       g.NumEdges(),
 		Density:     g.Density(),
 		Reciprocity: g.Reciprocity(),
+		MemoryBytes: g.MemoryFootprint(),
+		LayoutBytes: g.LayoutBytes(),
 	}
 	if n > 0 {
 		s.AvgDegree = float64(g.NumEdges()) / float64(n)

@@ -193,6 +193,14 @@ func TestBatchParallelismAndWalkReuseEndToEnd(t *testing.T) {
 	if st.EndpointCache.WalksAvoided != 2*512 {
 		t.Errorf("walks avoided = %d, want %d", st.EndpointCache.WalksAvoided, 2*512)
 	}
+	// The queries loaded one dataset; its row must report the real
+	// residency, layout view included.
+	if len(st.Graphs) != 1 || st.Graphs[0].Name != "complete-50" {
+		t.Fatalf("status graphs = %+v, want one row for complete-50", st.Graphs)
+	}
+	if row := st.Graphs[0]; row.Nodes != 50 || row.LayoutBytes == 0 || row.MemoryBytes <= row.LayoutBytes {
+		t.Errorf("graph row %+v: want 50 nodes and memory_bytes > layout_bytes > 0", row)
+	}
 
 	// Invalid parallelism is rejected at submission.
 	if _, status := postTasks(t, ts.URL, `{

@@ -51,6 +51,12 @@ type statusResponse struct {
 	// Traffic reports the workload frequency sketch behind the
 	// learned pre-warm.
 	Traffic TrafficStatus `json:"traffic"`
+	// Graphs lists the datasets resident in the scheduler's graph
+	// cache with the bytes each pins — memory_bytes includes the
+	// cache-conscious layout view, layout_bytes its share — so
+	// capacity planning sees the real residency, not just dataset
+	// counts.
+	Graphs []task.LoadedGraphRow `json:"graphs"`
 }
 
 // indexStoreStatus surfaces the target-index store's tiered counters
@@ -91,6 +97,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Prewarm:       s.prewarm.snapshot(),
 		Serving:       s.scheduler.AdmissionStats(),
 		Traffic:       s.trafficStatus(),
+		Graphs:        s.scheduler.LoadedGraphs(),
 	})
 }
 

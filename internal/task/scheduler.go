@@ -505,6 +505,36 @@ func (s *Scheduler) loadGraph(name string) (*graph.Graph, error) {
 	return g, nil
 }
 
+// LoadedGraphRow describes one resident dataset for capacity
+// planning: its shape plus the bytes it pins, split out so operators
+// can see what the cache-conscious layout view costs on top of the
+// bare CSR.
+type LoadedGraphRow struct {
+	Name        string `json:"name"`
+	Nodes       int    `json:"nodes"`
+	Edges       int64  `json:"edges"`
+	MemoryBytes int64  `json:"memory_bytes"`
+	LayoutBytes int64  `json:"layout_bytes"`
+}
+
+// LoadedGraphs snapshots the scheduler's graph cache, sorted by name.
+func (s *Scheduler) LoadedGraphs() []LoadedGraphRow {
+	s.cacheMu.Lock()
+	rows := make([]LoadedGraphRow, 0, len(s.cache))
+	for name, g := range s.cache {
+		rows = append(rows, LoadedGraphRow{
+			Name:        name,
+			Nodes:       g.NumNodes(),
+			Edges:       g.NumEdges(),
+			MemoryBytes: g.MemoryFootprint(),
+			LayoutBytes: g.LayoutBytes(),
+		})
+	}
+	s.cacheMu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
 // InvalidateDataset drops a dataset from the cache (after re-upload).
 func (s *Scheduler) InvalidateDataset(name string) {
 	s.cacheMu.Lock()
