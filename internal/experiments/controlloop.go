@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/datasets"
+	"github.com/cyclerank/cyclerank-go/internal/datastore"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+	"github.com/cyclerank/cyclerank-go/internal/ranking"
+	"github.com/cyclerank/cyclerank-go/internal/task"
+)
+
+// controlLoopWork is the synthetic per-task run time the ablation's
+// "spin" algorithm sleeps for. Long enough to dominate scheduler
+// overhead by orders of magnitude, short enough that the whole
+// ablation — three modes, warmups and bursts included — stays under a
+// second. spinFast is the sub-SLO variant the slo-gate mode warms its
+// calibrator with, so the warmup itself does not breach the objective
+// it is about to demonstrate.
+const (
+	controlLoopWork = 12 * time.Millisecond
+	controlLoopFast = time.Millisecond
+)
+
+// spinRegistry registers the two synthetic algorithms the ablation
+// drives: fixed-duration sleeps standing in for real query work.
+func spinRegistry() *algo.Registry {
+	reg := algo.NewRegistry()
+	for _, a := range []struct {
+		name string
+		d    time.Duration
+	}{{"spin", controlLoopWork}, {"spin-fast", controlLoopFast}} {
+		d := a.d
+		reg.Register(algo.Func{
+			AlgoName: a.name,
+			AlgoDesc: fmt.Sprintf("sleeps %s; stands in for real query work", d),
+			RunFunc: func(ctx context.Context, gr *graph.Graph, p algo.Params) (*ranking.Result, error) {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				return ranking.NewResult("spin", gr, make([]float64, gr.NumNodes()))
+			},
+		})
+	}
+	return reg
+}
+
+// ControlLoop contrasts a statically-limited serving tier against the
+// closed control loop on an identical synthetic workload: a warmup of
+// sequential interactive tasks that feeds the units/ms calibrator and
+// the latency window, then a burst of single-task submissions issued
+// back-to-back without waiting.
+//
+//   - static: a fixed interactive-slot limit and nothing else. The
+//     burst sheds on occupancy ("slots") once the workers are busy,
+//     exactly as many as the slots can't hold.
+//   - slo-gate: a tail-latency objective far below the slow task's
+//     run time. One slow task after the fast warmup breaches the p99,
+//     so the ENTIRE burst sheds with reason "slo" while occupancy is
+//     cold — the control loop refuses to dig the hole deeper.
+//   - calibrated-ms: no slot or SLO limit, only a backlog cap
+//     denominated in predicted milliseconds. Admissions are priced by
+//     the warmup-learned rate, and the Retry-After hint is the
+//     predicted drain time of the admitted backlog, not the
+//     configured floor.
+//
+// Each mode's row reports what was learned and what was shed; the
+// function errors when a mode sheds for the wrong reason, when the
+// slo gate lets occupancy fill, or when the calibrated hint does not
+// rise above the floor — the table is the control loop's behavioural
+// proof as much as its measurement.
+func ControlLoop(ctx context.Context, warmup, burst int) (*Table, error) {
+	if warmup <= 0 {
+		warmup = 8
+	}
+	if burst <= 0 {
+		burst = 12
+	}
+	g, err := datasets.CompleteDigraph(10)
+	if err != nil {
+		return nil, err
+	}
+	reg := spinRegistry()
+
+	floor := time.Millisecond
+	slowSpec := task.Spec{Dataset: "demo", Algorithm: "spin"}
+	fastSpec := task.Spec{Dataset: "demo", Algorithm: "spin-fast"}
+	modes := []struct {
+		name       string
+		admission  task.AdmissionConfig
+		warmupSpec task.Spec
+		// breach counts slow tasks run after the warmup to push the
+		// windowed p99 over the SLO before the burst.
+		breach int
+		// wantReason is the only shed reason the mode may produce.
+		wantReason string
+	}{
+		{
+			name: "static",
+			admission: task.AdmissionConfig{
+				InteractiveSlots: 2,
+				RetryAfter:       floor,
+			},
+			warmupSpec: slowSpec,
+			wantReason: "slots",
+		},
+		{
+			name: "slo-gate",
+			admission: task.AdmissionConfig{
+				InteractiveSlots: 64, // far above the burst: only the SLO can shed
+				SLOInteractive:   controlLoopWork / 4,
+				RetryAfter:       floor,
+			},
+			warmupSpec: fastSpec,
+			breach:     1,
+			wantReason: "slo",
+		},
+		{
+			name: "calibrated-ms",
+			admission: task.AdmissionConfig{
+				MaxBacklogMS: 4 * float64(controlLoopWork/time.Millisecond),
+				RetryAfter:   floor,
+			},
+			warmupSpec: slowSpec,
+			wantReason: "backlog",
+		},
+	}
+
+	t := &Table{
+		ID:      "ablation-control-loop",
+		Title:   fmt.Sprintf("serving-tier control loop: static limits vs closed loop (%d warmup + %d burst tasks of %s)", warmup, burst, controlLoopWork),
+		Headers: []string{"mode", "learned units/ms", "p99 ms", "admitted", "shed", "reason", "retry-after"},
+	}
+
+	for _, mode := range modes {
+		row, err := func() ([]string, error) {
+			dir, err := os.MkdirTemp("", "control-loop-*")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			store, err := datastore.Open(dir)
+			if err != nil {
+				return nil, err
+			}
+			s, err := task.NewScheduler(task.SchedulerConfig{
+				Registry:  reg,
+				Store:     store,
+				Workers:   2,
+				Load:      func(string) (*graph.Graph, error) { return g, nil },
+				Admission: mode.admission,
+			})
+			if err != nil {
+				return nil, err
+			}
+			defer func() {
+				sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				s.Shutdown(sctx)
+			}()
+			// Load the dataset before the first submission so every
+			// estimate — including the one seeding the EWMA — is priced
+			// from real graph stats, not the pre-load fallback (which
+			// would anchor the learned rate orders of magnitude high).
+			if _, err := s.LoadGraph(mode.warmupSpec.Dataset); err != nil {
+				return nil, err
+			}
+
+			// Warmup: sequential tasks feed the calibrator's EWMA and the
+			// latency window the slo gate reads.
+			runOne := func(spec task.Spec, what string) error {
+				id, _, err := s.Submit([]task.Spec{spec})
+				if err != nil {
+					return fmt.Errorf("%s: %s submit: %w", mode.name, what, err)
+				}
+				if _, err := s.WaitQuerySet(ctx, id); err != nil {
+					return fmt.Errorf("%s: %s wait: %w", mode.name, what, err)
+				}
+				return nil
+			}
+			for i := 0; i < warmup; i++ {
+				if err := runOne(mode.warmupSpec, fmt.Sprintf("warmup %d", i)); err != nil {
+					return nil, err
+				}
+			}
+			cal := s.CalibrationSnapshot()[task.FamilyOther]
+			if cal.Observations < uint64(warmup) {
+				return nil, fmt.Errorf("%s: calibrator saw %d observations after %d warmup tasks",
+					mode.name, cal.Observations, warmup)
+			}
+			for i := 0; i < mode.breach; i++ {
+				if err := runOne(slowSpec, fmt.Sprintf("breach %d", i)); err != nil {
+					return nil, err
+				}
+			}
+			if mode.breach > 0 {
+				// The breach sample lands in the latency window when the
+				// executor finishes bookkeeping, which may trail WaitQuerySet
+				// by a scheduling beat — poll until the gate actually sees it.
+				slo := float64(mode.admission.SLOInteractive) / float64(time.Millisecond)
+				deadline := time.Now().Add(5 * time.Second)
+				for s.AdmissionStats().InteractiveP99MS <= slo {
+					if time.Now().After(deadline) {
+						return nil, fmt.Errorf("%s: p99 never crossed the %vms objective", mode.name, slo)
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+
+			// Burst: submit back-to-back without waiting, count the sheds.
+			var admitted []string
+			var shed int
+			var lastShed *task.ShedError
+			for i := 0; i < burst; i++ {
+				id, _, err := s.Submit([]task.Spec{slowSpec})
+				if err == nil {
+					admitted = append(admitted, id)
+					continue
+				}
+				var se *task.ShedError
+				if !errors.As(err, &se) {
+					return nil, fmt.Errorf("%s: burst submit %d: %w", mode.name, i, err)
+				}
+				if se.Reason != mode.wantReason {
+					return nil, fmt.Errorf("%s: shed with reason %q, want %q",
+						mode.name, se.Reason, mode.wantReason)
+				}
+				shed++
+				lastShed = se
+			}
+			if shed == 0 {
+				return nil, fmt.Errorf("%s: burst of %d shed nothing", mode.name, burst)
+			}
+			stats := s.AdmissionStats()
+			switch mode.name {
+			case "slo-gate":
+				// The whole point: the breach fires before any occupancy
+				// limit, so nothing from the burst may be running.
+				if len(admitted) != 0 || stats.Inflight != 0 {
+					return nil, fmt.Errorf("slo-gate: %d admitted, %d in flight under a breached SLO",
+						len(admitted), stats.Inflight)
+				}
+			case "static":
+				if stats.ShedSLO != 0 {
+					return nil, fmt.Errorf("static: %d slo sheds without an SLO configured", stats.ShedSLO)
+				}
+			case "calibrated-ms":
+				// The hint must be the predicted drain of the admitted
+				// backlog — above the floor, far below the cap.
+				if lastShed.RetryAfter <= floor || lastShed.RetryAfter >= time.Second {
+					return nil, fmt.Errorf("calibrated-ms: retry-after %s not drain-derived (floor %s)",
+						lastShed.RetryAfter, floor)
+				}
+			}
+			for _, id := range admitted {
+				if _, err := s.WaitQuerySet(ctx, id); err != nil {
+					return nil, fmt.Errorf("%s: burst drain: %w", mode.name, err)
+				}
+			}
+			hint := "-"
+			if lastShed != nil {
+				hint = lastShed.RetryAfter.Round(time.Millisecond).String()
+			}
+			return []string{
+				mode.name,
+				fmt.Sprintf("%.1f", cal.UnitsPerMS),
+				fmt.Sprintf("%.1f", stats.InteractiveP99MS),
+				fmt.Sprint(len(admitted)),
+				fmt.Sprint(shed),
+				mode.wantReason,
+				hint,
+			}, nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

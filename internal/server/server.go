@@ -131,6 +131,13 @@ type Config struct {
 	// learning entirely (no sketch, no persistence, no learned
 	// pre-warm).
 	TrafficTopK int
+	// TrafficHalfLife paces the sketch's time decay: every half-life
+	// all counters (and the heavy-hitter table) halve, so a key must
+	// keep being queried to stay hot and yesterday's burst ages out of
+	// the pre-warm pin set instead of being pinned forever. 0 selects
+	// DefaultTrafficHalfLife; negative disables decay (the pre-v2
+	// behavior: counts accumulate for the sketch's lifetime).
+	TrafficHalfLife time.Duration
 	// PreWarm starts a background task at construction that loads
 	// every catalog dataset with suggested reference nodes and warms
 	// their reverse-push indexes and walk-endpoint recordings — from
@@ -227,6 +234,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.scheduler = sched
+	// Seed the cost calibrator with the rates the previous process
+	// learned (persisted inside the traffic sketch), so the first
+	// predictions after a deploy are measured, not fallback.
+	if s.traffic != nil {
+		sched.RestoreCalibration(s.traffic.Calibrations())
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/algorithms", s.handleAlgorithms)
@@ -267,8 +280,29 @@ func New(cfg Config) (*Server, error) {
 	if s.traffic != nil {
 		s.lifeWG.Add(1)
 		go s.runTrafficSaver(lifeCtx)
+		if hl := cfg.trafficHalfLife(); hl > 0 {
+			s.lifeWG.Add(1)
+			go s.runTrafficDecayer(lifeCtx, hl)
+		}
 	}
 	return s, nil
+}
+
+// DefaultTrafficHalfLife is the decay cadence when Config leaves
+// TrafficHalfLife zero: hot keys halve hourly, so a key stops looking
+// warm roughly a workday after traffic moves away from it.
+const DefaultTrafficHalfLife = time.Hour
+
+// trafficHalfLife resolves the configured decay cadence: zero selects
+// the default, negative disables decay entirely.
+func (c Config) trafficHalfLife() time.Duration {
+	switch {
+	case c.TrafficHalfLife == 0:
+		return DefaultTrafficHalfLife
+	case c.TrafficHalfLife < 0:
+		return 0
+	}
+	return c.TrafficHalfLife
 }
 
 // perKindCaps assembles the sweep policy's per-kind cap map from the

@@ -33,6 +33,11 @@ type TrafficStatus struct {
 	// Pinned counts artifacts the learned pre-warm pinned against
 	// the sweeper this boot.
 	Pinned int `json:"pinned"`
+	// DecayEpoch counts halvings applied to the sketch over its
+	// LIFETIME (it survives restarts via the artifact); Decays counts
+	// the halvings THIS process applied.
+	DecayEpoch uint64 `json:"decay_epoch"`
+	Decays     int64  `json:"decays"`
 }
 
 // trafficState tracks the sketch's persistence and the artifact pins
@@ -43,6 +48,7 @@ type trafficState struct {
 
 	saves      *obs.Counter
 	saveErrors *obs.Counter
+	decays     *obs.Counter
 
 	pinMu sync.Mutex
 	pins  map[string]bool
@@ -54,6 +60,16 @@ func (t *trafficState) init(sk *traffic.Sketch, reg *obs.Registry) {
 		"Traffic-sketch artifacts persisted (periodic + on close).")
 	t.saveErrors = reg.Counter("cyclerank_traffic_sketch_save_errors_total",
 		"Traffic-sketch persistence attempts that failed.")
+	t.decays = reg.Counter("cyclerank_traffic_decays_total",
+		"Traffic-sketch halvings applied by this process's decayer.")
+	reg.GaugeFunc("cyclerank_traffic_decay_epoch",
+		"Halvings applied to the traffic sketch over its lifetime (persists across restarts).",
+		func() float64 {
+			if sk == nil {
+				return 0
+			}
+			return float64(sk.Stats().DecayEpoch)
+		})
 	reg.GaugeFunc("cyclerank_traffic_recorded_queries",
 		"Warmable artifact keys recorded in the traffic sketch (lifetime).",
 		func() float64 {
@@ -113,12 +129,14 @@ func (s *Server) trafficStatus() TrafficStatus {
 		Saves:      s.trafficState.saves.Value(),
 		SaveErrors: s.trafficState.saveErrors.Value(),
 		Pinned:     s.trafficState.pinCount(),
+		Decays:     s.trafficState.decays.Value(),
 	}
 	if s.traffic != nil {
 		sk := s.traffic.Stats()
 		st.Recorded = sk.Recorded
 		st.Tracked = sk.Tracked
 		st.TopK = sk.TopK
+		st.DecayEpoch = sk.DecayEpoch
 	}
 	return st
 }
@@ -151,11 +169,37 @@ func (s *Server) saveTraffic() {
 	if s.traffic == nil {
 		return
 	}
+	// The calibrator's learned units/ms rates ride along in the sketch
+	// artifact, so the next boot predicts with measured rates instead
+	// of the fallback constant.
+	s.traffic.SetCalibrations(s.scheduler.CalibrationSnapshot())
 	if err := s.store.SaveTrafficSketch(s.traffic.Encode()); err != nil {
 		s.trafficState.saveErrors.Inc()
 		return
 	}
 	s.trafficState.saves.Inc()
+}
+
+// runTrafficDecayer halves the workload sketch every half-life, so a
+// formerly-hot key that traffic moved away from ages out of the
+// heavy-hitter table — and therefore out of the next boot's pre-warm
+// pin set — instead of staying pinned on stale counts forever. The
+// decayed state reaches disk through the regular saver; the decay
+// epoch rides in the artifact (codec v2) so restarts never replay or
+// skip halvings.
+func (s *Server) runTrafficDecayer(ctx context.Context, halfLife time.Duration) {
+	defer s.lifeWG.Done()
+	ticker := time.NewTicker(halfLife)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			s.traffic.Decay()
+			s.trafficState.decays.Inc()
+		}
+	}
 }
 
 // learnedPrewarm warms the artifacts behind the sketch's heavy

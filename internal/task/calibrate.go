@@ -1,0 +1,124 @@
+package task
+
+import (
+	"sync"
+
+	"github.com/cyclerank/cyclerank-go/internal/traffic"
+)
+
+// The calibrator closes the loop the cyclerank_cost_units_per_ms
+// histogram only observed: every completed task's (estimated units,
+// measured milliseconds) pair updates a per-family EWMA of how many
+// abstract work units this machine burns per millisecond, and the
+// admission fast path divides new estimates by that rate to predict
+// milliseconds-of-work — the number -max-backlog-ms and the
+// Retry-After drain hint are denominated in.
+//
+// Families, not algorithms: the rate measures how fast the hardware
+// retires one KIND of elementary operation (a push edge update, a walk
+// step, an edge relaxation), so algorithms sharing an inner loop share
+// a family and pool their observations (see CostFamily).
+const (
+	// calibrationEWMAWeight is the weight of the newest observation.
+	// 0.25 converges to ~95% of a shifted rate within ~10 completions
+	// while one outlier task moves the rate at most a quarter of the
+	// way — fast enough to track a warming cache, slow enough to not
+	// thrash on it.
+	calibrationEWMAWeight = 0.25
+	// FallbackUnitsPerMS prices predictions for families with no
+	// observations yet. Deliberately modest (~50M ops/s) so a cold tier
+	// over-predicts milliseconds and sheds early rather than admitting
+	// an hour of surprise backlog.
+	FallbackUnitsPerMS = 50_000.0
+	// calibrationMinMS floors measured durations: a timer quantization
+	// of zero must not divide the rate to infinity.
+	calibrationMinMS = 1e-3
+)
+
+// calibrator is the per-scheduler EWMA state, persisted across boots
+// inside the traffic sketch (traffic.Calibration is the wire type).
+type calibrator struct {
+	mu  sync.Mutex
+	fam map[string]traffic.Calibration
+}
+
+func newCalibrator() *calibrator {
+	return &calibrator{fam: make(map[string]traffic.Calibration)}
+}
+
+// observe feeds one completed task's measurement into its family's
+// EWMA. The first observation initializes the rate outright — a single
+// real measurement beats the fallback constant.
+func (c *calibrator) observe(family string, units, ms float64) {
+	if family == "" || units <= 0 || !(ms > 0) {
+		return
+	}
+	if ms < calibrationMinMS {
+		ms = calibrationMinMS
+	}
+	rate := units / ms
+	c.mu.Lock()
+	cur, ok := c.fam[family]
+	if !ok || cur.Observations == 0 {
+		cur = traffic.Calibration{UnitsPerMS: rate}
+	} else {
+		cur.UnitsPerMS += calibrationEWMAWeight * (rate - cur.UnitsPerMS)
+	}
+	cur.Observations++
+	c.fam[family] = cur
+	c.mu.Unlock()
+}
+
+// rate returns the family's learned units/ms, or the fallback when the
+// family has no observations. The bool reports whether the rate is
+// learned.
+func (c *calibrator) rate(family string) (float64, bool) {
+	c.mu.Lock()
+	cur, ok := c.fam[family]
+	c.mu.Unlock()
+	if !ok || cur.Observations == 0 || cur.UnitsPerMS <= 0 {
+		return FallbackUnitsPerMS, false
+	}
+	return cur.UnitsPerMS, true
+}
+
+// predictMS converts an estimate in abstract units into predicted
+// milliseconds of work under the family's current rate. Estimates are
+// clamped (MaxCostUnits) and rates are positive, so the prediction is
+// always finite.
+func (c *calibrator) predictMS(family string, units float64) float64 {
+	if units <= 0 {
+		return 0
+	}
+	rate, _ := c.rate(family)
+	return units / rate
+}
+
+// snapshot copies the calibration state, for persistence and status.
+func (c *calibrator) snapshot() map[string]traffic.Calibration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]traffic.Calibration, len(c.fam))
+	for f, cal := range c.fam {
+		out[f] = cal
+	}
+	return out
+}
+
+// restore seeds the calibrator with persisted state (a previous boot's
+// snapshot, carried by the traffic sketch). Entries without
+// observations or with non-positive rates are skipped; live state, if
+// any, is kept where it is fresher than the artifact.
+func (c *calibrator) restore(cal map[string]traffic.Calibration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for f, in := range cal {
+		if in.Observations == 0 || in.UnitsPerMS <= 0 {
+			continue
+		}
+		if cur, ok := c.fam[f]; ok && cur.Observations >= in.Observations {
+			continue
+		}
+		c.fam[f] = in
+	}
+}

@@ -1,0 +1,463 @@
+package task
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/algo"
+	"github.com/cyclerank/cyclerank-go/internal/traffic"
+)
+
+// TestObserveCostSubMillisecond is the regression for the calibration
+// truncation bug: observeCost divided by the integer RunMS, so a task
+// finishing in under a millisecond (RunMS 0) was dropped from the
+// calibration histogram entirely and never fed the EWMA — exactly the
+// fast interactive traffic the calibrator must learn from.
+func TestObserveCostSubMillisecond(t *testing.T) {
+	s, _, _ := blockingScheduler(t, SchedulerConfig{Workers: 1})
+
+	start := time.Now()
+	sub := Task{
+		EstimatedCost: 100,
+		CostFamily:    FamilyPush,
+		Started:       start,
+		Finished:      start.Add(500 * time.Microsecond),
+	}
+	stampTimesLocked(&sub)
+	if sub.RunMS != 0 {
+		t.Fatalf("fixture not sub-ms: RunMS = %d", sub.RunMS)
+	}
+	s.observeCost(sub)
+	if got := s.costPerMS.Count(); got != 1 {
+		t.Fatalf("sub-ms task dropped from calibration histogram: count %d", got)
+	}
+	// 100 units over 0.5 ms is 200 units/ms — not the 100 (or nothing)
+	// integer truncation produced.
+	if got := s.costPerMS.Sum(); math.Abs(got-200) > 1e-9 {
+		t.Errorf("observed rate %g, want 200", got)
+	}
+	if rate, learned := s.calibrator.rate(FamilyPush); !learned || math.Abs(rate-200) > 1e-9 {
+		t.Errorf("calibrator rate %g (learned %v), want 200", rate, learned)
+	}
+
+	// A 1.9 ms task must calibrate at /1.9, not /1 (the other half of
+	// the truncation: up to 2x inflated units/ms).
+	sub2 := Task{
+		EstimatedCost: 190,
+		CostFamily:    FamilyWalk,
+		Started:       start,
+		Finished:      start.Add(1900 * time.Microsecond),
+	}
+	stampTimesLocked(&sub2)
+	s.observeCost(sub2)
+	if rate, _ := s.calibrator.rate(FamilyWalk); math.Abs(rate-100) > 1e-9 {
+		t.Errorf("1.9ms task calibrated at %g units/ms, want 100 (truncation would give 190)", rate)
+	}
+}
+
+// TestObserveCostEndToEndSubMillisecond drives the same regression
+// through the real completion path: a noop task finishes in
+// microseconds and must still land in the calibration histogram.
+func TestObserveCostEndToEndSubMillisecond(t *testing.T) {
+	s, _, _ := blockingScheduler(t, SchedulerConfig{Workers: 1})
+	qs, _, err := s.Submit([]Spec{{Dataset: "demo", Algorithm: "noop"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	tasks, err := s.WaitQuerySet(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks[0].State != StateDone {
+		t.Fatalf("noop state %s: %s", tasks[0].State, tasks[0].Error)
+	}
+	waitFor(t, "completed task in calibration histogram", func() bool {
+		return s.costPerMS.Count() == 1
+	})
+	waitFor(t, "calibrator learning the noop's family", func() bool {
+		_, learned := s.calibrator.rate(tasks[0].CostFamily)
+		return learned
+	})
+}
+
+// TestEstimateCostClampedFinite locks the stamp-time clamp: parameter
+// corners that price to +Inf (non-positive rmax) come back as the
+// finite MaxCostUnits ceiling, so the admission backlog sum can never
+// be poisoned into NaN.
+func TestEstimateCostClampedFinite(t *testing.T) {
+	inf := EstimateCost(Spec{Algorithm: "ppr-target", Params: algo.Params{Target: "t", RMax: -1}}, CostStats{})
+	if math.IsInf(inf, 0) || math.IsNaN(inf) {
+		t.Fatalf("EstimateCost leaked non-finite %v", inf)
+	}
+	if inf != MaxCostUnits {
+		t.Errorf("clamped estimate %g, want MaxCostUnits", inf)
+	}
+	// Batch sums clamp too.
+	batch := Spec{Dataset: "d", Algorithm: "ppr-target", Queries: []SubSpec{
+		{Params: algo.Params{Target: "t", RMax: -1}},
+		{Params: algo.Params{Target: "t", RMax: -1}},
+	}}
+	if got := EstimateCost(batch, CostStats{}); got != MaxCostUnits {
+		t.Errorf("batch estimate %g, want MaxCostUnits", got)
+	}
+}
+
+// TestAdmissionSurvivesInfinityInjection injects a raw +Inf
+// reservation past the stamp-time clamp, straight into tryAdmit: the
+// guard must price it at the ceiling so release leaves the backlog at
+// exactly zero (not Inf − Inf = NaN) and backlog shedding keeps
+// working afterwards.
+func TestAdmissionSurvivesInfinityInjection(t *testing.T) {
+	s, _, _ := blockingScheduler(t, SchedulerConfig{
+		Workers:   1,
+		Admission: AdmissionConfig{MaxBacklogUnits: 1.5 * MaxCostUnits},
+	})
+	if shed := s.tryAdmit(map[string]admitReserve{"inf": {units: math.Inf(1), ms: math.Inf(1)}}); shed != nil {
+		t.Fatalf("ceiling-priced reservation shed: %v", shed)
+	}
+	snap := s.AdmissionStats()
+	if math.IsInf(snap.BacklogUnits, 0) || math.IsNaN(snap.BacklogUnits) {
+		t.Fatalf("raw Inf entered the backlog: %v", snap.BacklogUnits)
+	}
+	// A second ceiling-priced task overflows the cap — shedding works
+	// WITH the injected reservation still in flight.
+	shed := s.tryAdmit(map[string]admitReserve{"b": {units: MaxCostUnits}})
+	if shed == nil || shed.Reason != "backlog" {
+		t.Fatalf("overflow not shed: %v", shed)
+	}
+	s.admitRelease("inf")
+	snap = s.AdmissionStats()
+	if snap.BacklogUnits != 0 || snap.BacklogMS != 0 {
+		t.Errorf("backlog after release units=%v ms=%v, want exactly 0/0 (NaN disables shedding)",
+			snap.BacklogUnits, snap.BacklogMS)
+	}
+	// And the tier still sheds on backlog afterwards.
+	if shed := s.tryAdmit(map[string]admitReserve{"c": {units: 2 * MaxCostUnits}}); shed != nil {
+		t.Fatalf("post-drain admission broken: %v", shed)
+	}
+	if shed := s.tryAdmit(map[string]admitReserve{"d": {units: MaxCostUnits}}); shed == nil || shed.Reason != "backlog" {
+		t.Errorf("backlog shedding disabled after Inf injection: %v", shed)
+	}
+}
+
+// TestQueueFullReleasesReservation overflows the executor queue
+// mid-query-set: the failed tasks' admission reservations must be
+// released, and after the drain backlog_units and pending_interactive
+// return to exactly zero. Runs under -race via make test-race.
+func TestQueueFullReleasesReservation(t *testing.T) {
+	s, gate, _ := blockingScheduler(t, SchedulerConfig{
+		Workers:    1,
+		QueueDepth: 1,
+		Admission:  AdmissionConfig{InteractiveSlots: 16},
+	})
+	// Blocker occupies the only worker...
+	qs1, ids, err := s.Submit([]Spec{{Dataset: "demo", Algorithm: "block"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "blocker running", func() bool {
+		st, _ := s.Status(ids[0])
+		return st.State == StateRunning
+	})
+	// ...a filler occupies the single queue slot...
+	qs2, _, err := s.Submit([]Spec{{Dataset: "demo", Algorithm: "noop"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...so a 2-task query set is admitted (16 slots are free) but both
+	// enqueues overflow and fail the tasks.
+	qs3, ids3, err := s.Submit([]Spec{
+		{Dataset: "demo", Algorithm: "noop"},
+		{Dataset: "demo", Algorithm: "noop"},
+	})
+	if err != nil {
+		t.Fatalf("overflow set rejected at admission, want queue-full task failures: %v", err)
+	}
+	for _, id := range ids3 {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateFailed {
+			t.Errorf("overflowed task %s state %s, want failed", id, st.State)
+		}
+	}
+	// The overflowed tasks' reservations are already gone: only the
+	// blocker (started) and the filler (pending) remain.
+	snap := s.AdmissionStats()
+	if snap.Inflight != 2 || snap.PendingInteractive != 1 {
+		t.Errorf("inflight %d pending %d after overflow, want 2/1", snap.Inflight, snap.PendingInteractive)
+	}
+
+	close(gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, qs := range []string{qs1, qs2, qs3} {
+		if _, err := s.WaitQuerySet(ctx, qs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "admission drain", func() bool { return s.AdmissionStats().Inflight == 0 })
+	snap = s.AdmissionStats()
+	if snap.BacklogUnits != 0 || snap.BacklogMS != 0 || snap.PendingInteractive != 0 {
+		t.Errorf("after drain: backlog_units=%v backlog_ms=%v pending=%d, want zeros",
+			snap.BacklogUnits, snap.BacklogMS, snap.PendingInteractive)
+	}
+}
+
+// TestSLOShedFiresBeforeOccupancy breaches the interactive p99 SLO
+// while every occupancy limit is stone cold: the next interactive
+// submission sheds with reason "slo", batch traffic still flows, and
+// the shed is visible in the snapshot.
+func TestSLOShedFiresBeforeOccupancy(t *testing.T) {
+	s, _, _ := blockingScheduler(t, SchedulerConfig{
+		Workers: 2,
+		Admission: AdmissionConfig{
+			InteractiveSlots:      100,
+			MaxPendingInteractive: 100,
+			SLOInteractive:        50 * time.Millisecond,
+		},
+	})
+	// Below the SLO: admitted.
+	if _, _, err := s.Submit([]Spec{{Dataset: "demo", Algorithm: "noop"}}); err != nil {
+		t.Fatalf("pre-breach submission shed: %v", err)
+	}
+	waitFor(t, "pre-breach task drain", func() bool { return s.AdmissionStats().Inflight == 0 })
+	// Breach: a burst of 200 ms run times (≥ sloMinSamples of them).
+	for i := 0; i < sloMinSamples+2; i++ {
+		s.latWin.observe(200)
+	}
+	var shed *ShedError
+	_, _, err := s.Submit([]Spec{{Dataset: "demo", Algorithm: "noop"}})
+	if !errors.As(err, &shed) || shed.Reason != "slo" {
+		t.Fatalf("err = %v, want ShedError reason slo", err)
+	}
+	snap := s.AdmissionStats()
+	if snap.ShedSLO != 1 {
+		t.Errorf("shed_slo = %d, want 1", snap.ShedSLO)
+	}
+	if snap.Inflight != 0 || snap.PendingInteractive != 0 {
+		t.Errorf("occupancy warm (inflight %d pending %d) — slo did not fire first",
+			snap.Inflight, snap.PendingInteractive)
+	}
+	if snap.InteractiveP99MS <= 50 || snap.InteractiveSamples < sloMinSamples {
+		t.Errorf("snapshot p99 %gms over %d samples does not show the breach",
+			snap.InteractiveP99MS, snap.InteractiveSamples)
+	}
+	// Batch traffic is immune to the SLO gate too.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	qs, _, err := s.Submit([]Spec{{Dataset: "demo", Algorithm: "noop", Class: ClassBatch}})
+	if err != nil {
+		t.Fatalf("batch shed during slo breach: %v", err)
+	}
+	if tasks, err := s.WaitQuerySet(ctx, qs); err != nil || tasks[0].State != StateDone {
+		t.Fatalf("batch during breach: %v", err)
+	}
+}
+
+// TestSlotTunerHillClimb drives tuneSlots directly: a breached SLO
+// walks the limit down to the floor one step at a time; a comfortably
+// met SLO walks it back up to the ceiling.
+func TestSlotTunerHillClimb(t *testing.T) {
+	// Park the background tuner so only the direct tuneSlots calls
+	// below move the limit — the adjustment counts stay exact. The
+	// restore is a Cleanup registered BEFORE the fixture's, so it runs
+	// after Shutdown has joined the tuner goroutine (LIFO order).
+	oldInterval := slotTuneInterval
+	slotTuneInterval = time.Hour
+	t.Cleanup(func() { slotTuneInterval = oldInterval })
+	s, _, _ := blockingScheduler(t, SchedulerConfig{
+		Workers: 1,
+		Admission: AdmissionConfig{
+			InteractiveSlots:    3,
+			InteractiveSlotsMin: 1,
+			InteractiveSlotsMax: 4,
+			SLOInteractive:      100 * time.Millisecond,
+		},
+	})
+	slots := func() int { return s.AdmissionStats().SlotsCurrent }
+	if got := slots(); got != 3 {
+		t.Fatalf("initial slot limit %d, want 3", got)
+	}
+	// Too few samples: no move.
+	s.latWin.observe(500)
+	s.tuneSlots()
+	if got := slots(); got != 3 {
+		t.Errorf("tuner moved on %d samples: %d", 1, got)
+	}
+	for i := 0; i < sloMinSamples+1; i++ {
+		s.latWin.observe(500) // p99 ≫ SLO
+	}
+	s.tuneSlots()
+	s.tuneSlots()
+	s.tuneSlots() // bounded at the floor
+	if got := slots(); got != 1 {
+		t.Errorf("slot limit after breach %d, want floor 1", got)
+	}
+	// Flood the ring with fast samples so the live p99 drops under
+	// SLO/2, then climb back to the ceiling.
+	for i := 0; i < latencyWindowCap+8; i++ {
+		s.latWin.observe(10)
+	}
+	for i := 0; i < 5; i++ {
+		s.tuneSlots()
+	}
+	if got := slots(); got != 4 {
+		t.Errorf("slot limit after recovery %d, want ceiling 4", got)
+	}
+	snap := s.AdmissionStats()
+	if snap.SlotAdjustDown != 2 || snap.SlotAdjustUp != 3 {
+		t.Errorf("adjustments down=%d up=%d, want 2/3", snap.SlotAdjustDown, snap.SlotAdjustUp)
+	}
+}
+
+// TestSlotTunerTicks checks the background goroutine actually drives
+// the hill-climb: with a breached window and a fast tick, the limit
+// walks down without any direct tuneSlots call.
+func TestSlotTunerTicks(t *testing.T) {
+	oldInterval := slotTuneInterval
+	slotTuneInterval = 10 * time.Millisecond
+	t.Cleanup(func() { slotTuneInterval = oldInterval })
+	s, _, _ := blockingScheduler(t, SchedulerConfig{
+		Workers: 1,
+		Admission: AdmissionConfig{
+			InteractiveSlots:    4,
+			InteractiveSlotsMax: 4,
+			SLOInteractive:      100 * time.Millisecond,
+		},
+	})
+	for i := 0; i < sloMinSamples+1; i++ {
+		s.latWin.observe(500)
+	}
+	waitFor(t, "background tuner shrinking the slot limit", func() bool {
+		return s.AdmissionStats().SlotsCurrent < 4
+	})
+}
+
+// TestRetryAfterFromPredictedDrain checks the shed hint is derived
+// from the backlog's predicted drain time across the worker pool —
+// floored at the configured constant, capped at maxRetryAfter.
+func TestRetryAfterFromPredictedDrain(t *testing.T) {
+	s, _, _ := blockingScheduler(t, SchedulerConfig{
+		Workers:   2,
+		Admission: AdmissionConfig{InteractiveSlots: 1, RetryAfter: time.Second},
+	})
+	// 10 s of predicted work in flight on 2 workers → 5 s drain > 1 s floor.
+	if shed := s.tryAdmit(map[string]admitReserve{"a": {units: 1, ms: 10_000}}); shed != nil {
+		t.Fatal(shed)
+	}
+	shed := s.tryAdmit(map[string]admitReserve{"b": {units: 1, ms: 1}})
+	if shed == nil || shed.Reason != "slots" {
+		t.Fatalf("want slots shed, got %v", shed)
+	}
+	if shed.RetryAfter != 5*time.Second {
+		t.Errorf("RetryAfter %s, want 5s (drain-derived)", shed.RetryAfter)
+	}
+	s.admitRelease("a")
+
+	// An idle tier falls back to the configured floor.
+	if shed := s.tryAdmit(map[string]admitReserve{"c": {units: 1, ms: 1}}); shed != nil {
+		t.Fatal(shed)
+	}
+	shed = s.tryAdmit(map[string]admitReserve{"d": {units: 1, ms: 1}})
+	if shed == nil || shed.RetryAfter != time.Second {
+		t.Errorf("floor RetryAfter %v, want 1s", shed)
+	}
+	s.admitRelease("c")
+
+	// A pathological backlog is capped, not parroted.
+	if shed := s.tryAdmit(map[string]admitReserve{"e": {units: 1, ms: 1e9}}); shed != nil {
+		t.Fatal(shed)
+	}
+	shed = s.tryAdmit(map[string]admitReserve{"f": {units: 1, ms: 1}})
+	if shed == nil || shed.RetryAfter != maxRetryAfter {
+		t.Errorf("capped RetryAfter %v, want %s", shed, maxRetryAfter)
+	}
+}
+
+// TestCostFamilies locks the algorithm → calibration family mapping
+// and the batch blending rules.
+func TestCostFamilies(t *testing.T) {
+	cases := map[string]string{
+		"bippr-pair": FamilyBidirectional,
+		"ppr-target": FamilyPush,
+		"ppr-push":   FamilyPush,
+		"ppr-mc":     FamilyWalk,
+		"pagerank":   FamilyIterative,
+		"2drank":     FamilyIterative,
+		"cyclerank":  FamilyEnumeration,
+		"made-up":    FamilyOther,
+	}
+	for alg, want := range cases {
+		if got := CostFamily(Spec{Algorithm: alg}); got != want {
+			t.Errorf("CostFamily(%s) = %s, want %s", alg, got, want)
+		}
+	}
+	// Homogeneous batch keeps the family; heterogeneous is mixed.
+	if got := CostFamily(Spec{Algorithm: "ppr-target", Queries: []SubSpec{{}, {}}}); got != FamilyPush {
+		t.Errorf("homogeneous batch family %s, want push", got)
+	}
+	if got := CostFamily(Spec{Queries: []SubSpec{{Algorithm: "ppr-target"}, {Algorithm: "ppr-mc"}}}); got != FamilyMixed {
+		t.Errorf("heterogeneous batch family %s, want mixed", got)
+	}
+}
+
+// TestCalibratorEWMA locks the calibrator arithmetic: first
+// observation initializes, later ones move by the EWMA weight, cold
+// families predict at the fallback rate, and restore prefers whichever
+// side has seen more tasks.
+func TestCalibratorEWMA(t *testing.T) {
+	c := newCalibrator()
+	if rate, learned := c.rate(FamilyPush); learned || rate != FallbackUnitsPerMS {
+		t.Fatalf("cold rate %g learned=%v", rate, learned)
+	}
+	if got := c.predictMS(FamilyPush, 2*FallbackUnitsPerMS); math.Abs(got-2) > 1e-9 {
+		t.Errorf("cold prediction %g ms, want 2", got)
+	}
+	c.observe(FamilyPush, 1000, 1) // init: 1000 units/ms
+	if rate, _ := c.rate(FamilyPush); rate != 1000 {
+		t.Errorf("initial rate %g, want 1000", rate)
+	}
+	c.observe(FamilyPush, 2000, 1) // EWMA: 1000 + 0.25·(2000−1000)
+	if rate, _ := c.rate(FamilyPush); math.Abs(rate-1250) > 1e-9 {
+		t.Errorf("EWMA rate %g, want 1250", rate)
+	}
+	// Convergence: repeated observations at a stable rate close the gap.
+	for i := 0; i < 20; i++ {
+		c.observe(FamilyPush, 2000, 1)
+	}
+	if rate, _ := c.rate(FamilyPush); math.Abs(rate-2000)/2000 > 0.01 {
+		t.Errorf("rate %g did not converge to 2000", rate)
+	}
+	// Garbage observations are ignored.
+	c.observe(FamilyPush, math.Inf(1), math.NaN())
+	c.observe("", 100, 1)
+	if rate, _ := c.rate(FamilyPush); math.IsNaN(rate) || math.IsInf(rate, 0) {
+		t.Errorf("garbage observation corrupted the rate: %v", rate)
+	}
+
+	// restore: persisted state seeds cold families but never clobbers a
+	// better-fed live one.
+	c2 := newCalibrator()
+	c2.observe(FamilyWalk, 500, 1)
+	c2.restore(map[string]traffic.Calibration{
+		FamilyPush: {UnitsPerMS: 3000, Observations: 9},
+		FamilyWalk: {UnitsPerMS: 9999, Observations: 1}, // not fresher than live
+		"dead":     {UnitsPerMS: 0, Observations: 5},    // invalid rate, skipped
+	})
+	if rate, learned := c2.rate(FamilyPush); !learned || rate != 3000 {
+		t.Errorf("restored rate %g learned=%v", rate, learned)
+	}
+	if rate, _ := c2.rate(FamilyWalk); rate != 500 {
+		t.Errorf("restore clobbered live state: %g", rate)
+	}
+	if _, learned := c2.rate("dead"); learned {
+		t.Error("restore accepted an invalid rate")
+	}
+}

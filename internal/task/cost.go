@@ -49,6 +49,89 @@ func (st CostStats) avgDegree() float64 {
 	return d
 }
 
+// MaxCostUnits is the finite ceiling every estimate is clamped to at
+// stamp time. The admission backlog is a running float sum; a single
+// +Inf entering it would make release compute Inf − Inf = NaN and
+// silently disable backlog shedding until the tier drained idle, so
+// "absurdly expensive" is represented as this ceiling — large enough
+// (10^15 elementary operations ≈ days of work) that anything clamped
+// is shed by any sane backlog cap anyway.
+const MaxCostUnits = 1e15
+
+// clampCost maps an estimate onto (0, MaxCostUnits]: non-finite or
+// over-ceiling values (a zero rmax pricing to +Inf, a pathological K)
+// become the ceiling, and NaN — unknowable — is priced as the ceiling
+// too, erring on the shed side.
+func clampCost(u float64) float64 {
+	if math.IsNaN(u) || u > MaxCostUnits {
+		return MaxCostUnits
+	}
+	return u
+}
+
+// Calibration families: algorithms sharing an inner-loop operation
+// share a units/ms rate, so their observations pool (see calibrator).
+const (
+	FamilyBidirectional = "bidirectional" // push + walk mix (bippr-pair)
+	FamilyPush          = "push"          // local push, forward or reverse
+	FamilyWalk          = "walk"          // Monte-Carlo walk stepping
+	FamilyIterative     = "iterative"     // dense power iteration
+	FamilyEnumeration   = "enumeration"   // bounded cycle enumeration
+	FamilyOther         = "other"         // unknown algorithms
+	FamilyMixed         = "mixed"         // batches spanning families
+)
+
+// queryCostFamily buckets one algorithm.
+func queryCostFamily(algorithm string) string {
+	switch algorithm {
+	case "bippr-pair":
+		return FamilyBidirectional
+	case "ppr-target", "ppr-push":
+		return FamilyPush
+	case "ppr-mc":
+		return FamilyWalk
+	case "pagerank", "ppr", "cheirank", "pcheirank", "2drank", "p2drank":
+		return FamilyIterative
+	case "cyclerank":
+		return FamilyEnumeration
+	}
+	return FamilyOther
+}
+
+// CostFamily maps a spec to its calibration family. A batch whose
+// subqueries all share one family calibrates as that family; a
+// heterogeneous batch is "mixed" — its rate is a blend no single
+// family should learn from.
+func CostFamily(s Spec) string {
+	if s.IsBatch() {
+		fam := ""
+		for _, q := range s.Queries {
+			alg := q.Algorithm
+			if alg == "" {
+				alg = s.Algorithm
+			}
+			f := queryCostFamily(alg)
+			if fam == "" {
+				fam = f
+			} else if fam != f {
+				return FamilyMixed
+			}
+		}
+		if fam == "" {
+			return FamilyOther
+		}
+		return fam
+	}
+	return queryCostFamily(s.Algorithm)
+}
+
+// CostFamilies lists every calibration family, for eager metric
+// registration.
+func CostFamilies() []string {
+	return []string{FamilyBidirectional, FamilyPush, FamilyWalk,
+		FamilyIterative, FamilyEnumeration, FamilyOther, FamilyMixed}
+}
+
 // EstimateCost prices a spec in abstract work units — roughly
 // "elementary graph operations": one reverse-push edge update, one
 // random-walk step, one edge relaxation of a power iteration. The
@@ -66,6 +149,11 @@ func (st CostStats) avgDegree() float64 {
 // TestEstimateVsActualWithinBand.
 //
 // A batch spec prices as the sum of its subqueries.
+//
+// The return value is always finite: estimates are clamped to
+// MaxCostUnits at stamp time (see clampCost) because they flow into
+// the admission backlog's running sum, which a single +Inf would
+// poison into NaN.
 func EstimateCost(s Spec, st CostStats) float64 {
 	if s.IsBatch() {
 		var sum float64
@@ -76,9 +164,9 @@ func EstimateCost(s Spec, st CostStats) float64 {
 			}
 			sum += estimateQueryCost(alg, q.Params, st)
 		}
-		return sum
+		return clampCost(sum)
 	}
-	return estimateQueryCost(s.Algorithm, s.Params, st)
+	return clampCost(estimateQueryCost(s.Algorithm, s.Params, st))
 }
 
 // estimateQueryCost prices one (algorithm, params) query.
@@ -116,7 +204,7 @@ func estimateQueryCost(algorithm string, p algo.Params, st CostStats) float64 {
 		if k == 0 {
 			k = 3
 		}
-		return math.Min(math.Pow(st.avgDegree(), float64(k))+st.edges(), 1e15)
+		return math.Min(math.Pow(st.avgDegree(), float64(k))+st.edges(), MaxCostUnits)
 	}
 	// Unknown algorithm: one full pass over the graph.
 	return st.nodes() + st.edges()

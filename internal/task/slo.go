@@ -1,0 +1,98 @@
+package task
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow tracks recent interactive run times for tail-latency
+// shedding and slot auto-sizing. It is a small time-bounded ring: the
+// newest latencyWindowCap samples, each expiring latencyWindowSpan
+// after it was observed — so the p99 both reacts to a fresh burst of
+// slow tasks and RECOVERS by pure passage of time. Recovery-by-expiry
+// matters: once "slo" shedding fires, fewer tasks run and fewer
+// samples arrive; without expiry one slow burst would pin the p99 high
+// and shed forever.
+//
+// The percentile is cached: observe() recomputes it (off the admission
+// path — a few microseconds of sorting per completed task), and
+// readers only pay a recompute when the cache has aged past
+// latencyRecomputeTTL without new completions, keeping tryAdmit's
+// fast-reject in the microsecond band.
+const (
+	latencyWindowCap    = 512
+	latencyWindowSpan   = 30 * time.Second
+	latencyRecomputeTTL = time.Second
+	// sloMinSamples is the minimum live sample count before the p99 is
+	// trusted to shed: one slow outlier on an idle tier is not a tail.
+	sloMinSamples = 5
+)
+
+type latencySample struct {
+	at time.Time
+	ms float64
+}
+
+type latencyWindow struct {
+	mu         sync.Mutex
+	buf        []latencySample // ring, newest overwrites oldest
+	next       int
+	cachedP99  float64
+	cachedN    int
+	computedAt time.Time
+}
+
+func newLatencyWindow() *latencyWindow {
+	return &latencyWindow{buf: make([]latencySample, 0, latencyWindowCap)}
+}
+
+// observe records one run time and refreshes the cached percentile.
+func (w *latencyWindow) observe(ms float64) {
+	now := time.Now()
+	w.mu.Lock()
+	if len(w.buf) < latencyWindowCap {
+		w.buf = append(w.buf, latencySample{at: now, ms: ms})
+	} else {
+		w.buf[w.next] = latencySample{at: now, ms: ms}
+		w.next = (w.next + 1) % latencyWindowCap
+	}
+	w.recomputeLocked(now)
+	w.mu.Unlock()
+}
+
+// p99 returns the cached 99th-percentile run time in milliseconds and
+// the live sample count it was computed over. The cache is refreshed
+// when stale so an idle tier's percentile decays as samples expire.
+func (w *latencyWindow) p99() (ms float64, samples int) {
+	now := time.Now()
+	w.mu.Lock()
+	if now.Sub(w.computedAt) > latencyRecomputeTTL {
+		w.recomputeLocked(now)
+	}
+	ms, samples = w.cachedP99, w.cachedN
+	w.mu.Unlock()
+	return ms, samples
+}
+
+func (w *latencyWindow) recomputeLocked(now time.Time) {
+	live := make([]float64, 0, len(w.buf))
+	cutoff := now.Add(-latencyWindowSpan)
+	for _, s := range w.buf {
+		if s.at.After(cutoff) {
+			live = append(live, s.ms)
+		}
+	}
+	w.computedAt = now
+	w.cachedN = len(live)
+	if len(live) == 0 {
+		w.cachedP99 = 0
+		return
+	}
+	sort.Float64s(live)
+	idx := (len(live)*99 + 99) / 100 // ceil(0.99·n)
+	if idx > len(live) {
+		idx = len(live)
+	}
+	w.cachedP99 = live[idx-1]
+}

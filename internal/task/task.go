@@ -155,8 +155,19 @@ type Task struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// EstimatedCost is the admission-time work prediction in abstract
 	// units (see EstimateCost), stamped at submit so a poll can compare
-	// the prediction against the eventual RunMS.
+	// the prediction against the eventual RunMS. Always finite
+	// (clamped to MaxCostUnits).
 	EstimatedCost float64 `json:"estimated_cost,omitempty"`
+	// CostFamily is the calibration family the estimate was priced
+	// under (see CostFamily) — the bucket whose learned units/ms rate
+	// produced PredictedMS, and the one this task's measured run time
+	// feeds back into.
+	CostFamily string `json:"cost_family,omitempty"`
+	// PredictedMS is the admission-time milliseconds-of-work prediction
+	// (EstimatedCost divided by the family's calibrated units/ms),
+	// stamped at submit so a poll can compare it against RunMS and the
+	// control-loop test can assert convergence.
+	PredictedMS float64 `json:"predicted_ms,omitempty"`
 }
 
 // IsBatch reports whether the task is a batch.

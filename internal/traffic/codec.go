@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -17,18 +18,35 @@ import (
 //	depth    uint32
 //	topK     uint32
 //	recorded uint64
+//	epoch    uint64   completed decay passes           (v2 only)
 //	counts   width·depth × uint32
 //	nTop     uint32
 //	entries  nTop × (keyLen uint16, key bytes, count uint64)
+//	nCal     uint32                                    (v2 only)
+//	cals     nCal × (famLen uint16, family bytes,      (v2 only)
+//	                 unitsPerMS float64 bits, observations uint64)
 //	crc32    uint32   IEEE checksum of everything above
+//
+// v2 added the decay epoch and the cost-calibration entries; Encode
+// writes v2 and Decode dispatches on the version field, so v1
+// artifacts written by older processes keep loading (epoch 0, no
+// calibration — exactly the state a v1 process was in).
 //
 // The trailing checksum plus the version field make loads
 // corruption-tolerant in the PR 3/5 artifact style — but with a
 // softer consumer contract: the sketch is pure optimization state, so
-// callers use Load, which turns ANY decode failure (version change,
+// callers use Load, which turns ANY decode failure (future version,
 // truncation, bit flip) into a cold sketch. Corruption costs warmth,
 // never correctness.
-const sketchCodecVersion = 1
+const (
+	sketchCodecV1      = 1
+	sketchCodecVersion = 2
+)
+
+// maxCalEntries bounds the calibration section the decoder will
+// allocate for: there is one entry per algorithm family, a handful in
+// practice.
+const maxCalEntries = 1 << 10
 
 // ErrSketchCorrupt reports a persisted sketch that failed structural
 // validation or its checksum.
@@ -38,7 +56,7 @@ var ErrSketchCorrupt = errors.New("traffic: sketch artifact corrupt")
 // codec version.
 var ErrSketchVersion = errors.New("traffic: sketch artifact version mismatch")
 
-// Encode serializes the sketch into the versioned binary format.
+// Encode serializes the sketch into the current (v2) binary format.
 func (s *Sketch) Encode() []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -48,24 +66,64 @@ func (s *Sketch) Encode() []byte {
 	writeU32(&buf, uint32(s.depth))
 	writeU32(&buf, uint32(s.topK))
 	writeU64(&buf, s.recorded)
+	writeU64(&buf, s.decayEpoch)
 	for _, c := range s.counts {
 		writeU32(&buf, c)
 	}
-	// Deterministic entry order (TopK order) so identical sketches
-	// encode identically.
+	s.encodeTopLocked(&buf)
+	// Calibration entries, family-sorted for deterministic bytes.
+	fams := make([]string, 0, len(s.cal))
+	for fam := range s.cal {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	writeU32(&buf, uint32(len(fams)))
+	for _, fam := range fams {
+		c := s.cal[fam]
+		writeU16(&buf, uint16(len(fam)))
+		buf.WriteString(fam)
+		writeU64(&buf, math.Float64bits(c.UnitsPerMS))
+		writeU64(&buf, c.Observations)
+	}
+	writeU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
+	return buf.Bytes()
+}
+
+// EncodeV1 serializes the sketch into the legacy v1 format — no decay
+// epoch, no calibration entries. Exported for mixed-version tests and
+// for rollback tooling; new writes use Encode.
+func (s *Sketch) EncodeV1() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf bytes.Buffer
+	writeU16(&buf, sketchCodecV1)
+	writeU32(&buf, uint32(s.width))
+	writeU32(&buf, uint32(s.depth))
+	writeU32(&buf, uint32(s.topK))
+	writeU64(&buf, s.recorded)
+	for _, c := range s.counts {
+		writeU32(&buf, c)
+	}
+	s.encodeTopLocked(&buf)
+	writeU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
+	return buf.Bytes()
+}
+
+// encodeTopLocked appends the heavy-hitter section shared by both
+// codec versions, in deterministic (TopK) order so identical sketches
+// encode identically.
+func (s *Sketch) encodeTopLocked(buf *bytes.Buffer) {
 	top := make([]KeyCount, 0, len(s.top))
 	for k, c := range s.top {
 		top = append(top, KeyCount{Key: k, Count: c})
 	}
 	sortKeyCounts(top)
-	writeU32(&buf, uint32(len(top)))
+	writeU32(buf, uint32(len(top)))
 	for _, kc := range top {
-		writeU16(&buf, uint16(len(kc.Key)))
+		writeU16(buf, uint16(len(kc.Key)))
 		buf.WriteString(kc.Key)
-		writeU64(&buf, kc.Count)
+		writeU64(buf, kc.Count)
 	}
-	writeU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
-	return buf.Bytes()
 }
 
 // Decode parses a persisted sketch, distinguishing version mismatch
@@ -83,7 +141,7 @@ func Decode(data []byte) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != sketchCodecVersion {
+	if version != sketchCodecV1 && version != sketchCodecVersion {
 		return nil, fmt.Errorf("%w: file version %d, codec version %d",
 			ErrSketchVersion, version, sketchCodecVersion)
 	}
@@ -105,6 +163,12 @@ func Decode(data []byte) (*Sketch, error) {
 	recorded, err := r.u64()
 	if err != nil {
 		return nil, err
+	}
+	var epoch uint64
+	if version >= sketchCodecVersion {
+		if epoch, err = r.u64(); err != nil {
+			return nil, err
+		}
 	}
 	counts := make([]uint32, int(width)*int(depth))
 	for i := range counts {
@@ -138,16 +202,56 @@ func Decode(data []byte) (*Sketch, error) {
 		}
 		top[string(key)] = count
 	}
+	cal := make(map[string]Calibration)
+	if version >= sketchCodecVersion {
+		nCal, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if nCal > maxCalEntries {
+			return nil, fmt.Errorf("%w: %d calibration entries", ErrSketchCorrupt, nCal)
+		}
+		for i := uint32(0); i < nCal; i++ {
+			flen, err := r.u16()
+			if err != nil {
+				return nil, err
+			}
+			if flen == 0 || int(flen) > maxKeyLen {
+				return nil, fmt.Errorf("%w: family length %d", ErrSketchCorrupt, flen)
+			}
+			fam, err := r.bytes(int(flen))
+			if err != nil {
+				return nil, err
+			}
+			bits, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			obs, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			rate := math.Float64frombits(bits)
+			// A calibration that is not a positive finite rate can only
+			// mislead the estimator; treat it as the corruption it is.
+			if !(rate > 0) || math.IsInf(rate, 1) {
+				return nil, fmt.Errorf("%w: calibration %q rate %v", ErrSketchCorrupt, fam, rate)
+			}
+			cal[string(fam)] = Calibration{UnitsPerMS: rate, Observations: obs}
+		}
+	}
 	if r.remaining() != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSketchCorrupt, r.remaining())
 	}
 	return &Sketch{
-		width:    int(width),
-		depth:    int(depth),
-		topK:     int(topK),
-		counts:   counts,
-		top:      top,
-		recorded: recorded,
+		width:      int(width),
+		depth:      int(depth),
+		topK:       int(topK),
+		counts:     counts,
+		top:        top,
+		recorded:   recorded,
+		decayEpoch: epoch,
+		cal:        cal,
 	}, nil
 }
 

@@ -45,13 +45,28 @@ type KeyCount struct {
 // for the long tail plus an exact count table for keys that ever
 // entered the top K. Zero value is not usable; call New.
 type Sketch struct {
-	mu       sync.Mutex
-	width    int
-	depth    int
-	topK     int
-	counts   []uint32          // depth rows of width counters
-	top      map[string]uint64 // exact counts for current heavy hitters
-	recorded uint64            // total Record calls
+	mu         sync.Mutex
+	width      int
+	depth      int
+	topK       int
+	counts     []uint32          // depth rows of width counters
+	top        map[string]uint64 // exact counts for current heavy hitters
+	recorded   uint64            // total Record calls
+	decayEpoch uint64            // completed Decay passes (survives restarts)
+
+	// cal carries the serving tier's cost-calibration state so it
+	// persists and restores alongside the workload counts — the two
+	// halves of "what the previous boot learned". The sketch only
+	// stores it; the scheduler's calibrator owns the arithmetic.
+	cal map[string]Calibration
+}
+
+// Calibration is one algorithm family's persisted cost-calibration
+// state: the EWMA of observed work units per millisecond plus how many
+// completed tasks fed it.
+type Calibration struct {
+	UnitsPerMS   float64 `json:"units_per_ms"`
+	Observations uint64  `json:"observations"`
 }
 
 // New returns an empty sketch with default dimensions keeping up to
@@ -69,6 +84,7 @@ func New(topK int) *Sketch {
 		topK:   topK,
 		counts: make([]uint32, DefaultWidth*DefaultDepth),
 		top:    make(map[string]uint64),
+		cal:    make(map[string]Calibration),
 	}
 }
 
@@ -136,11 +152,17 @@ func (s *Sketch) updateTopLocked(key string, est uint64) {
 	}
 }
 
-// Count returns the sketch's (over-)estimate for key.
+// Count returns the best available count for key: the exact value when
+// key is a current heavy hitter (so Count and TopK can never disagree
+// about the keys that matter), the count-min (over-)estimate for the
+// long tail.
 func (s *Sketch) Count(key string) uint64 {
 	h1, h2 := hashPair(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if c, ok := s.top[key]; ok {
+		return c
+	}
 	est := uint32(1<<32 - 1)
 	for row := 0; row < s.depth; row++ {
 		i := (h1 + uint64(row)*h2) % uint64(s.width)
@@ -149,6 +171,55 @@ func (s *Sketch) Count(key string) uint64 {
 		}
 	}
 	return uint64(est)
+}
+
+// Decay halves every count-min counter and every heavy-hitter count,
+// dropping top entries that reach zero — the periodic aging pass that
+// lets yesterday's hot keys fall out of the pre-warm pin set instead
+// of pinning forever. Integer halving guarantees convergence: a key
+// that stops being requested reaches zero after at most log2(count)+1
+// passes. The completed pass count travels with the codec (v2) so a
+// restored sketch keeps aging from where it left off.
+func (s *Sketch) Decay() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.counts {
+		s.counts[i] >>= 1
+	}
+	for k, c := range s.top {
+		c >>= 1
+		if c == 0 {
+			delete(s.top, k)
+		} else {
+			s.top[k] = c
+		}
+	}
+	s.decayEpoch++
+}
+
+// SetCalibrations replaces the persisted cost-calibration state the
+// sketch carries. The map is copied; families with zero observations
+// are dropped.
+func (s *Sketch) SetCalibrations(cal map[string]Calibration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cal = make(map[string]Calibration, len(cal))
+	for fam, c := range cal {
+		if c.Observations > 0 {
+			s.cal[fam] = c
+		}
+	}
+}
+
+// Calibrations returns a copy of the carried cost-calibration state.
+func (s *Sketch) Calibrations() map[string]Calibration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Calibration, len(s.cal))
+	for fam, c := range s.cal {
+		out[fam] = c
+	}
+	return out
 }
 
 // TopK returns the heavy hitters, highest count first (key ascending
@@ -177,6 +248,9 @@ type Stats struct {
 	TopK     int    `json:"top_k"`
 	Width    int    `json:"width"`
 	Depth    int    `json:"depth"`
+	// DecayEpoch counts completed Decay passes over the sketch's
+	// lifetime, including passes run by previous processes.
+	DecayEpoch uint64 `json:"decay_epoch"`
 }
 
 // Stats returns a snapshot of the sketch's shape and fill.
@@ -184,10 +258,11 @@ func (s *Sketch) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Recorded: s.recorded,
-		Tracked:  len(s.top),
-		TopK:     s.topK,
-		Width:    s.width,
-		Depth:    s.depth,
+		Recorded:   s.recorded,
+		Tracked:    len(s.top),
+		TopK:       s.topK,
+		Width:      s.width,
+		Depth:      s.depth,
+		DecayEpoch: s.decayEpoch,
 	}
 }

@@ -266,6 +266,221 @@ func TestLoadRestoresWarmState(t *testing.T) {
 	}
 }
 
+// cmEstimate computes the raw count-min estimate for key, bypassing
+// the heavy-hitter table — the pre-fix Count behaviour, kept here so
+// tests can prove a collision actually inflated the sketch rows.
+func cmEstimate(s *Sketch, key string) uint64 {
+	h1, h2 := hashPair(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	est := uint32(1<<32 - 1)
+	for row := 0; row < s.depth; row++ {
+		i := (h1 + uint64(row)*h2) % uint64(s.width)
+		if c := s.counts[row*s.width+int(i)]; c < est {
+			est = c
+		}
+	}
+	return uint64(est)
+}
+
+// TestCountAgreesWithTopK forces count-min collisions onto a heavy
+// hitter and checks Count reports the exact top-table value, never the
+// inflated sketch estimate — so Count and TopK can no longer disagree
+// about the keys pre-warm pins.
+func TestCountAgreesWithTopK(t *testing.T) {
+	s := New(4)
+	const exact = 10
+	for i := 0; i < exact; i++ {
+		s.Record("heavy-hitter")
+	}
+	// Flood distinct filler keys until some land in heavy-hitter's
+	// cells in every row and the count-min estimate rises above the
+	// exact count. 4 rows × 1024 counters fill fast; cap the flood so
+	// a hash-function change fails loudly instead of spinning.
+	flooded := 0
+	for cmEstimate(s, "heavy-hitter") <= exact {
+		s.Record(fmt.Sprintf("filler-%d", flooded))
+		flooded++
+		if flooded > 200_000 {
+			t.Fatal("could not force a count-min collision; hash layout changed?")
+		}
+	}
+	if got := s.Count("heavy-hitter"); got != exact {
+		t.Errorf("Count = %d, want exact %d (cm estimate %d)",
+			got, exact, cmEstimate(s, "heavy-hitter"))
+	}
+	var inTop uint64
+	for _, kc := range s.TopK() {
+		if kc.Key == "heavy-hitter" {
+			inTop = kc.Count
+		}
+	}
+	if inTop == 0 {
+		t.Fatal("heavy-hitter fell out of TopK; raise its count")
+	}
+	if got := s.Count("heavy-hitter"); got != inTop {
+		t.Errorf("Count (%d) and TopK (%d) disagree", got, inTop)
+	}
+}
+
+// TestSketchDecay checks one Decay pass halves both tiers, that keys
+// reaching zero leave the heavy-hitter table, and that repeated passes
+// converge every count to zero.
+func TestSketchDecay(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 9; i++ {
+		s.Record("hot") // odd count: halving must floor, 9 → 4
+	}
+	s.Record("once")
+
+	s.Decay()
+	if got := s.Count("hot"); got != 4 {
+		t.Errorf("Count(hot) after decay = %d, want 4", got)
+	}
+	if got := s.Count("once"); got != 0 {
+		t.Errorf("Count(once) after decay = %d, want 0", got)
+	}
+	top := s.TopK()
+	if len(top) != 1 || top[0].Key != "hot" {
+		t.Errorf("TopK after decay = %v, want only hot (once dropped at zero)", top)
+	}
+	if got := s.Stats().DecayEpoch; got != 1 {
+		t.Errorf("DecayEpoch = %d, want 1", got)
+	}
+
+	// log2(4)+1 = 3 more passes empty the sketch entirely.
+	for i := 0; i < 3; i++ {
+		s.Decay()
+	}
+	if got := s.Count("hot"); got != 0 {
+		t.Errorf("Count(hot) after full decay = %d, want 0", got)
+	}
+	if got := len(s.TopK()); got != 0 {
+		t.Errorf("TopK after full decay has %d entries, want 0", got)
+	}
+	if got := s.Stats().DecayEpoch; got != 4 {
+		t.Errorf("DecayEpoch = %d, want 4", got)
+	}
+	// Recorded is a lifetime total; decay must not rewrite history.
+	if got := s.Stats().Recorded; got != 10 {
+		t.Errorf("Recorded after decay = %d, want 10", got)
+	}
+}
+
+// TestSketchCodecV2CarriesDecayAndCalibration checks the v2 additions
+// round-trip: decay epoch and calibration entries survive
+// Encode→Decode, and encoding stays deterministic.
+func TestSketchCodecV2CarriesDecayAndCalibration(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 40; i++ {
+		s.Record("k")
+	}
+	s.Decay()
+	s.Decay()
+	s.SetCalibrations(map[string]Calibration{
+		"walk":        {UnitsPerMS: 52_341.5, Observations: 120},
+		"push":        {UnitsPerMS: 9_988.25, Observations: 3},
+		"never-ran":   {UnitsPerMS: 1, Observations: 0}, // dropped: no observations
+		"enumeration": {UnitsPerMS: 123_456, Observations: 7},
+	})
+
+	data := s.Encode()
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if g, w := got.Stats(), s.Stats(); g != w {
+		t.Errorf("stats %+v != %+v", g, w)
+	}
+	if g := got.Stats().DecayEpoch; g != 2 {
+		t.Errorf("decoded DecayEpoch = %d, want 2", g)
+	}
+	cal := got.Calibrations()
+	if len(cal) != 3 {
+		t.Fatalf("decoded %d calibrations, want 3 (zero-obs dropped): %v", len(cal), cal)
+	}
+	if c := cal["walk"]; c.UnitsPerMS != 52_341.5 || c.Observations != 120 {
+		t.Errorf("walk calibration = %+v", c)
+	}
+	if c := cal["push"]; c.UnitsPerMS != 9_988.25 || c.Observations != 3 {
+		t.Errorf("push calibration = %+v", c)
+	}
+	if string(s.Encode()) != string(data) {
+		t.Error("v2 Encode is not deterministic")
+	}
+}
+
+// TestSketchCodecV1StillLoads checks artifacts written by the legacy
+// v1 encoder keep loading: counts and heavy hitters restore, the decay
+// epoch is zero, and no calibration state is invented.
+func TestSketchCodecV1StillLoads(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 17; i++ {
+		s.Record("legacy-hot")
+	}
+	s.Record("legacy-cold")
+
+	got, restored := Load(s.EncodeV1(), 4)
+	if !restored {
+		t.Fatal("Load rejected a v1 artifact")
+	}
+	if g := got.Count("legacy-hot"); g != 17 {
+		t.Errorf("Count(legacy-hot) = %d, want 17", g)
+	}
+	if g := got.Stats().DecayEpoch; g != 0 {
+		t.Errorf("v1 DecayEpoch = %d, want 0", g)
+	}
+	if cal := got.Calibrations(); len(cal) != 0 {
+		t.Errorf("v1 load invented calibrations: %v", cal)
+	}
+	// The restored sketch must be fully usable: decay it, calibrate it,
+	// re-encode as v2, and reload.
+	got.Decay()
+	got.SetCalibrations(map[string]Calibration{"walk": {UnitsPerMS: 100, Observations: 1}})
+	again, restored := Load(got.Encode(), 4)
+	if !restored || again.Stats().DecayEpoch != 1 || len(again.Calibrations()) != 1 {
+		t.Errorf("v1→v2 upgrade round trip failed: restored=%v stats=%+v cal=%v",
+			restored, again.Stats(), again.Calibrations())
+	}
+}
+
+// TestSketchCodecCalibrationCorruption checks the v2 calibration
+// section is validated: non-finite or non-positive rates and
+// implausible entry counts are corruption, and Load masks them cold.
+func TestSketchCodecCalibrationCorruption(t *testing.T) {
+	s := New(4)
+	s.Record("x")
+	s.SetCalibrations(map[string]Calibration{"walk": {UnitsPerMS: 42, Observations: 9}})
+	data := s.Encode()
+
+	// The calibration rate is the 8 bytes after nCal(4) + famLen(2) +
+	// "walk"(4), counted back from crc(4) + observations(8).
+	rateOff := len(data) - 4 - 8 - 8
+	for _, bad := range []float64{math.Inf(1), math.NaN(), -1, 0} {
+		bits := math.Float64bits(bad)
+		mut := append([]byte(nil), data...)
+		for i := 0; i < 8; i++ {
+			mut[rateOff+i] = byte(bits >> (8 * i))
+		}
+		resealCRC(mut)
+		if _, err := Decode(mut); !strings.Contains(fmt.Sprint(err), "calibration") {
+			t.Errorf("rate %v: Decode error %v, want calibration corruption", bad, err)
+		}
+		if cold, restored := Load(mut, 4); restored || cold.Stats().Recorded != 0 {
+			t.Errorf("rate %v: Load not cold", bad)
+		}
+	}
+
+	// An absurd nCal must be rejected before any allocation.
+	nCalOff := rateOff - 4 - 2 - 4
+	huge := append([]byte(nil), data...)
+	huge[nCalOff], huge[nCalOff+1], huge[nCalOff+2], huge[nCalOff+3] = 0xFF, 0xFF, 0xFF, 0x7F
+	resealCRC(huge)
+	if _, err := Decode(huge); err == nil {
+		t.Fatal("Decode accepted implausible calibration count")
+	}
+}
+
 // TestWarmKeyRoundTrip checks both key kinds survive String→Parse with
 // exact float bits, and that hostile labels are escaped.
 func TestWarmKeyRoundTrip(t *testing.T) {
