@@ -22,9 +22,10 @@ test: vet
 # cache (singleflight recording), the scheduler and its intra-batch
 # subquery pool (concurrent submit + mid-batch cancel, admission
 # floods), the HTTP layer, the traffic sketch hammered from many
-# recorders, and the obs registry's lock-free counters and histograms.
+# recorders, the obs registry's lock-free counters and histograms,
+# and the graph hot-path views (atomic config, pooled decode scratch).
 test-race:
-	$(GO) test -race ./internal/obs/ ./internal/bippr/ ./internal/task/ ./internal/server/ ./internal/traffic/
+	$(GO) test -race ./internal/obs/ ./internal/bippr/ ./internal/task/ ./internal/server/ ./internal/traffic/ ./internal/graph/
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
@@ -36,7 +37,7 @@ bench:
 # the pipe into the converter.
 bench-json:
 	@out=$$(mktemp); \
-	$(GO) test -run NONE -bench 'BiPPR|PPRTarget|TargetIndexStorage|EndpointPersist|ObsOverhead|AdmissionOverhead|WalkBatch|EndpointCodec|CSRLayout' -benchmem -benchtime $(BENCHTIME) . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
+	$(GO) test -run NONE -bench 'BiPPR|PPRTarget|TargetIndexStorage|EndpointPersist|ObsOverhead|AdmissionOverhead|WalkBatch|EndpointCodec|CSRLayout|WalkSampleTable|CSRCompress|PushBlocked' -benchmem -benchtime $(BENCHTIME) . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
 	$(GO) run ./cmd/benchjson -out BENCH_bippr.json < $$out || { rm -f $$out; exit 1; }; \
 	rm -f $$out
 	@echo wrote BENCH_bippr.json

@@ -622,6 +622,114 @@ func BenchmarkCSRLayout(b *testing.B) {
 	}
 }
 
+// BenchmarkWalkSampleTable isolates the stepping primitive inside the
+// batched cohort walk phase: CSR slice loads per step versus the
+// packed (rowStart, degree) sample-table words. Both consume identical
+// per-walk RNG substreams, so estimates are bit-identical
+// (test-enforced by TestBatchedSteppingBitIdentical); only the loads
+// per step differ.
+func BenchmarkWalkSampleTable(b *testing.B) {
+	g := loadGraph(b, "enwiki-2018")
+	src := mustNode(b, g, "Brian May")
+	values := make([]float64, g.NumNodes())
+	for i := range values {
+		values[i] = float64(i%13) * 1e-5
+	}
+	wv := bippr.NewDenseVector(values)
+	const walks = 50000
+	for _, tc := range []struct {
+		name  string
+		table bool
+	}{{"slice-step", false}, {"table-step", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			w := bippr.NewWalkEstimator(g, 0.85, 1, 0)
+			w.SetSampleTable(tc.table)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.EstimateSum(context.Background(), src, walks, wv, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCSRCompress prices the delta-varint in-CSR against the raw
+// remapped arrays on a deep reverse push. The compressed row decodes
+// are bit-identical to the raw reads (test-enforced by
+// TestPushCompressedBitIdentical); on catalog-sized graphs the raw
+// arrays fit cache so the compressed path is expected to lose — which
+// is exactly why DefaultCompressBytes keeps it off below LLC scale.
+func BenchmarkCSRCompress(b *testing.B) {
+	g := loadGraph(b, "ba-large")
+	prev := graph.HotPath()
+	graph.SetHotPath(graph.HotPathConfig{CompressBytes: 1})
+	defer graph.SetHotPath(prev)
+	cat, err := datasets.BuiltinCatalogSubset("ba-large")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := cat.Get("ba-large")
+	if err != nil {
+		b.Fatal(err)
+	}
+	zipped, err := d.Load()
+	if err != nil {
+		b.Fatal(err)
+	}
+	graph.SetHotPath(prev)
+	if zipped.Layout().CompressedIn() == nil {
+		b.Fatal("forced threshold built no compressed view")
+	}
+	tgt := mustNode(b, g, "17")
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"raw", g},
+		{"compressed", zipped},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bippr.ReversePush(context.Background(), tc.g, tgt, 0.85, 1e-6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPushBlocked contrasts the reverse push's inner kernels: the
+// exact per-edge-division loop against the blocked reciprocal-multiply
+// scatter the dense path runs by default. The kernels agree within the
+// 2·rmax equivalence contract (test-enforced by
+// TestPushBlockedWithinRMax), not bit-for-bit — the reciprocal rounds
+// once per node instead of dividing per edge.
+func BenchmarkPushBlocked(b *testing.B) {
+	g := loadGraph(b, "ba-large")
+	tgt := mustNode(b, g, "17")
+	prev := graph.HotPath()
+	defer graph.SetHotPath(prev)
+	for _, tc := range []struct {
+		name string
+		cfg  graph.HotPathConfig
+	}{
+		{"exact", graph.HotPathConfig{PushBlock: -1}},
+		{"blocked", graph.HotPathConfig{}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			graph.SetHotPath(tc.cfg)
+			defer graph.SetHotPath(prev)
+			for i := 0; i < b.N; i++ {
+				if _, err := bippr.ReversePush(context.Background(), g, tgt, 0.85, 1e-6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablation A4: scoring functions ---
 
 func BenchmarkCycleRankScoring(b *testing.B) {

@@ -34,7 +34,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("crbench", flag.ContinueOnError)
 	var (
 		table    = fs.Int("table", 0, "table to regenerate (1-3 from the paper, 4 = target-relevance extension); 0 = all")
-		ablation = fs.String("ablation", "", "ablation to run: k-sweep, pruned-vs-naive, ppr-engines, scoring, scale, agreement, weighted, alpha-sweep, bippr, bippr-sharding, bippr-persist, walk-reuse, endpoint-persist, walk-batch, ep-codec, csr-layout, control-loop, all")
+		ablation = fs.String("ablation", "", "ablation to run: k-sweep, pruned-vs-naive, ppr-engines, scoring, scale, agreement, weighted, alpha-sweep, bippr, bippr-sharding, bippr-persist, walk-reuse, endpoint-persist, walk-batch, ep-codec, csr-layout, walk-sample-table, csr-compress, push-blocked, control-loop, all")
 		format   = fs.String("format", "text", "output format: text, markdown, csv")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -123,11 +123,20 @@ func run(args []string, out io.Writer) error {
 			// largest catalog dataset with hub-heavy pushes.
 			return experiments.CSRLayout(ctx, "ba-large", []string{"0", "17", "123"}, 0)
 		},
+		"walk-sample-table": func() (*experiments.Table, error) {
+			return experiments.WalkSampleTable(ctx, "enwiki-2018", "Brian May", 0)
+		},
+		"csr-compress": func() (*experiments.Table, error) {
+			return experiments.CSRCompress(ctx, "ba-large", []string{"0", "17", "123"}, 0)
+		},
+		"push-blocked": func() (*experiments.Table, error) {
+			return experiments.PushBlocked(ctx, "ba-large", []string{"0", "17", "123"}, 0)
+		},
 		"control-loop": func() (*experiments.Table, error) {
 			return experiments.ControlLoop(ctx, 0, 0)
 		},
 	}
-	ablationOrder := []string{"k-sweep", "pruned-vs-naive", "ppr-engines", "scoring", "scale", "agreement", "weighted", "alpha-sweep", "bippr", "bippr-sharding", "bippr-persist", "walk-reuse", "endpoint-persist", "walk-batch", "ep-codec", "csr-layout", "control-loop"}
+	ablationOrder := []string{"k-sweep", "pruned-vs-naive", "ppr-engines", "scoring", "scale", "agreement", "weighted", "alpha-sweep", "bippr", "bippr-sharding", "bippr-persist", "walk-reuse", "endpoint-persist", "walk-batch", "ep-codec", "csr-layout", "walk-sample-table", "csr-compress", "push-blocked", "control-loop"}
 
 	switch {
 	case *ablation != "":

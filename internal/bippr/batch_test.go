@@ -32,14 +32,26 @@ func TestBatchedSteppingBitIdentical(t *testing.T) {
 		source := graph.NodeID(rng.Intn(n))
 		walks := walkCounts[trial%len(walkCounts)]
 
-		batched := NewWalkEstimator(g, 0.85, seed, 0)
-		// Force the large-graph sorted-cohort path too: these graphs sit
-		// far below cohortSortBytes, so without the override the sort
+		// The default batched stepper steps through the sample table;
+		// the -no-table variants replay the slice-stepping path (the
+		// PR 8 stepper) on the same substreams. Both are exercised in
+		// both cohort-sort modes: these graphs sit far below the
+		// cohort-sort threshold, so without the override the sort
 		// branch would go untested.
+		batched := NewWalkEstimator(g, 0.85, seed, 0)
 		sorted := NewWalkEstimator(g, 0.85, seed, 0)
 		sorted.sortCohort = true
+		noTable := NewWalkEstimator(g, 0.85, seed, 0)
+		noTable.SetSampleTable(false)
+		sortedNoTable := NewWalkEstimator(g, 0.85, seed, 0)
+		sortedNoTable.sortCohort = true
+		sortedNoTable.SetSampleTable(false)
 		serial := NewWalkEstimator(g, 0.85, seed, 0)
 		serial.SetBatchStepping(false)
+		estimators := map[string]*WalkEstimator{
+			"batched": batched, "sorted-cohort": sorted,
+			"batched-no-table": noTable, "sorted-no-table": sortedNoTable,
+		}
 
 		for _, workers := range []int{1, 2, 8} {
 			want, err := serial.EstimateSum(context.Background(), source, walks, wv, workers)
@@ -50,7 +62,7 @@ func TestBatchedSteppingBitIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for name, est := range map[string]*WalkEstimator{"batched": batched, "sorted-cohort": sorted} {
+			for name, est := range estimators {
 				got, err := est.EstimateSum(context.Background(), source, walks, wv, workers)
 				if err != nil {
 					t.Fatal(err)

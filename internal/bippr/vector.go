@@ -158,6 +158,24 @@ func (x *Vector) add(v graph.NodeID, delta float64) {
 	}
 }
 
+// addGet accumulates delta at node v and returns the new value — the
+// same float operations as add followed by Get in one storage probe,
+// which is what lets the blocked push kernel test the enqueue
+// threshold without a second lookup per edge.
+func (x *Vector) addGet(v graph.NodeID, delta float64) float64 {
+	if x.dense != nil {
+		nv := x.dense[v] + delta
+		x.dense[v] = nv
+		return nv
+	}
+	nv := x.sparse[v] + delta
+	x.sparse[v] = nv
+	if x.auto && len(x.sparse)*densifyFraction > x.n {
+		x.densify()
+	}
+	return nv
+}
+
 // zero clears node v's entry.
 func (x *Vector) zero(v graph.NodeID) {
 	if x.dense != nil {

@@ -50,20 +50,22 @@ type WalkEstimator struct {
 	// sortCohort enables the batched stepper's per-level sort of the
 	// live cohort. Sorting buys row-load sharing only when CSR rows
 	// actually miss cache; on a cache-resident graph it is pure
-	// overhead, so it is switched off below cohortSortBytes. Either
-	// setting produces bit-identical estimates — every walk draws from
-	// its private substream and endpoint accumulation is
-	// order-independent — so this is a pure bandwidth knob.
+	// overhead, so it is switched off below the configured
+	// graph.HotPathConfig.CohortSortBytes threshold. Either setting
+	// produces bit-identical estimates — every walk draws from its
+	// private substream and endpoint accumulation is order-independent
+	// — so this is a pure bandwidth knob.
 	sortCohort bool
+	// table is the graph's packed (rowStart, degree) stepping table.
+	// When present the batched stepper advances each walk through one
+	// 8-byte load per step instead of materializing CSR row slices;
+	// nil (overflowing graphs, or the walk-sample-table ablation
+	// baseline via SetSampleTable) falls back to slice stepping. The
+	// table indexes the same adjacency array in the same order, so
+	// both modes consume identical RNG draws and pick identical nodes
+	// — bit-identity, not approximation.
+	table *graph.SampleTable
 }
-
-// cohortSortBytes is the graph footprint above which the batched
-// stepper sorts each level's live walks by current node. Below it the
-// CSR sits in cache and a row load is as cheap as the sort comparisons
-// that would deduplicate it — measured on the walk-batch ablation, the
-// sort only starts paying once the adjacency arrays outgrow the
-// last-level cache, so the bound sits at LLC scale rather than L2.
-const cohortSortBytes = 32 << 20
 
 // NewWalkEstimator builds a walk estimator with damping alpha,
 // base RNG seed and per-walk step cap (0 selects DefaultMaxSteps).
@@ -73,7 +75,8 @@ func NewWalkEstimator(g *graph.Graph, alpha float64, seed int64, maxSteps int) *
 	}
 	return &WalkEstimator{
 		g: g, alpha: alpha, seed: seed, maxSteps: maxSteps,
-		sortCohort: g.MemoryFootprint() >= cohortSortBytes,
+		sortCohort: graph.HotPath().SortCohort(g.MemoryFootprint()),
+		table:      g.SampleTable(),
 	}
 }
 
@@ -84,6 +87,24 @@ func NewWalkEstimator(g *graph.Graph, alpha float64, seed int64, maxSteps int) *
 // either way; the toggle exists so tests can prove exactly that and
 // so the walk-batch ablation can time the difference.
 func (w *WalkEstimator) SetBatchStepping(enabled bool) { w.serial = !enabled }
+
+// SetSampleTable attaches or detaches the packed stepping table on the
+// batched stepper. Estimates are bit-identical either way (the table
+// reads the same adjacency entries the slices hold); the toggle exists
+// so the bit-identity tests can prove it and so the walk-sample-table
+// ablation can replay the slice-stepping baseline on the same graph.
+func (w *WalkEstimator) SetSampleTable(enabled bool) {
+	if enabled {
+		w.table = w.g.SampleTable()
+	} else {
+		w.table = nil
+	}
+}
+
+// SetCohortSort overrides the footprint heuristic for the batched
+// stepper's per-level cohort sort — a pure bandwidth knob, exposed for
+// tests and ablations; estimates are bit-identical in both settings.
+func (w *WalkEstimator) SetCohortSort(enabled bool) { w.sortCohort = enabled }
 
 // walkEndpoint simulates one walk from source on its own substream.
 // ok is false when the walk was absorbed by a dangling node before
@@ -167,11 +188,14 @@ func (w *WalkEstimator) appendEndpointsSerial(ends []graph.NodeID, source graph.
 
 // appendEndpointsBatched advances the whole chunk as a
 // struct-of-arrays cohort, level-synchronously: at each step the live
-// walks are sorted by current node (when the graph outgrows
-// cohortSortBytes), so one CSR row load serves every walk sitting on
-// that node — the cache-miss-per-hop of the serial stepper becomes a
-// miss per *distinct* node per level, and early levels (all walks
-// still near the source) are nearly free.
+// walks are sorted by current node (when the graph outgrows the
+// configured cohort-sort threshold), so one adjacency row load serves
+// every walk sitting on that node — the cache-miss-per-hop of the
+// serial stepper becomes a miss per *distinct* node per level, and
+// early levels (all walks still near the source) are nearly free.
+// When the graph carries a SampleTable the per-walk advance is O(1):
+// one packed 8-byte load replaces the two CSR offset reads and the
+// row slice construction.
 //
 // Equivalence to the serial stepper is exact, not statistical: walk
 // j's k-th draw comes from its private substream in both steppers
@@ -190,14 +214,37 @@ func (w *WalkEstimator) appendEndpointsBatched(ends []graph.NodeID, sc *walkScra
 	}
 	sc.rngs, sc.keys = rngs, live
 
+	tab := w.table
 	for step := 0; step < w.maxSteps && len(live) > 0; step++ {
 		if step > 0 && w.sortCohort {
 			// Group same-node walks; step 0 is all-at-source already.
 			slices.Sort(live)
 		}
+		kept := live[:0]
+		if tab != nil {
+			// O(1) stepping: one packed-word load gives degree and row
+			// start; no CSR offset reads, no row slice headers. The
+			// table indexes the same outAdj array the slice path reads,
+			// so draw-for-draw the chosen nodes are identical.
+			for _, key := range live {
+				node := graph.NodeID(key >> walkKeyBits)
+				rng := &rngs[key&walkKeyMask]
+				if rng.float64() >= w.alpha {
+					ends = append(ends, node) // stopped here
+					continue
+				}
+				deg := tab.Degree(node)
+				if deg == 0 {
+					continue // absorbed: no endpoint mass
+				}
+				next := tab.Pick(node, rng.intn(deg))
+				kept = append(kept, uint64(uint32(next))<<walkKeyBits|key&walkKeyMask)
+			}
+			live = kept
+			continue
+		}
 		var row []graph.NodeID
 		rowNode := graph.NodeID(-1)
-		kept := live[:0]
 		for _, key := range live {
 			node := graph.NodeID(key >> walkKeyBits)
 			rng := &rngs[key&walkKeyMask]

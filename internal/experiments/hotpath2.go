@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/cyclerank/cyclerank-go/internal/bippr"
+	"github.com/cyclerank/cyclerank-go/internal/graph"
+)
+
+// WalkSampleTable isolates the O(1) stepping table inside the batched
+// cohort stepper: the slice-stepping baseline (this table's
+// predecessor — CSR offset reads and row slice headers per step)
+// against the packed-word path, with the serial per-walk stepper as
+// the equivalence anchor. All three consume identical per-walk RNG
+// substreams, so all three estimate columns must match bit-for-bit —
+// the function errors out on any difference, making the table an
+// equivalence proof as much as a timing.
+func WalkSampleTable(ctx context.Context, dataset, source string, walks int) (*Table, error) {
+	g, err := loadDataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	if g.SampleTable() == nil {
+		return nil, fmt.Errorf("experiments: %s has no sample table", dataset)
+	}
+	src, ok := g.NodeByLabel(source)
+	if !ok {
+		return nil, fmt.Errorf("experiments: source %q not in %s", source, dataset)
+	}
+	if walks == 0 {
+		walks = 200000
+	}
+	values := make([]float64, g.NumNodes())
+	for i := range values {
+		values[i] = float64(i%13) * 1e-5
+	}
+	wv := bippr.NewDenseVector(values)
+
+	serial := bippr.NewWalkEstimator(g, 0.85, 42, 0)
+	serial.SetBatchStepping(false)
+	slicesStep := bippr.NewWalkEstimator(g, 0.85, 42, 0)
+	slicesStep.SetSampleTable(false)
+	tableStep := bippr.NewWalkEstimator(g, 0.85, 42, 0)
+
+	t := &Table{
+		ID: "ablation-walk-sample-table",
+		Title: fmt.Sprintf("Walk stepping: CSR slice loads vs packed sample table, source %q on %s (%d walks, table %d bytes)",
+			source, dataset, walks, g.SampleTableBytes()),
+		Headers: []string{"workers", "mode", "estimate", "walk phase", "vs slice-step"},
+	}
+	for _, workers := range []int{1, 4} {
+		var serialEst, sliceEst, tableEst float64
+		serialDur, err := bestOf(3, func() error {
+			var err error
+			serialEst, err = serial.EstimateSum(ctx, src, walks, wv, workers)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		sliceDur, err := bestOf(3, func() error {
+			var err error
+			sliceEst, err = slicesStep.EstimateSum(ctx, src, walks, wv, workers)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		tableDur, err := bestOf(3, func() error {
+			var err error
+			tableEst, err = tableStep.EstimateSum(ctx, src, walks, wv, workers)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if tableEst != sliceEst || tableEst != serialEst {
+			return nil, fmt.Errorf("experiments: workers=%d: table estimate %v, slice %v, serial %v — stepping must be bit-identical",
+				workers, tableEst, sliceEst, serialEst)
+		}
+		speedup := func(d time.Duration) string {
+			if d <= 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2fx", float64(sliceDur)/float64(d))
+		}
+		w := fmt.Sprint(workers)
+		t.Rows = append(t.Rows,
+			[]string{w, "serial per-walk", fmt.Sprintf("%.6g", serialEst), serialDur.Round(time.Microsecond).String(), speedup(serialDur)},
+			[]string{w, "batched slice-step", fmt.Sprintf("%.6g", sliceEst), sliceDur.Round(time.Microsecond).String(), "1.00x"},
+			[]string{w, "batched table-step", fmt.Sprintf("%.6g", tableEst), tableDur.Round(time.Microsecond).String(), speedup(tableDur)},
+		)
+	}
+	return t, nil
+}
+
+// CSRCompress prices the delta-varint in-CSR against the raw remapped
+// arrays on the reverse push, and proves the selection heuristic both
+// ways: the dataset is built once under the default threshold — the
+// function errors if a compressed view appears, since no catalog graph
+// crosses DefaultCompressBytes — and once with compression forced, and
+// the push over compressed rows must be bit-identical to the raw-row
+// push (same decoded ids, same out-degree table, so identical float
+// operations). The size columns report what the compressed framing
+// actually saves; whether its time wins depends on whether the raw
+// arrays miss cache, which catalog-sized graphs mostly don't — the
+// threshold exists precisely to keep the plain path below LLC scale.
+func CSRCompress(ctx context.Context, dataset string, targets []string, rmax float64) (*Table, error) {
+	prev := graph.HotPath()
+	defer graph.SetHotPath(prev)
+
+	graph.SetHotPath(graph.HotPathConfig{})
+	plain, err := loadDataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	if plain.Layout().CompressedIn() != nil {
+		return nil, fmt.Errorf("experiments: %s compressed below the default threshold — selection broken", dataset)
+	}
+	graph.SetHotPath(graph.HotPathConfig{CompressBytes: 1})
+	zipped, err := loadDataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	zip := zipped.Layout().CompressedIn()
+	if zip == nil {
+		return nil, fmt.Errorf("experiments: forcing the threshold built no compressed view on %s — selection broken", dataset)
+	}
+	graph.SetHotPath(graph.HotPathConfig{})
+	if rmax == 0 {
+		rmax = 1e-6
+	}
+
+	rawBytes := zipped.MemoryFootprint() - zip.Bytes()
+	t := &Table{
+		ID: "ablation-csr-compress",
+		Title: fmt.Sprintf("Reverse push over raw vs delta-varint in-CSR on %s (rmax=%.0e; compressed view %d bytes vs %d raw in-adjacency, graph %d)",
+			dataset, rmax, zip.Bytes(), int64(zipped.NumEdges())*4, rawBytes),
+		Headers: []string{"target", "rows", "pushes", "max residual", "push time", "vs raw"},
+	}
+	for _, label := range targets {
+		tgt, ok := plain.NodeByLabel(label)
+		if !ok {
+			return nil, fmt.Errorf("experiments: target %q not in %s", label, dataset)
+		}
+		var raw, comp *bippr.TargetIndex
+		rawDur, err := bestOf(3, func() error {
+			var err error
+			raw, err = bippr.ReversePush(ctx, plain, tgt, 0.85, rmax)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		compDur, err := bestOf(3, func() error {
+			var err error
+			comp, err = bippr.ReversePush(ctx, zipped, tgt, 0.85, rmax)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if comp.Pushes != raw.Pushes || comp.MaxResidual != raw.MaxResidual {
+			return nil, fmt.Errorf("experiments: target %q: compressed push %d/%v, raw %d/%v — rows must decode bit-identically",
+				label, comp.Pushes, comp.MaxResidual, raw.Pushes, raw.MaxResidual)
+		}
+		for s := 0; s < plain.NumNodes(); s++ {
+			v := graph.NodeID(s)
+			if comp.Estimates.Get(v) != raw.Estimates.Get(v) {
+				return nil, fmt.Errorf("experiments: target %q: estimate at node %d differs between compressed and raw push", label, s)
+			}
+		}
+		speedup := "-"
+		if compDur > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(rawDur)/float64(compDur))
+		}
+		t.Rows = append(t.Rows,
+			[]string{label, "raw arrays", fmt.Sprint(raw.Pushes), fmt.Sprintf("%.3g", raw.MaxResidual), rawDur.Round(time.Microsecond).String(), "1.00x"},
+			[]string{label, "delta-varint", fmt.Sprint(comp.Pushes), fmt.Sprintf("%.3g", comp.MaxResidual), compDur.Round(time.Microsecond).String(), speedup},
+		)
+	}
+	return t, nil
+}
+
+// PushBlocked times the reverse push's blocked inner kernel (batched
+// reciprocal-multiply scatter, the default) against the exact
+// per-edge-division loop on the same graph. The kernels are not
+// bit-identical — multiplying by a rounded reciprocal perturbs each
+// contribution by an ulp — so the function enforces the equivalence
+// contract instead: both runs drive residuals below rmax and every
+// estimate the two produce agrees within 2·rmax, erroring out
+// otherwise.
+func PushBlocked(ctx context.Context, dataset string, targets []string, rmax float64) (*Table, error) {
+	prev := graph.HotPath()
+	defer graph.SetHotPath(prev)
+
+	g, err := loadDataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	if g.Layout() == nil {
+		return nil, fmt.Errorf("experiments: %s has no layout view", dataset)
+	}
+	if rmax == 0 {
+		rmax = 1e-6
+	}
+	t := &Table{
+		ID: "ablation-push-blocked",
+		Title: fmt.Sprintf("Reverse push inner kernel: per-edge division vs blocked reciprocal-multiply on %s (rmax=%.0e, block width %d)",
+			dataset, rmax, 64),
+		Headers: []string{"target", "kernel", "pushes", "max residual", "push time", "speedup"},
+	}
+	for _, label := range targets {
+		tgt, ok := g.NodeByLabel(label)
+		if !ok {
+			return nil, fmt.Errorf("experiments: target %q not in %s", label, dataset)
+		}
+		// The two kernels are timed interleaved, one rep of each per
+		// round, so slow drift (frequency scaling, co-tenant load)
+		// hits both the same rather than biasing whichever ran last.
+		var exact, blocked *bippr.TargetIndex
+		var exactDur, blockedDur time.Duration
+		for rep := 0; rep < 5; rep++ {
+			graph.SetHotPath(graph.HotPathConfig{PushBlock: -1})
+			d, err := timed(func() error {
+				var err error
+				exact, err = bippr.ReversePush(ctx, g, tgt, 0.85, rmax)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			if rep == 0 || d < exactDur {
+				exactDur = d
+			}
+			graph.SetHotPath(graph.HotPathConfig{})
+			d, err = timed(func() error {
+				var err error
+				blocked, err = bippr.ReversePush(ctx, g, tgt, 0.85, rmax)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			if rep == 0 || d < blockedDur {
+				blockedDur = d
+			}
+		}
+		if exact.MaxResidual >= rmax || blocked.MaxResidual >= rmax {
+			return nil, fmt.Errorf("experiments: target %q: residuals %v / %v not below rmax %v",
+				label, exact.MaxResidual, blocked.MaxResidual, rmax)
+		}
+		var drift error
+		blocked.Estimates.ForEach(func(v graph.NodeID, val float64) bool {
+			if d := val - exact.Estimates.Get(v); d > 2*rmax || d < -2*rmax {
+				drift = fmt.Errorf("experiments: target %q: estimate at node %d differs by %v (> 2·rmax)", label, v, d)
+				return false
+			}
+			return true
+		})
+		if drift == nil {
+			exact.Estimates.ForEach(func(v graph.NodeID, val float64) bool {
+				if d := val - blocked.Estimates.Get(v); d > 2*rmax || d < -2*rmax {
+					drift = fmt.Errorf("experiments: target %q: estimate at node %d differs by %v (> 2·rmax)", label, v, d)
+					return false
+				}
+				return true
+			})
+		}
+		if drift != nil {
+			return nil, drift
+		}
+		speedup := "-"
+		if blockedDur > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(exactDur)/float64(blockedDur))
+		}
+		t.Rows = append(t.Rows,
+			[]string{label, "per-edge division", fmt.Sprint(exact.Pushes), fmt.Sprintf("%.3g", exact.MaxResidual), exactDur.Round(time.Microsecond).String(), "1.00x"},
+			[]string{label, "blocked reciprocal", fmt.Sprint(blocked.Pushes), fmt.Sprintf("%.3g", blocked.MaxResidual), blockedDur.Round(time.Microsecond).String(), speedup},
+		)
+	}
+	return t, nil
+}

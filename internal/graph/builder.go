@@ -186,7 +186,8 @@ func (b *Builder) Build() (*Graph, error) {
 		}
 		g.labels = lt
 	}
-	g.layout = buildLayout(g)
+	g.layout = buildLayout(g, HotPath())
+	g.sample = buildSampleTable(g)
 	return g, nil
 }
 

@@ -1,0 +1,110 @@
+package graph
+
+// CompressedCSR is a delta-varint-encoded copy of one CSR half, built
+// for graphs whose plain adjacency arrays outgrow the cache: each
+// row's strictly-increasing node ids are stored as gap-minus-one
+// varints, so a row that costs 4 bytes per edge raw typically costs
+// one or two — the reverse push streams a working set a fraction of
+// the raw array's size, trading a handful of shifts per edge for the
+// cache misses the raw walk would take.
+//
+// Rows decode to exactly the ids the raw arrays hold (same values,
+// same order), so a push over the compressed view performs float
+// operations identical to the raw-view push — bit-identical indexes,
+// test-pinned. The encoding is built from the in-memory arrays at
+// graph build and never leaves the process: there is no versioning or
+// corruption handling to do here, unlike the disk codecs.
+type CompressedCSR struct {
+	off    []int64 // off[v]..off[v+1] is row v's byte extent in data
+	data   []byte
+	maxRow int // longest row, in entries — sizes decode scratch
+}
+
+// compressCSR encodes the CSR (off, adj) rows. Every row must be
+// strictly increasing, which canonical (deduplicated, sorted)
+// adjacency rows are.
+func compressCSR(off []int64, adj []NodeID) *CompressedCSR {
+	n := len(off) - 1
+	c := &CompressedCSR{off: make([]int64, n+1)}
+	// Worst case one id costs 5 varint bytes; size to the common case
+	// and let append grow the rare tail.
+	c.data = make([]byte, 0, len(adj)*2)
+	for v := 0; v < n; v++ {
+		row := adj[off[v]:off[v+1]]
+		if len(row) > c.maxRow {
+			c.maxRow = len(row)
+		}
+		prev := int64(-1)
+		for _, id := range row {
+			gap := uint64(int64(id) - prev - 1)
+			for gap >= 0x80 {
+				c.data = append(c.data, byte(gap)|0x80)
+				gap >>= 7
+			}
+			c.data = append(c.data, byte(gap))
+			prev = int64(id)
+		}
+		c.off[v+1] = int64(len(c.data))
+	}
+	return c
+}
+
+// DecodeRow appends row v's node ids to dst and returns it. Callers
+// reuse dst across rows (dst[:0]) so steady-state decoding allocates
+// nothing; cap the scratch at MaxRowLen to never grow it mid-push.
+func (c *CompressedCSR) DecodeRow(v NodeID, dst []NodeID) []NodeID {
+	data := c.data
+	pos, end := c.off[v], c.off[v+1]
+	prev := int64(-1)
+	for pos < end {
+		var gap uint64
+		var shift uint
+		for {
+			b := data[pos]
+			pos++
+			gap |= uint64(b&0x7f) << shift
+			if b < 0x80 {
+				break
+			}
+			shift += 7
+		}
+		prev += int64(gap) + 1
+		dst = append(dst, NodeID(prev))
+	}
+	return dst
+}
+
+// NumRows returns the number of rows the view covers.
+func (c *CompressedCSR) NumRows() int { return len(c.off) - 1 }
+
+// MaxRowLen returns the longest row's entry count — the decode
+// scratch capacity that makes every DecodeRow allocation-free.
+func (c *CompressedCSR) MaxRowLen() int { return c.maxRow }
+
+// Bytes returns the view's resident size (0 for nil).
+func (c *CompressedCSR) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return int64(len(c.off))*8 + int64(len(c.data))
+}
+
+// CompressedIn returns the layout's compressed in-CSR view, or nil
+// when the graph was built below the compression threshold (see
+// HotPathConfig.CompressBytes).
+func (l *Layout) CompressedIn() *CompressedCSR {
+	if l == nil {
+		return nil
+	}
+	return l.inZip
+}
+
+// CompressedBytes returns the resident size of the compressed in-CSR
+// view (0 when absent) — reported in Stats alongside layout_bytes so
+// capacity planning sees the full derived-view residency.
+func (g *Graph) CompressedBytes() int64 {
+	if g.layout == nil {
+		return 0
+	}
+	return g.layout.inZip.Bytes()
+}

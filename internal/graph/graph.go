@@ -51,6 +51,11 @@ type Graph struct {
 	// views, and WithoutLayout copies.
 	layout *Layout
 
+	// sample is the walk phase's packed (rowStart, degree) stepping
+	// table (see SampleTable); nil on zero graphs, Transpose views,
+	// and graphs whose rows overflow the packing.
+	sample *SampleTable
+
 	numEdges int64
 }
 
@@ -208,13 +213,21 @@ func (g *Graph) DanglingNodes() []NodeID {
 // MaxNodeID is the largest node count supported by a single graph.
 const MaxNodeID = math.MaxInt32 - 1
 
+// csrBytes returns the resident size of the plain CSR arrays alone —
+// the quantity HotPathConfig.CompressBytes thresholds against,
+// deliberately excluding derived views so the compression decision
+// never feeds back on itself.
+func (g *Graph) csrBytes() int64 {
+	return int64(len(g.outOff)+len(g.inOff))*8 + int64(len(g.outAdj)+len(g.inAdj))*4
+}
+
 // MemoryFootprint returns an estimate, in bytes, of the graph's
-// in-memory size: the CSR arrays plus the layout view's permutation
-// and remapped arrays when present (labels excluded). Capacity
-// planning must see the layout's residency — it is about half the
-// CSR again — which is why it is included here rather than only in
-// LayoutBytes.
+// in-memory size: the CSR arrays plus every derived hot-path view
+// present — the cache-conscious layout, the walk sample table, and
+// the compressed in-CSR (labels excluded). Capacity planning must see
+// the views' residency — the layout alone is about half the CSR
+// again — which is why they are included here rather than only in
+// the per-view byte accessors.
 func (g *Graph) MemoryFootprint() int64 {
-	return int64(len(g.outOff)+len(g.inOff))*8 + int64(len(g.outAdj)+len(g.inAdj))*4 +
-		g.layout.Bytes()
+	return g.csrBytes() + g.layout.Bytes() + g.sample.Bytes() + g.CompressedBytes()
 }

@@ -1,0 +1,99 @@
+package graph
+
+import "sync/atomic"
+
+// HotPathConfig tunes the memory-hierarchy heuristics of the serving
+// hot paths. Every knob is a *selection* threshold, never a semantic
+// one: whichever mode a threshold picks, estimates stay within the
+// documented equivalence contract (walk stepping is bit-identical in
+// every mode; push modes agree to the rmax invariant), so operators
+// and ablations can force either side of any heuristic on any graph
+// without changing what queries mean.
+//
+// The zero value selects every default. A process sets the config once
+// at startup (crserver/cyclerank flags) via SetHotPath; ablations
+// flip it around individual runs. Reads are lock-free.
+type HotPathConfig struct {
+	// CohortSortBytes is the graph memory footprint at or above which
+	// the batched walk stepper sorts each level's live cohort by
+	// current node (one CSR row load per distinct node per level).
+	// Below it the CSR is cache-resident and the sort is pure
+	// overhead. 0 selects DefaultCohortSortBytes; negative disables
+	// the sort on every graph; 1 forces it on every graph.
+	CohortSortBytes int64
+
+	// CompressBytes is the plain CSR footprint (offsets + adjacency,
+	// before any derived view) at or above which Build adds a
+	// delta-varint-compressed copy of the push path's in-CSR, and the
+	// reverse push streams compressed rows through pooled decode
+	// scratch instead of the raw arrays. 0 selects
+	// DefaultCompressBytes; negative disables compression everywhere;
+	// 1 forces it on every graph.
+	CompressBytes int64
+
+	// PushBlock selects the reverse-push inner loop: 0 (default) runs
+	// the cache-blocked, branch-light kernel whenever the adjacency
+	// view carries a reciprocal out-degree table; negative forces the
+	// exact per-edge division loop. The blocked kernel multiplies by
+	// precomputed 1/outdeg instead of dividing, so its estimates agree
+	// with the exact loop to the rmax invariant (within 2·rmax), not
+	// bit-for-bit; within one mode all storages stay bit-identical.
+	PushBlock int
+}
+
+// DefaultCohortSortBytes is the cohort-sort threshold when
+// HotPathConfig.CohortSortBytes is 0: last-level-cache scale, because
+// measured on the walk-batch ablation the sort only pays once the
+// adjacency arrays outgrow the LLC.
+const DefaultCohortSortBytes = 32 << 20
+
+// DefaultCompressBytes is the in-CSR compression threshold when
+// HotPathConfig.CompressBytes is 0. It sits above LLC scale: on a
+// cache-resident graph decoding costs strictly more than the raw
+// array walk, so compression is reserved for graphs whose row loads
+// actually miss.
+const DefaultCompressBytes = 64 << 20
+
+// hotPath holds the process-wide config. The pointer is swapped
+// whole, never mutated, so readers need no lock.
+var hotPath atomic.Pointer[HotPathConfig]
+
+// HotPath returns the current hot-path configuration (the zero value
+// until SetHotPath is called).
+func HotPath() HotPathConfig {
+	if p := hotPath.Load(); p != nil {
+		return *p
+	}
+	return HotPathConfig{}
+}
+
+// SetHotPath installs cfg as the process-wide hot-path configuration.
+// It affects graphs built and estimators constructed afterwards;
+// already-built graphs keep the views they were built with.
+func SetHotPath(cfg HotPathConfig) {
+	hotPath.Store(&cfg)
+}
+
+// SortCohort reports whether the batched walk stepper should sort its
+// cohorts on a graph with the given memory footprint.
+func (c HotPathConfig) SortCohort(graphBytes int64) bool {
+	t := c.CohortSortBytes
+	if t == 0 {
+		t = DefaultCohortSortBytes
+	}
+	return t > 0 && graphBytes >= t
+}
+
+// CompressInCSR reports whether a graph whose plain CSR occupies
+// csrBytes should carry the compressed in-CSR view.
+func (c HotPathConfig) CompressInCSR(csrBytes int64) bool {
+	t := c.CompressBytes
+	if t == 0 {
+		t = DefaultCompressBytes
+	}
+	return t > 0 && csrBytes >= t
+}
+
+// PushBlocked reports whether the reverse push should run its blocked
+// inner kernel where available.
+func (c HotPathConfig) PushBlocked() bool { return c.PushBlock >= 0 }

@@ -1,0 +1,365 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// withHotPath installs cfg for the duration of the test and restores
+// the previous process-wide config afterwards, so tests that force
+// thresholds cannot leak into other tests in the package run.
+func withHotPath(t *testing.T, cfg HotPathConfig) {
+	t.Helper()
+	prev := HotPath()
+	SetHotPath(cfg)
+	t.Cleanup(func() { SetHotPath(prev) })
+}
+
+func TestSampleTableMatchesOut(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 50, 0.1)
+		tab := g.SampleTable()
+		if tab == nil {
+			t.Fatal("no sample table on non-empty graph")
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			id := NodeID(v)
+			row := g.Out(id)
+			if tab.Degree(id) != len(row) {
+				return false
+			}
+			for i := range row {
+				if tab.Pick(id, i) != row[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleTableAbsentCases(t *testing.T) {
+	empty, err := NewBuilder(0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.SampleTable() != nil {
+		t.Error("empty graph built a sample table")
+	}
+	if empty.SampleTableBytes() != 0 {
+		t.Error("nil sample table reports bytes")
+	}
+	g := triangle(t)
+	if g.Transpose().SampleTable() != nil {
+		t.Error("transpose view carries a sample table")
+	}
+	if g.SampleTableBytes() != int64(g.NumNodes())*8 {
+		t.Errorf("SampleTableBytes = %d, want %d", g.SampleTableBytes(), g.NumNodes()*8)
+	}
+}
+
+func TestCompressedCSRRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 60, 0.08)
+		c := compressCSR(g.inOff, g.inAdj)
+		if c.NumRows() != g.NumNodes() {
+			return false
+		}
+		var scratch []NodeID
+		maxRow := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			want := g.In(NodeID(v))
+			if len(want) > maxRow {
+				maxRow = len(want)
+			}
+			got := c.DecodeRow(NodeID(v), scratch[:0])
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			scratch = got
+		}
+		return c.MaxRowLen() == maxRow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressedCSREdgeRows(t *testing.T) {
+	// A hub graph: node 0 is every other node's predecessor, so row 0 of
+	// the in-CSR is empty-ish and the hub's in-row is long; also include
+	// an isolated node (all-empty rows must round-trip).
+	b := NewBuilder(300)
+	for v := 1; v < 299; v++ {
+		b.AddEdge(NodeID(v), 0)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := compressCSR(g.inOff, g.inAdj)
+	for v := 0; v < g.NumNodes(); v++ {
+		got := c.DecodeRow(NodeID(v), nil)
+		want := g.In(NodeID(v))
+		if len(got) != len(want) {
+			t.Fatalf("row %d: decoded %d entries, want %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("row %d entry %d: %d != %d", v, i, got[i], want[i])
+			}
+		}
+	}
+	if c.MaxRowLen() != 298 {
+		t.Errorf("MaxRowLen = %d, want 298", c.MaxRowLen())
+	}
+	if c.Bytes() <= 0 {
+		t.Error("Bytes not positive")
+	}
+	var nilC *CompressedCSR
+	if nilC.Bytes() != 0 {
+		t.Error("nil CompressedCSR reports bytes")
+	}
+	// Dense ids compress: the hub row's gaps are all zero, one byte per
+	// entry against four raw (both views carry the same offsets array,
+	// so compare payloads).
+	payload := c.Bytes() - int64(len(g.inOff))*8
+	raw := int64(len(g.inAdj)) * 4
+	if payload >= raw {
+		t.Errorf("compressed payload %dB not smaller than raw %dB", payload, raw)
+	}
+}
+
+func TestHotPathConfigSemantics(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   HotPathConfig
+		bytes int64
+		sort  bool
+		zip   bool
+	}{
+		{"zero-below-default", HotPathConfig{}, 1 << 20, false, false},
+		{"zero-above-default", HotPathConfig{}, 1 << 30, true, true},
+		{"negative-disables", HotPathConfig{CohortSortBytes: -1, CompressBytes: -1}, 1 << 30, false, false},
+		{"one-forces", HotPathConfig{CohortSortBytes: 1, CompressBytes: 1}, 16, true, true},
+		{"custom-threshold", HotPathConfig{CohortSortBytes: 100, CompressBytes: 100}, 99, false, false},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.SortCohort(tc.bytes); got != tc.sort {
+			t.Errorf("%s: SortCohort(%d) = %v, want %v", tc.name, tc.bytes, got, tc.sort)
+		}
+		if got := tc.cfg.CompressInCSR(tc.bytes); got != tc.zip {
+			t.Errorf("%s: CompressInCSR(%d) = %v, want %v", tc.name, tc.bytes, got, tc.zip)
+		}
+	}
+	if !(HotPathConfig{}).PushBlocked() {
+		t.Error("zero config does not select the blocked push kernel")
+	}
+	if (HotPathConfig{PushBlock: -1}).PushBlocked() {
+		t.Error("negative PushBlock did not disable the blocked kernel")
+	}
+}
+
+func TestCompressionSelectionAtBuild(t *testing.T) {
+	g := randomGraph(7, 80, 0.1)
+	if g.Layout().CompressedIn() != nil {
+		t.Fatal("tiny graph compressed under the default threshold")
+	}
+	if g.CompressedBytes() != 0 {
+		t.Fatal("CompressedBytes nonzero without a compressed view")
+	}
+
+	withHotPath(t, HotPathConfig{CompressBytes: 1})
+	forced := randomGraph(7, 80, 0.1)
+	zip := forced.Layout().CompressedIn()
+	if zip == nil {
+		t.Fatal("forced threshold built no compressed view")
+	}
+	if forced.CompressedBytes() != zip.Bytes() {
+		t.Error("CompressedBytes disagrees with the view")
+	}
+	// The compressed rows are the layout's remapped in-rows, exactly.
+	lay := forced.Layout()
+	var scratch []NodeID
+	for v := 0; v < forced.NumNodes(); v++ {
+		want := lay.In(NodeID(v))
+		got := zip.DecodeRow(NodeID(v), scratch[:0])
+		if len(got) != len(want) {
+			t.Fatalf("layout row %d: decoded %d entries, want %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("layout row %d entry %d: %d != %d", v, i, got[i], want[i])
+			}
+		}
+		scratch = got
+	}
+}
+
+// TestFingerprintInvariantUnderHotPathConfig pins the acceptance
+// criterion that graph fingerprints — and therefore every derived
+// artifact key — are byte-unchanged by hot-path configuration: the
+// sample table, compressed in-CSR, and layout are views over the same
+// canonical CSR the fingerprint hashes.
+func TestFingerprintInvariantUnderHotPathConfig(t *testing.T) {
+	base := randomGraph(11, 70, 0.1)
+	want := Fingerprint(base)
+
+	withHotPath(t, HotPathConfig{CohortSortBytes: 1, CompressBytes: 1, PushBlock: -1})
+	forced := randomGraph(11, 70, 0.1)
+	if forced.Layout().CompressedIn() == nil {
+		t.Fatal("forced config built no compressed view")
+	}
+	if got := Fingerprint(forced); got != want {
+		t.Errorf("fingerprint changed under forced hot-path config: %s != %s", got, want)
+	}
+}
+
+func TestMemoryFootprintIncludesViews(t *testing.T) {
+	withHotPath(t, HotPathConfig{CompressBytes: 1})
+	g := randomGraph(3, 60, 0.1)
+	want := g.csrBytes() + g.LayoutBytes() + g.SampleTableBytes() + g.CompressedBytes()
+	if g.MemoryFootprint() != want {
+		t.Errorf("MemoryFootprint = %d, want %d", g.MemoryFootprint(), want)
+	}
+	if g.SampleTableBytes() == 0 || g.CompressedBytes() == 0 || g.LayoutBytes() == 0 {
+		t.Error("a derived view reports zero bytes")
+	}
+	s := ComputeStats(g)
+	if s.SampleTableBytes != g.SampleTableBytes() || s.CompressedBytes != g.CompressedBytes() {
+		t.Error("Stats views disagree with graph accessors")
+	}
+	if s.MemoryBytes != g.MemoryFootprint() {
+		t.Error("Stats.MemoryBytes disagrees with MemoryFootprint")
+	}
+}
+
+func TestAliasTableExactMasses(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 40, 0.12)
+		rng := rand.New(rand.NewSource(seed ^ 0x5ca1e))
+		ws := NewWeights(g)
+		for v := 0; v < g.NumNodes(); v++ {
+			for _, u := range g.Out(NodeID(v)) {
+				if err := ws.Set(NodeID(v), u, 0.1+rng.Float64()*10); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		at := ws.BuildAliasTable()
+		for v := 0; v < g.NumNodes(); v++ {
+			id := NodeID(v)
+			w := ws.OutWeights(id)
+			if len(w) == 0 {
+				continue
+			}
+			sum := ws.OutSum(id)
+			for i, m := range at.Mass(id) {
+				want := w[i] / sum
+				if diff := m - want; diff > 1e-12 || diff < -1e-12 {
+					t.Logf("node %d slot %d: mass %v, want %v", v, i, m, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAliasMatchesCDF drives both weighted samplers with a shared RNG
+// and checks the alias table's empirical distribution tracks the
+// inverse-CDF reference on the same node within sampling error.
+func TestAliasMatchesCDF(t *testing.T) {
+	g := randomGraph(23, 30, 0.3)
+	rng := rand.New(rand.NewSource(99))
+	ws := NewWeights(g)
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, u := range g.Out(NodeID(v)) {
+			if err := ws.Set(NodeID(v), u, 0.5+rng.Float64()*4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	at := ws.BuildAliasTable()
+	if at.Bytes() <= 0 {
+		t.Fatal("alias table reports no bytes")
+	}
+	const draws = 200000
+	for _, v := range []NodeID{0, 7, 19} {
+		deg := g.OutDegree(v)
+		if deg < 2 {
+			continue
+		}
+		aliasCounts := make(map[NodeID]int)
+		cdfCounts := make(map[NodeID]int)
+		for i := 0; i < draws; i++ {
+			u, ok := at.Pick(v, rng.Intn(deg), rng.Float64())
+			if !ok {
+				t.Fatalf("alias pick failed on node %d", v)
+			}
+			aliasCounts[u]++
+			u, ok = ws.PickCDF(v, rng.Float64())
+			if !ok {
+				t.Fatalf("cdf pick failed on node %d", v)
+			}
+			cdfCounts[u]++
+		}
+		sum := ws.OutSum(v)
+		for _, u := range g.Out(v) {
+			w, err := ws.Get(v, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := w / sum
+			gotAlias := float64(aliasCounts[u]) / draws
+			gotCDF := float64(cdfCounts[u]) / draws
+			// 5 sigma on a Bernoulli(want) sample of `draws`.
+			tol := 5 * math.Sqrt(want*(1-want)/draws)
+			if d := gotAlias - want; d > tol || d < -tol {
+				t.Errorf("node %d->%d: alias freq %v, want %v (tol %v)", v, u, gotAlias, want, tol)
+			}
+			if d := gotCDF - want; d > tol || d < -tol {
+				t.Errorf("node %d->%d: cdf freq %v, want %v (tol %v)", v, u, gotCDF, want, tol)
+			}
+		}
+	}
+}
+
+func TestAliasTableDanglingAndUniform(t *testing.T) {
+	g := mustBuild(t, 3, []Edge{{From: 0, To: 1}, {From: 0, To: 2}})
+	ws := NewWeights(g)
+	at := ws.BuildAliasTable()
+	if _, ok := at.Pick(1, 0, 0.5); ok {
+		t.Error("pick on dangling node succeeded")
+	}
+	if _, ok := ws.PickCDF(1, 0.5); ok {
+		t.Error("cdf pick on dangling node succeeded")
+	}
+	// All-ones weights: every slot self-accepts, so Pick(v, i, ·) is
+	// exactly the uniform row entry — the weighted stepper degrades to
+	// the unweighted one on uniform graphs.
+	for i, want := range g.Out(0) {
+		got, ok := at.Pick(0, i, 0.999999)
+		if !ok || got != want {
+			t.Errorf("uniform pick slot %d = %d, want %d", i, got, want)
+		}
+	}
+	for i, m := range at.Mass(0) {
+		if d := m - 0.5; d > 1e-15 || d < -1e-15 {
+			t.Errorf("uniform mass slot %d = %v, want 0.5", i, m)
+		}
+	}
+}

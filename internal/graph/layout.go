@@ -19,11 +19,19 @@ import "sort"
 // inner loop reads — so the extra residency is about half the
 // original CSR, and MemoryFootprint reports it.
 type Layout struct {
-	perm   []NodeID // perm[old] = new
-	inv    []NodeID // inv[new] = old
-	inOff  []int64  // in-CSR over new ids
-	inAdj  []NodeID // predecessors as new ids, sorted per row
-	outDeg []int32  // out-degree indexed by new id
+	perm   []NodeID  // perm[old] = new
+	inv    []NodeID  // inv[new] = old
+	inOff  []int64   // in-CSR over new ids
+	inAdj  []NodeID  // predecessors as new ids, sorted per row
+	outDeg []int32   // out-degree indexed by new id
+	recip  []float64 // 1/outDeg by new id (0 for dangling) — the blocked push kernel's divide-free scale table
+
+	// inZip is the delta-varint copy of the remapped in-CSR, present
+	// only when the plain CSR outgrew HotPathConfig.CompressBytes at
+	// build time (see CompressedCSR). It is additive: inAdj stays
+	// resident so slice-based consumers and equivalence tests keep
+	// working; the reverse push streams inZip instead.
+	inZip *CompressedCSR
 }
 
 // ToNew translates an original node id into the layout's id space.
@@ -42,12 +50,22 @@ func (l *Layout) In(v NodeID) []NodeID {
 // OutDegree returns the out-degree of the layout-space node v.
 func (l *Layout) OutDegree(v NodeID) int { return int(l.outDeg[v]) }
 
-// Bytes returns the layout's resident size in bytes.
+// OutRecip returns the table of reciprocal out-degrees indexed by
+// layout id (0 at dangling nodes, which never appear as
+// in-neighbors). The blocked push kernel multiplies by these instead
+// of dividing per edge. The slice aliases internal storage and must
+// not be modified.
+func (l *Layout) OutRecip() []float64 { return l.recip }
+
+// Bytes returns the layout's resident size in bytes, excluding the
+// optional compressed in-CSR view (reported separately as
+// CompressedBytes so dashboards can see what each view costs).
 func (l *Layout) Bytes() int64 {
 	if l == nil {
 		return 0
 	}
-	return int64(len(l.inOff))*8 + int64(len(l.perm)+len(l.inv)+len(l.inAdj))*4 + int64(len(l.outDeg))*4
+	return int64(len(l.inOff))*8 + int64(len(l.perm)+len(l.inv)+len(l.inAdj))*4 +
+		int64(len(l.outDeg))*4 + int64(len(l.recip))*8
 }
 
 // Layout returns the graph's cache-conscious node reordering, or nil
@@ -72,8 +90,10 @@ func (g *Graph) WithoutLayout() *Graph {
 }
 
 // buildLayout computes the degree-descending permutation and the
-// remapped in-CSR/out-degree view for a freshly built graph.
-func buildLayout(g *Graph) *Layout {
+// remapped in-CSR/out-degree view for a freshly built graph, plus —
+// when the plain CSR crosses cfg's compression threshold — the
+// delta-varint copy of the remapped in-CSR the push loop streams.
+func buildLayout(g *Graph, cfg HotPathConfig) *Layout {
 	n := g.NumNodes()
 	l := &Layout{
 		perm:   make([]NodeID, n),
@@ -81,6 +101,7 @@ func buildLayout(g *Graph) *Layout {
 		inOff:  make([]int64, n+1),
 		inAdj:  make([]NodeID, len(g.inAdj)),
 		outDeg: make([]int32, n),
+		recip:  make([]float64, n),
 	}
 	for v := range l.inv {
 		l.inv[v] = NodeID(v)
@@ -110,7 +131,14 @@ func buildLayout(g *Graph) *Layout {
 			dst[i] = l.perm[u]
 		}
 		sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
-		l.outDeg[new] = int32(g.outOff[old+1] - g.outOff[old])
+		deg := g.outOff[old+1] - g.outOff[old]
+		l.outDeg[new] = int32(deg)
+		if deg > 0 {
+			l.recip[new] = 1 / float64(deg)
+		}
+	}
+	if cfg.CompressInCSR(g.csrBytes()) {
+		l.inZip = compressCSR(l.inOff, l.inAdj)
 	}
 	return l
 }

@@ -23,11 +23,15 @@ type Stats struct {
 	AvgDegree    float64 `json:"avg_degree"` // M / N
 	SCCs         int     `json:"sccs"`
 	LargestSCC   int     `json:"largest_scc"`
-	// MemoryBytes is the graph's resident CSR size including the
-	// cache-conscious layout view; LayoutBytes is the layout's share of
-	// it. Capacity planning reads these from /api/datasets/{name}.
-	MemoryBytes int64 `json:"memory_bytes"`
-	LayoutBytes int64 `json:"layout_bytes"`
+	// MemoryBytes is the graph's resident CSR size including every
+	// derived hot-path view; LayoutBytes, SampleTableBytes and
+	// CompressedBytes are the per-view shares of it (the last is 0
+	// unless the graph crossed the compression threshold at build).
+	// Capacity planning reads these from /api/datasets/{name}.
+	MemoryBytes      int64 `json:"memory_bytes"`
+	LayoutBytes      int64 `json:"layout_bytes"`
+	SampleTableBytes int64 `json:"sample_table_bytes"`
+	CompressedBytes  int64 `json:"compressed_bytes"`
 }
 
 // ComputeStats collects the full Stats for g. It is O(N + M) plus one
@@ -35,12 +39,14 @@ type Stats struct {
 func ComputeStats(g *Graph) Stats {
 	n := g.NumNodes()
 	s := Stats{
-		Nodes:       n,
-		Edges:       g.NumEdges(),
-		Density:     g.Density(),
-		Reciprocity: g.Reciprocity(),
-		MemoryBytes: g.MemoryFootprint(),
-		LayoutBytes: g.LayoutBytes(),
+		Nodes:            n,
+		Edges:            g.NumEdges(),
+		Density:          g.Density(),
+		Reciprocity:      g.Reciprocity(),
+		MemoryBytes:      g.MemoryFootprint(),
+		LayoutBytes:      g.LayoutBytes(),
+		SampleTableBytes: g.SampleTableBytes(),
+		CompressedBytes:  g.CompressedBytes(),
 	}
 	if n > 0 {
 		s.AvgDegree = float64(g.NumEdges()) / float64(n)

@@ -52,10 +52,10 @@ type statusResponse struct {
 	// learned pre-warm.
 	Traffic TrafficStatus `json:"traffic"`
 	// Graphs lists the datasets resident in the scheduler's graph
-	// cache with the bytes each pins — memory_bytes includes the
-	// cache-conscious layout view, layout_bytes its share — so
-	// capacity planning sees the real residency, not just dataset
-	// counts.
+	// cache with the bytes each pins — memory_bytes includes every
+	// derived hot-path view; layout_bytes, sample_table_bytes and
+	// compressed_bytes are the per-view shares — so capacity planning
+	// sees the real residency, not just dataset counts.
 	Graphs []task.LoadedGraphRow `json:"graphs"`
 }
 

@@ -143,7 +143,11 @@ func TestTaskViewReportsPhasesAndTiming(t *testing.T) {
 // /api/status row: moving the counters into the obs registry must not
 // rename, drop or add JSON fields that existing dashboards parse.
 func TestStatusJSONBackCompat(t *testing.T) {
-	_, ts := newTestServer(t)
+	s, ts := newTestServer(t)
+	// Load a dataset so the graphs array carries a row to pin.
+	if _, err := s.Scheduler().LoadGraph("complete-50"); err != nil {
+		t.Fatal(err)
+	}
 	resp, err := http.Get(ts.URL + "/api/status")
 	if err != nil {
 		t.Fatal(err)
@@ -189,6 +193,27 @@ func TestStatusJSONBackCompat(t *testing.T) {
 		for extra := range got {
 			t.Errorf("status row %q gained unexpected key %q", row, extra)
 		}
+	}
+	// The graphs row is an array; pin the exact key set of its
+	// per-dataset entries the same way.
+	var graphs []map[string]json.RawMessage
+	if err := json.Unmarshal(raw["graphs"], &graphs); err != nil {
+		t.Fatalf("row %q: %v", "graphs", err)
+	}
+	if len(graphs) == 0 {
+		t.Fatal("status graphs row empty after LoadGraph")
+	}
+	graphFields := []string{"name", "nodes", "edges", "memory_bytes",
+		"layout_bytes", "sample_table_bytes", "compressed_bytes"}
+	got := graphs[0]
+	for _, f := range graphFields {
+		if _, ok := got[f]; !ok {
+			t.Errorf("status graphs row lost key %q", f)
+		}
+		delete(got, f)
+	}
+	for extra := range got {
+		t.Errorf("status graphs row gained unexpected key %q", extra)
 	}
 }
 

@@ -609,14 +609,17 @@ func (s *Scheduler) loadGraph(name string) (*graph.Graph, error) {
 
 // LoadedGraphRow describes one resident dataset for capacity
 // planning: its shape plus the bytes it pins, split out so operators
-// can see what the cache-conscious layout view costs on top of the
-// bare CSR.
+// can see what each derived hot-path view — the cache-conscious
+// layout, the walk sample table, the compressed in-CSR — costs on top
+// of the bare CSR (memory_bytes includes all of them).
 type LoadedGraphRow struct {
-	Name        string `json:"name"`
-	Nodes       int    `json:"nodes"`
-	Edges       int64  `json:"edges"`
-	MemoryBytes int64  `json:"memory_bytes"`
-	LayoutBytes int64  `json:"layout_bytes"`
+	Name             string `json:"name"`
+	Nodes            int    `json:"nodes"`
+	Edges            int64  `json:"edges"`
+	MemoryBytes      int64  `json:"memory_bytes"`
+	LayoutBytes      int64  `json:"layout_bytes"`
+	SampleTableBytes int64  `json:"sample_table_bytes"`
+	CompressedBytes  int64  `json:"compressed_bytes"`
 }
 
 // LoadedGraphs snapshots the scheduler's graph cache, sorted by name.
@@ -625,11 +628,13 @@ func (s *Scheduler) LoadedGraphs() []LoadedGraphRow {
 	rows := make([]LoadedGraphRow, 0, len(s.cache))
 	for name, g := range s.cache {
 		rows = append(rows, LoadedGraphRow{
-			Name:        name,
-			Nodes:       g.NumNodes(),
-			Edges:       g.NumEdges(),
-			MemoryBytes: g.MemoryFootprint(),
-			LayoutBytes: g.LayoutBytes(),
+			Name:             name,
+			Nodes:            g.NumNodes(),
+			Edges:            g.NumEdges(),
+			MemoryBytes:      g.MemoryFootprint(),
+			LayoutBytes:      g.LayoutBytes(),
+			SampleTableBytes: g.SampleTableBytes(),
+			CompressedBytes:  g.CompressedBytes(),
 		})
 	}
 	s.cacheMu.Unlock()
